@@ -1,0 +1,107 @@
+//! DHT micro-benchmarks: the metadata-provider substrate on its own.
+//!
+//! Tracks the cost of the static-distribution hash, puts/gets under
+//! various bucket counts, and the blocking-get wakeup latency that the
+//! §4.2 writer-dependency protocol relies on.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use blobseer_dht::{static_bucket, Dht};
+use criterion::{black_box, Criterion};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    g.bench_function("static_bucket_173", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(static_bucket(&(k, k ^ 7), 173))
+        })
+    });
+    g.finish();
+}
+
+fn bench_put_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht");
+    for buckets in [1usize, 16, 173] {
+        let dht: Dht<(u64, u64), u64> = Dht::new(buckets);
+        let mut k = 0u64;
+        g.bench_function(format!("put_{buckets}b"), |b| {
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                dht.put(black_box((k, k)), k);
+            })
+        });
+        for i in 0..10_000u64 {
+            dht.put((i, i), i);
+        }
+        let mut q = 0u64;
+        g.bench_function(format!("get_hit_{buckets}b"), |b| {
+            b.iter(|| {
+                q = (q + 1) % 10_000;
+                black_box(dht.get(&(q, q)))
+            })
+        });
+        g.bench_function(format!("get_miss_{buckets}b"), |b| {
+            b.iter(|| black_box(dht.get(&(u64::MAX, q))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_concurrent_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht_concurrent");
+    g.sample_size(10);
+    g.bench_function("8thr_mixed_16b", |b| {
+        b.iter(|| {
+            let dht: Arc<Dht<(u64, u64), u64>> = Arc::new(Dht::new(16));
+            let handles: Vec<_> = (0..8u64)
+                .map(|t| {
+                    let d = Arc::clone(&dht);
+                    std::thread::spawn(move || {
+                        for i in 0..500 {
+                            d.put((t, i), i);
+                            black_box(d.get(&(t, i / 2)));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_get_wait_wakeup(c: &mut Criterion) {
+    // How quickly a blocked reader observes a concurrent writer's put —
+    // the §4.2 dependency handoff.
+    let mut g = c.benchmark_group("dht_wait");
+    g.sample_size(20);
+    g.bench_function("wakeup_handoff", |b| {
+        b.iter(|| {
+            let dht: Arc<Dht<u64, u64>> = Arc::new(Dht::new(4));
+            let d = Arc::clone(&dht);
+            let waiter =
+                std::thread::spawn(move || d.get_wait(&1, Duration::from_secs(5)).unwrap());
+            dht.put(1, 42);
+            black_box(waiter.join().unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .configure_from_args();
+    bench_hash(&mut c);
+    bench_put_get(&mut c);
+    bench_concurrent_access(&mut c);
+    bench_get_wait_wakeup(&mut c);
+    c.final_summary();
+}

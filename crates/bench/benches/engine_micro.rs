@@ -1,0 +1,147 @@
+//! E6 + engine micro-benchmarks (criterion, real engine).
+//!
+//! E6 quantifies §4.3's claim that version-manager serialization "is
+//! however negligible when compared to the full operation": we measure
+//! the VM's assign+complete path against the full APPEND pipeline.
+//! The criterion groups then track the latency of each public
+//! primitive.
+
+use std::time::{Duration, Instant};
+
+use blobseer::{BlobSeer, Version};
+use blobseer_version::{ConcurrencyMode, UpdateKind, VersionManager};
+use criterion::{black_box, Criterion};
+
+const PSIZE: u64 = 16 * 1024;
+
+fn store() -> BlobSeer {
+    BlobSeer::builder()
+        .page_size(PSIZE)
+        .data_providers(8)
+        .metadata_providers(8)
+        .io_threads(4)
+        .build()
+        .unwrap()
+}
+
+/// E6: the version manager's share of an append's critical path.
+fn e6_report() {
+    println!("# E6 — version-manager overhead within a full APPEND (real engine)");
+    let iters = 2000;
+
+    // VM-only: assign + complete on a bare version manager.
+    let vm = VersionManager::new(PSIZE, ConcurrencyMode::Concurrent, Duration::from_secs(5));
+    let blob = vm.create();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let a = vm.assign(blob, UpdateKind::Append { size: PSIZE }).unwrap();
+        vm.complete(blob, a.vw).unwrap();
+    }
+    let vm_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Full pipeline: data + metadata + VM.
+    let s = store();
+    let b = s.create();
+    let payload = vec![1u8; PSIZE as usize];
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        s.append(b, &payload).unwrap();
+    }
+    let full_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    let share = vm_ns / full_ns * 100.0;
+    println!("vm assign+publish: {:>10.0} ns", vm_ns);
+    println!("full append:       {:>10.0} ns", full_ns);
+    println!("vm share:          {share:>9.1}%");
+    assert!(share < 50.0, "VM must not dominate the append path");
+    println!("# OK: VM serialization is a minor share of the full operation\n");
+}
+
+fn bench_appends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("append");
+    for pages in [1usize, 4, 16] {
+        let s = store();
+        let b = s.create();
+        let payload = vec![7u8; pages * PSIZE as usize];
+        g.throughput(criterion::Throughput::Bytes(payload.len() as u64));
+        g.bench_function(format!("{pages}p_aligned"), |bench| {
+            bench.iter(|| s.append(b, black_box(&payload)).unwrap())
+        });
+    }
+    // Unaligned appends exercise the boundary-merge path.
+    let s = store();
+    let b = s.create();
+    let payload = vec![7u8; PSIZE as usize + 777];
+    g.bench_function("1p_unaligned", |bench| {
+        bench.iter(|| s.append(b, black_box(&payload)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write");
+    let s = store();
+    let b = s.create();
+    let v = s.append(b, &vec![0u8; 64 * PSIZE as usize]).unwrap();
+    s.sync(b, v).unwrap();
+    let page = vec![1u8; PSIZE as usize];
+    g.bench_function("overwrite_1p_aligned", |bench| {
+        bench.iter(|| s.write(b, black_box(&page), 8 * PSIZE).unwrap())
+    });
+    let small = vec![2u8; 100];
+    g.bench_function("overwrite_100b_unaligned", |bench| {
+        bench.iter(|| s.write(b, black_box(&small), 3 * PSIZE + 57).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read");
+    // Blob sizes spanning several tree depths.
+    for pages in [16u64, 256, 2048] {
+        let s = store();
+        let b = s.create();
+        let mut last = Version(0);
+        let chunk = vec![3u8; 128 * PSIZE as usize];
+        let mut written = 0;
+        while written < pages {
+            let n = (pages - written).min(128);
+            last = s.append(b, &chunk[..(n * PSIZE) as usize]).unwrap();
+            written += n;
+        }
+        s.sync(b, last).unwrap();
+        g.throughput(criterion::Throughput::Bytes(4 * PSIZE));
+        g.bench_function(format!("4p_of_{pages}p_blob"), |bench| {
+            bench.iter(|| s.read(b, last, 5 * PSIZE, black_box(4 * PSIZE)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_version_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm");
+    let s = store();
+    let b = s.create();
+    let v = s.append(b, &vec![0u8; PSIZE as usize]).unwrap();
+    s.sync(b, v).unwrap();
+    g.bench_function("get_recent", |bench| bench.iter(|| s.get_recent(black_box(b)).unwrap()));
+    g.bench_function("get_size", |bench| {
+        bench.iter(|| s.get_size(black_box(b), v).unwrap())
+    });
+    g.bench_function("branch", |bench| bench.iter(|| s.branch(black_box(b), v).unwrap()));
+    g.finish();
+}
+
+fn main() {
+    e6_report();
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .configure_from_args();
+    bench_appends(&mut c);
+    bench_writes(&mut c);
+    bench_reads(&mut c);
+    bench_version_ops(&mut c);
+    c.final_summary();
+}

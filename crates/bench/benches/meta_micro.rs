@@ -1,0 +1,107 @@
+//! Metadata micro-benchmarks: planners, BUILD_META and READ_META.
+//!
+//! The planners are on every operation's critical path (and the version
+//! manager runs `creates_position` over all in-flight updates per
+//! border position), so their costs matter at high op rates.
+
+use std::time::Duration;
+
+use blobseer_meta::plan::{border_positions, read_plan, update_plan};
+use blobseer_meta::{build_meta, read_meta, Lineage, MetaStore, RootRef, TreeReader, UpdateContext};
+use blobseer_types::{
+    BlobId, ByteRange, NodePos, PageDescriptor, PageId, PageRange, ProviderId, Version,
+};
+use criterion::{black_box, Criterion};
+
+fn bench_planners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan");
+    // A 1024-page update in a 2^20-page tree (the Fig 2(b) geometry).
+    let range = PageRange::new(123 * 1024, 1024);
+    let root = NodePos::root_for(1 << 20);
+    g.bench_function("update_plan_1024p", |b| {
+        b.iter(|| black_box(update_plan(black_box(range), root)))
+    });
+    g.bench_function("border_positions_1024p", |b| {
+        b.iter(|| black_box(border_positions(black_box(range), root)))
+    });
+    g.bench_function("read_plan_1024p", |b| {
+        b.iter(|| black_box(read_plan(black_box(range), root)))
+    });
+    g.finish();
+}
+
+fn pd(page_index: u64) -> PageDescriptor {
+    PageDescriptor {
+        pid: PageId(page_index as u128 + 1),
+        page_index,
+        provider: ProviderId((page_index % 7) as u32),
+        valid_len: 4096,
+    }
+}
+
+/// Build (and commit) version 1 covering `pages` pages.
+fn seeded_store(pages: u64) -> (MetaStore, Lineage, RootRef) {
+    let store = MetaStore::new(16, Duration::from_secs(1));
+    let lineage = Lineage::root(BlobId(1));
+    let ctx = UpdateContext {
+        vw: Version(1),
+        range: PageRange::new(0, pages),
+        new_root: NodePos::root_for(pages),
+        overrides: vec![],
+        ref_root: None,
+    };
+    let leaves: Vec<PageDescriptor> = (0..pages).map(pd).collect();
+    let reader = TreeReader::new(&store, &lineage);
+    for (k, n) in build_meta(&reader, &ctx, &leaves).unwrap() {
+        store.put(k, n);
+    }
+    let root = RootRef { version: Version(1), pos: NodePos::root_for(pages) };
+    (store, lineage, root)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_meta");
+    for pages in [1u64, 16, 256] {
+        let (store, lineage, root) = seeded_store(1024);
+        let ctx = UpdateContext {
+            vw: Version(2),
+            range: PageRange::new(100, pages),
+            new_root: root.pos,
+            overrides: vec![],
+            ref_root: Some(root),
+        };
+        let leaves: Vec<PageDescriptor> = (100..100 + pages).map(pd).collect();
+        g.bench_function(format!("weave_{pages}p_into_1024p"), |b| {
+            let reader = TreeReader::new(&store, &lineage);
+            b.iter(|| black_box(build_meta(&reader, &ctx, black_box(&leaves)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_read_meta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_meta");
+    for (blob_pages, read_pages) in [(256u64, 16u64), (4096, 16), (4096, 1024)] {
+        let (store, lineage, root) = seeded_store(blob_pages);
+        let request = ByteRange::new(13 * 4096, read_pages * 4096);
+        g.bench_function(format!("{read_pages}p_of_{blob_pages}p"), |b| {
+            let reader = TreeReader::new(&store, &lineage);
+            b.iter(|| {
+                black_box(read_meta(&reader, root, black_box(request), 4096).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .configure_from_args();
+    bench_planners(&mut c);
+    bench_build(&mut c);
+    bench_read_meta(&mut c);
+    c.final_summary();
+}

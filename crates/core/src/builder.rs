@@ -1,0 +1,163 @@
+//! Deployment configuration.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use blobseer_meta::MetaStore;
+use blobseer_provider::{AllocationStrategy, ProviderManager};
+use blobseer_rt::ThreadPool;
+use blobseer_types::{BlobError, PageIdGen, Result, StoreConfig};
+use blobseer_version::{ConcurrencyMode, VersionManager};
+
+use crate::engine::Engine;
+use crate::BlobSeer;
+
+/// Configures and builds a [`BlobSeer`] deployment.
+///
+/// Defaults mirror [`StoreConfig::default`]: 64 KiB pages (the paper's
+/// smaller evaluation page size), 16 data + 16 metadata providers,
+/// round-robin placement and the paper's concurrent metadata mode.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    config: StoreConfig,
+    strategy: AllocationStrategy,
+    mode: ConcurrencyMode,
+}
+
+impl Builder {
+    /// Builder with default settings.
+    pub fn new() -> Self {
+        Builder {
+            config: StoreConfig::default(),
+            strategy: AllocationStrategy::RoundRobin,
+            mode: ConcurrencyMode::Concurrent,
+        }
+    }
+
+    /// Page size (`psize`) in bytes; must be a power of two.
+    pub fn page_size(mut self, bytes: u64) -> Self {
+        self.config.page_size = bytes;
+        self
+    }
+
+    /// Number of data providers pages are striped over.
+    pub fn data_providers(mut self, n: usize) -> Self {
+        self.config.data_providers = n;
+        self
+    }
+
+    /// Number of metadata providers (DHT buckets).
+    pub fn metadata_providers(mut self, n: usize) -> Self {
+        self.config.metadata_providers = n;
+        self
+    }
+
+    /// Worker threads used for parallel page/metadata I/O.
+    pub fn io_threads(mut self, n: usize) -> Self {
+        self.config.client_io_threads = n;
+        self
+    }
+
+    /// Bound on blocking waits (SYNC, in-flight metadata nodes).
+    pub fn metadata_wait(mut self, timeout: Duration) -> Self {
+        self.config.metadata_wait_ms = timeout.as_millis() as u64;
+        self
+    }
+
+    /// Page-to-provider placement strategy.
+    pub fn allocation(mut self, strategy: AllocationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Copies kept of every page (1 = no replication). Replicas go to
+    /// the providers following the primary in registry order, so reads
+    /// can fall back without extra metadata (the paper defers
+    /// replication to future work, §3.2).
+    pub fn replication(mut self, copies: usize) -> Self {
+        self.config.replication = copies;
+        self
+    }
+
+    /// Client-side metadata node cache capacity (0 disables). Tree
+    /// nodes are immutable, so the cache needs no invalidation.
+    pub fn metadata_cache(mut self, entries: usize) -> Self {
+        self.config.metadata_cache_entries = entries;
+        self
+    }
+
+    /// Concurrency mode — [`ConcurrencyMode::SerializedMetadata`] is the
+    /// ablation baseline measured by experiment E5.
+    pub fn concurrency_mode(mut self, mode: ConcurrencyMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Start from an explicit [`StoreConfig`].
+    pub fn config(mut self, config: StoreConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Validate the configuration and assemble the deployment.
+    pub fn build(self) -> Result<BlobSeer> {
+        self.config.validate().map_err(BlobError::Storage)?;
+        let wait = Duration::from_millis(self.config.metadata_wait_ms);
+        let engine = Engine {
+            vm: VersionManager::new(self.config.page_size, self.mode, wait),
+            meta: MetaStore::new(self.config.metadata_providers, wait)
+                .with_cache(self.config.metadata_cache_entries),
+            providers: ProviderManager::with_memory_providers(
+                self.config.data_providers,
+                self.strategy,
+            ),
+            pool: ThreadPool::new(self.config.client_io_threads, "blobseer-io"),
+            pidgen: PageIdGen::new(),
+            config: self.config,
+        };
+        Ok(BlobSeer { engine: Arc::new(engine) })
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builds() {
+        let store = Builder::new().build().unwrap();
+        assert_eq!(store.config().page_size, 64 * 1024);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(Builder::new().page_size(3000).build().is_err());
+        assert!(Builder::new().data_providers(0).build().is_err());
+    }
+
+    #[test]
+    fn settings_propagate() {
+        let store = Builder::new()
+            .page_size(4096)
+            .data_providers(3)
+            .metadata_providers(5)
+            .io_threads(2)
+            .metadata_wait(Duration::from_millis(1234))
+            .allocation(AllocationStrategy::LeastLoaded)
+            .concurrency_mode(ConcurrencyMode::SerializedMetadata)
+            .build()
+            .unwrap();
+        let cfg = store.config();
+        assert_eq!(cfg.page_size, 4096);
+        assert_eq!(cfg.data_providers, 3);
+        assert_eq!(cfg.metadata_providers, 5);
+        assert_eq!(cfg.client_io_threads, 2);
+        assert_eq!(cfg.metadata_wait_ms, 1234);
+    }
+}

@@ -1,0 +1,36 @@
+//! Deployment wiring: every paper role assembled in one process.
+
+use std::time::Duration;
+
+use blobseer_meta::MetaStore;
+use blobseer_provider::ProviderManager;
+use blobseer_rt::ThreadPool;
+use blobseer_types::{PageIdGen, StoreConfig};
+use blobseer_version::VersionManager;
+
+/// The in-process cluster: version manager, provider manager + data
+/// providers, metadata providers (DHT) and the client I/O pool.
+///
+/// The paper deploys these as separate processes on separate nodes; the
+/// algorithms only require that they be independent components with
+/// their own state and synchronization, which is what this struct holds.
+pub(crate) struct Engine {
+    pub config: StoreConfig,
+    pub vm: VersionManager,
+    pub meta: MetaStore,
+    pub providers: ProviderManager,
+    pub pool: ThreadPool,
+    pub pidgen: PageIdGen,
+}
+
+impl Engine {
+    /// The bound on blocking waits (SYNC, in-flight metadata nodes).
+    pub fn wait_timeout(&self) -> Duration {
+        Duration::from_millis(self.config.metadata_wait_ms)
+    }
+
+    /// Page size shorthand.
+    pub fn psize(&self) -> u64 {
+        self.config.page_size
+    }
+}

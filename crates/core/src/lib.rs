@@ -1,0 +1,204 @@
+//! # BlobSeer
+//!
+//! A reproduction of *BlobSeer: How to Enable Efficient Versioning for
+//! Large Object Storage under Heavy Access Concurrency* (Nicolae,
+//! Antoniu, Bougé — EDBT/DAMAP 2009).
+//!
+//! BlobSeer stores huge binary large objects (blobs) striped into
+//! fixed-size pages over many data providers. Every update (`WRITE` /
+//! `APPEND`) produces a **new snapshot version** instead of mutating
+//! data in place: new pages are stored, and a new metadata segment tree
+//! is "weaved" with the trees of older versions so that unmodified
+//! pages (and whole metadata subtrees) are physically shared. A
+//! centralized version manager assigns versions and publishes them in
+//! total order, giving atomic semantics, while writers build data *and*
+//! metadata fully in parallel thanks to the partial-border-set protocol
+//! of the paper's §4.2.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use blobseer::BlobSeer;
+//!
+//! let store = BlobSeer::builder()
+//!     .page_size(4096)
+//!     .data_providers(8)
+//!     .build()
+//!     .expect("valid configuration");
+//!
+//! // CREATE — a new blob starts as the empty snapshot, version 0.
+//! let blob = store.create();
+//!
+//! // APPEND returns the assigned snapshot version.
+//! let v1 = store.append(blob, b"hello, ").unwrap();
+//! let v2 = store.append(blob, b"world").unwrap();
+//!
+//! // SYNC gives read-your-writes; READ addresses any published version.
+//! store.sync(blob, v2).unwrap();
+//! assert_eq!(store.read(blob, v2, 0, 12).unwrap(), b"hello, world");
+//! assert_eq!(store.read(blob, v1, 0, 7).unwrap(), b"hello, ");
+//!
+//! // WRITE overwrites a range, producing a third version; the first
+//! // two remain readable forever.
+//! let v3 = store.write(blob, b"HELLO", 0).unwrap();
+//! store.sync(blob, v3).unwrap();
+//! assert_eq!(store.read(blob, v3, 0, 12).unwrap(), b"HELLO, world");
+//! assert_eq!(store.read(blob, v2, 0, 12).unwrap(), b"hello, world");
+//!
+//! // BRANCH forks cheaply from any published version.
+//! let fork = store.branch(blob, v2).unwrap();
+//! let f3 = store.append(fork, b"!!!").unwrap();
+//! store.sync(fork, f3).unwrap();
+//! assert_eq!(store.read(fork, f3, 0, 15).unwrap(), b"hello, world!!!");
+//! ```
+//!
+//! The public entry point is [`BlobSeer`]; construct one with
+//! [`BlobSeer::builder`]. All handles are cheaply cloneable and fully
+//! thread-safe — the whole point of the system is heavy concurrent use.
+
+mod builder;
+mod engine;
+mod gc;
+mod read;
+mod stats;
+mod write;
+
+pub use builder::Builder;
+pub use gc::GcReport;
+pub use stats::StoreStats;
+
+// Re-export the vocabulary a user needs to drive the API.
+pub use blobseer_provider::AllocationStrategy;
+pub use blobseer_types::{
+    BlobError, BlobId, ByteRange, ProviderId, Result, StoreConfig, Version,
+};
+pub use blobseer_version::ConcurrencyMode;
+
+use std::sync::Arc;
+
+use engine::Engine;
+
+/// A handle to a BlobSeer deployment: the paper's client interface
+/// (§2.1) over an in-process cluster of data providers, metadata
+/// providers (DHT), a provider manager and a version manager.
+///
+/// Clone handles freely; all clones share the same deployment.
+#[derive(Clone)]
+pub struct BlobSeer {
+    engine: Arc<Engine>,
+}
+
+impl BlobSeer {
+    /// Start configuring a deployment.
+    pub fn builder() -> Builder {
+        Builder::new()
+    }
+
+    /// A deployment with [`StoreConfig::default`] settings.
+    pub fn new_default() -> Self {
+        Self::builder().build().expect("default config is valid")
+    }
+
+    /// `CREATE`: register a new blob; returns its globally-unique id.
+    /// The blob starts as the empty snapshot, version 0.
+    pub fn create(&self) -> BlobId {
+        self.engine.vm.create()
+    }
+
+    /// `WRITE(id, buffer, offset, size)`: replace `data.len()` bytes at
+    /// `offset`, producing a new snapshot. Returns the assigned version
+    /// `vw`; the snapshot becomes visible to readers when *published*
+    /// (use [`BlobSeer::sync`] to wait). Fails if `offset` exceeds the
+    /// size of snapshot `vw − 1`, or if `data` is empty.
+    pub fn write(&self, blob: BlobId, data: &[u8], offset: u64) -> Result<Version> {
+        write::update(&self.engine, blob, data, write::Target::Write { offset })
+    }
+
+    /// `APPEND(id, buffer, size)`: append `data` at the end of the
+    /// previous snapshot. Returns the assigned version.
+    pub fn append(&self, blob: BlobId, data: &[u8]) -> Result<Version> {
+        write::update(&self.engine, blob, data, write::Target::Append)
+    }
+
+    /// `READ(id, v, buffer, offset, size)`: read `size` bytes at
+    /// `offset` from *published* snapshot `v`. Fails when `v` is not
+    /// yet published or the range exceeds the snapshot size.
+    pub fn read(&self, blob: BlobId, v: Version, offset: u64, size: u64) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; size as usize];
+        self.read_into(blob, v, offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// [`BlobSeer::read`] into a caller-supplied buffer (the paper's
+    /// actual signature); reads exactly `buf.len()` bytes.
+    pub fn read_into(&self, blob: BlobId, v: Version, offset: u64, buf: &mut [u8]) -> Result<()> {
+        read::read(&self.engine, blob, v, offset, buf)
+    }
+
+    /// `GET_RECENT(id)`: a recently published version — guaranteed ≥
+    /// every version published before this call.
+    pub fn get_recent(&self, blob: BlobId) -> Result<Version> {
+        self.engine.vm.get_recent(blob)
+    }
+
+    /// `GET_SIZE(id, v)`: the size of published snapshot `v`.
+    pub fn get_size(&self, blob: BlobId, v: Version) -> Result<u64> {
+        self.engine.vm.get_size(blob, v)
+    }
+
+    /// `SYNC(id, v)`: block until snapshot `v` is published ("read your
+    /// writes", §2.1). Bounded by the configured metadata wait timeout.
+    pub fn sync(&self, blob: BlobId, v: Version) -> Result<()> {
+        self.engine.vm.sync(blob, v, self.engine.wait_timeout())
+    }
+
+    /// `BRANCH(id, v)`: fork the blob at published version `v`. The new
+    /// blob shares every snapshot up to and including `v` with the
+    /// original — no data or metadata is copied — and evolves
+    /// independently afterwards.
+    pub fn branch(&self, blob: BlobId, v: Version) -> Result<BlobId> {
+        self.engine.vm.branch(blob, v)
+    }
+
+    /// Retire (garbage-collect) every version of `blob` below
+    /// `keep_from`: the versions become unreadable and their
+    /// non-shared pages and tree nodes are reclaimed. Fails — without
+    /// side effects — when `keep_from` is unpublished, updates are in
+    /// flight, or a live branch pins older history. Extension beyond
+    /// the paper; see `crates/core/src/gc.rs`.
+    pub fn retire_versions(&self, blob: BlobId, keep_from: Version) -> Result<GcReport> {
+        gc::retire_versions(&self.engine, blob, keep_from)
+    }
+
+    /// Failure injection: take a data provider offline. Pending pages
+    /// stay on disk; requests fail until [`BlobSeer::recover_provider`].
+    pub fn fail_provider(&self, id: ProviderId) -> Result<()> {
+        self.engine.providers.provider(id)?.fail();
+        Ok(())
+    }
+
+    /// Bring a failed data provider back online.
+    pub fn recover_provider(&self, id: ProviderId) -> Result<()> {
+        self.engine.providers.provider(id)?.recover();
+        Ok(())
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.engine.config
+    }
+
+    /// Deployment-wide statistics: physical storage, metadata footprint
+    /// and per-component counters (used by the E3/E5/E6 experiments).
+    pub fn stats(&self) -> StoreStats {
+        stats::collect(&self.engine)
+    }
+}
+
+impl std::fmt::Debug for BlobSeer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlobSeer")
+            .field("config", &self.engine.config)
+            .finish()
+    }
+}

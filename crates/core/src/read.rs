@@ -1,0 +1,127 @@
+//! The READ pipeline (paper Algorithm 1).
+//!
+//! 1. consult the version manager: is `v` published, how big is it;
+//! 2. `READ_META`: walk the segment tree to assemble page descriptors;
+//! 3. fetch all (partial) pages **in parallel** and fill the buffer.
+
+use std::sync::Arc;
+
+use blobseer_meta::{read_meta, RootRef, TreeReader};
+use blobseer_meta::Lineage;
+use blobseer_rt::try_parallel;
+use blobseer_types::{BlobError, BlobId, ByteRange, PageSlice, Result, Version};
+use bytes::Bytes;
+
+use crate::engine::Engine;
+
+/// Public READ: validates against the published snapshot, then delegates
+/// to [`read_at_root_into`].
+pub(crate) fn read(
+    engine: &Arc<Engine>,
+    blob: BlobId,
+    v: Version,
+    offset: u64,
+    buf: &mut [u8],
+) -> Result<()> {
+    let size = buf.len() as u64;
+    let (snap_size, root) = engine.vm.read_view(blob, v)?;
+    if offset + size > snap_size {
+        return Err(BlobError::ReadBeyondEnd {
+            blob,
+            version: v,
+            requested_end: offset + size,
+            snapshot_size: snap_size,
+        });
+    }
+    if size == 0 {
+        return Ok(());
+    }
+    let root = root.ok_or_else(|| {
+        BlobError::Internal("non-empty snapshot without a tree root".into())
+    })?;
+    let lineage = engine.vm.lineage(blob)?;
+    read_at_root_into(engine, &lineage, root, ByteRange::new(offset, size), buf)
+}
+
+/// Read `request` from the snapshot rooted at `root`, blocking on
+/// in-flight metadata if needed. Used both by public READs (where the
+/// tree is complete) and by the unaligned-write merge path (where the
+/// predecessor tree may still be being written — waiting is on strictly
+/// lower versions, so it cannot deadlock).
+pub(crate) fn read_at_root(
+    engine: &Arc<Engine>,
+    lineage: &Lineage,
+    root: RootRef,
+    request: ByteRange,
+) -> Result<Vec<u8>> {
+    let mut buf = vec![0u8; request.size as usize];
+    read_at_root_into(engine, lineage, root, request, &mut buf)?;
+    Ok(buf)
+}
+
+fn read_at_root_into(
+    engine: &Arc<Engine>,
+    lineage: &Lineage,
+    root: RootRef,
+    request: ByteRange,
+    buf: &mut [u8],
+) -> Result<()> {
+    let psize = engine.psize();
+    let reader = TreeReader::new(&engine.meta, lineage);
+    let descriptors = read_meta(&reader, root, request, psize)?;
+
+    let slices: Vec<PageSlice> = descriptors
+        .into_iter()
+        .filter_map(|pd| PageSlice::for_request(pd, request, psize))
+        .collect();
+    debug_assert_eq!(
+        slices.iter().map(|s| s.within.size).sum::<u64>(),
+        request.size,
+        "slices must tile the request exactly"
+    );
+
+    // Algorithm 1 line 5: "for all (pid, i, provider) ∈ PD in parallel".
+    let shared = Arc::new(slices);
+    let eng = Arc::clone(engine);
+    let jobs = Arc::clone(&shared);
+    let parts: Vec<(u64, Bytes)> = try_parallel(&engine.pool, shared.len(), move |i| {
+        let s = &jobs[i];
+        let data = fetch_with_fallback(&eng, &s.descriptor, s.within)?;
+        Ok::<_, BlobError>((s.buffer_offset, data))
+    })?;
+    for (dst, data) in parts {
+        let dst = dst as usize;
+        buf[dst..dst + data.len()].copy_from_slice(&data);
+    }
+    Ok(())
+}
+
+/// Fetch a page sub-range from its primary provider, falling back along
+/// the deterministic replica chain when the primary is failed or lost
+/// the copy. With replication = 1 this is a plain primary fetch.
+fn fetch_with_fallback(
+    engine: &Arc<Engine>,
+    descriptor: &blobseer_types::PageDescriptor,
+    within: ByteRange,
+) -> Result<Bytes> {
+    let fetch = |id| {
+        engine
+            .providers
+            .provider(id)
+            .and_then(|p| p.fetch_page_range(descriptor.pid, within.offset, within.size))
+    };
+    let mut last = match fetch(descriptor.provider) {
+        Ok(data) => return Ok(data),
+        Err(e) => e,
+    };
+    for replica in engine
+        .providers
+        .replicas_of(descriptor.provider, engine.config.replication)?
+    {
+        match fetch(replica) {
+            Ok(data) => return Ok(data),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}

@@ -1,0 +1,288 @@
+//! The WRITE/APPEND pipeline (paper Algorithm 2 plus the unaligned-write
+//! completion scheme described in DESIGN.md §3.3).
+//!
+//! Order of operations:
+//!
+//! 1. **Pre-store interior pages** — every page fully covered by the
+//!    update is stored immediately, in parallel, with *no*
+//!    synchronization (for `APPEND` this happens right after version
+//!    assignment, since the offset is only known then — paper §3.3:
+//!    "an offset is directly provided by the version manager at the
+//!    time when [the] snapshot version is assigned").
+//! 2. **Register with the version manager** — obtain `vw`, the resolved
+//!    offset, the partial border set and the published reference root.
+//! 3. **Complete boundary pages** — a head/tail page only partially
+//!    covered by the update is completed by reading the missing bytes
+//!    from snapshot `vw − 1` (waiting on its in-flight metadata if
+//!    necessary) and storing the merged page. This preserves the
+//!    total-order semantics: snapshot `vw` equals snapshot `vw − 1`
+//!    with the update applied.
+//! 4. **Build and store metadata** — `BUILD_META` weaves the new tree
+//!    with older versions; all nodes are stored in parallel
+//!    (Algorithm 4 line 34).
+//! 5. **Notify the version manager** — which publishes `vw` once all
+//!    lower versions are published.
+
+use std::sync::Arc;
+
+use blobseer_meta::{build_meta, TreeReader, UpdateContext};
+use blobseer_rt::try_parallel;
+use blobseer_types::{
+    BlobError, BlobId, ByteRange, PageDescriptor, ProviderId, Result, Version,
+};
+use blobseer_version::{AssignedUpdate, UpdateKind};
+use bytes::Bytes;
+
+use crate::engine::Engine;
+use crate::read::read_at_root;
+
+/// What kind of update the caller requested.
+pub(crate) enum Target {
+    /// Explicit-offset WRITE.
+    Write {
+        /// Absolute byte offset.
+        offset: u64,
+    },
+    /// APPEND (offset resolved by the version manager).
+    Append,
+}
+
+/// Run the full update pipeline; returns the assigned version.
+pub(crate) fn update(
+    engine: &Arc<Engine>,
+    blob: BlobId,
+    data: &[u8],
+    target: Target,
+) -> Result<Version> {
+    if data.is_empty() {
+        return Err(BlobError::EmptyUpdate);
+    }
+    let size = data.len() as u64;
+
+    // 1 (WRITE): interior pages need no version, store them now.
+    let mut leaves = match target {
+        Target::Write { offset } => store_interior_pages(engine, data, offset)?,
+        Target::Append => Vec::new(),
+    };
+
+    // 2: register the update, obtaining vw and the weaving inputs.
+    let kind = match target {
+        Target::Write { offset } => UpdateKind::Write { offset, size },
+        Target::Append => UpdateKind::Append { size },
+    };
+    let assigned = engine.vm.assign(blob, kind)?;
+
+    // 1 (APPEND): the offset is now known.
+    if matches!(target, Target::Append) {
+        leaves = store_interior_pages(engine, data, assigned.offset)?;
+    }
+
+    // 3: boundary pages (head/tail partially covered by the update).
+    let lineage = engine.vm.lineage(blob)?;
+    leaves.extend(store_boundary_pages(engine, &lineage, &assigned, data)?);
+    leaves.sort_by_key(|pd| pd.page_index);
+
+    // 4: build the new tree and store every node in parallel.
+    let reader = TreeReader::new(&engine.meta, &lineage);
+    let ctx = UpdateContext {
+        vw: assigned.vw,
+        range: assigned.range,
+        new_root: assigned.new_root,
+        overrides: assigned.overrides.clone(),
+        ref_root: assigned.ref_root,
+    };
+    let nodes = Arc::new(build_meta(&reader, &ctx, &leaves)?);
+    let eng = Arc::clone(engine);
+    let jobs = Arc::clone(&nodes);
+    try_parallel(&engine.pool, nodes.len(), move |i| {
+        let (key, node) = jobs[i];
+        eng.meta.put(key, node);
+        Ok::<_, BlobError>(())
+    })?;
+
+    // 5: hand publication over to the version manager.
+    engine.vm.complete(blob, assigned.vw)?;
+    Ok(assigned.vw)
+}
+
+/// Store every page *fully covered* by the update, in parallel
+/// (Algorithm 2 lines 4-9). Returns their descriptors.
+fn store_interior_pages(
+    engine: &Arc<Engine>,
+    data: &[u8],
+    offset: u64,
+) -> Result<Vec<PageDescriptor>> {
+    let psize = engine.psize();
+    let end = offset + data.len() as u64;
+    let first_full = blobseer_types::div_ceil(offset, psize);
+    let last_full_end = end / psize;
+    if first_full >= last_full_end {
+        return Ok(Vec::new());
+    }
+    let n = (last_full_end - first_full) as usize;
+    let providers = engine.providers.allocate(n)?;
+
+    // Copy the page payloads out of the borrowed buffer so the store
+    // jobs are 'static (the real system serializes onto the wire here).
+    let jobs: Vec<(u64, ProviderId, Bytes)> = (0..n)
+        .map(|i| {
+            let page_index = first_full + i as u64;
+            let start = (page_index * psize - offset) as usize;
+            let payload = Bytes::copy_from_slice(&data[start..start + psize as usize]);
+            (page_index, providers[i], payload)
+        })
+        .collect();
+    store_pages(engine, jobs, psize as u32)
+}
+
+/// Store the merged head/tail boundary pages of an unaligned update
+/// (DESIGN.md §3.3). No-op for page-aligned updates.
+fn store_boundary_pages(
+    engine: &Arc<Engine>,
+    lineage: &blobseer_meta::Lineage,
+    assigned: &AssignedUpdate,
+    data: &[u8],
+) -> Result<Vec<PageDescriptor>> {
+    let psize = engine.psize();
+    let offset = assigned.offset;
+    let end = offset + assigned.size;
+
+    let mut boundary_pages: Vec<u64> = Vec::with_capacity(2);
+    if !offset.is_multiple_of(psize) {
+        boundary_pages.push(offset / psize);
+    }
+    if !end.is_multiple_of(psize) {
+        let tail = (end - 1) / psize;
+        if boundary_pages.last() != Some(&tail) {
+            boundary_pages.push(tail);
+        }
+    }
+    if boundary_pages.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let providers = engine.providers.allocate(boundary_pages.len())?;
+    let mut jobs = Vec::with_capacity(boundary_pages.len());
+    let mut valid_lens = Vec::with_capacity(boundary_pages.len());
+    for (slot, &page) in boundary_pages.iter().enumerate() {
+        let page_start = page * psize;
+        let valid_end = (page_start + psize).min(assigned.new_size);
+        let mut payload = vec![0u8; (valid_end - page_start) as usize];
+
+        // Bytes of this page coming from the update itself.
+        let written = ByteRange::new(offset, assigned.size)
+            .intersect(ByteRange::new(page_start, psize))
+            .expect("boundary page intersects the update");
+        let src = (written.offset - offset) as usize;
+        let dst = (written.offset - page_start) as usize;
+        payload[dst..dst + written.size as usize]
+            .copy_from_slice(&data[src..src + written.size as usize]);
+
+        // Missing head bytes come from snapshot vw−1.
+        if page_start < offset && page == offset / psize {
+            let old = ByteRange::new(page_start, offset - page_start);
+            let bytes = read_old(engine, lineage, assigned, old)?;
+            payload[..bytes.len()].copy_from_slice(&bytes);
+        }
+        // Missing tail bytes likewise (only when the old snapshot
+        // actually had data past the update's end).
+        if end < valid_end && page == (end - 1) / psize {
+            let old = ByteRange::new(end, valid_end - end);
+            let bytes = read_old(engine, lineage, assigned, old)?;
+            let dst = (end - page_start) as usize;
+            payload[dst..dst + bytes.len()].copy_from_slice(&bytes);
+        }
+
+        valid_lens.push((valid_end - page_start) as u32);
+        jobs.push((page, providers[slot], Bytes::from(payload)));
+    }
+
+    // At most two pages; reuse the replicated store path so boundary
+    // pages get the same durability as interior ones.
+    let mut out = Vec::with_capacity(jobs.len());
+    for ((page, provider, payload), valid_len) in jobs.into_iter().zip(valid_lens) {
+        let pid = engine.pidgen.next_id();
+        store_one_replicated(engine, pid, provider, payload)?;
+        out.push(PageDescriptor { pid, page_index: page, provider, valid_len });
+    }
+    Ok(out)
+}
+
+/// Store one page on its primary plus the configured replica chain.
+/// Succeeds when at least one copy landed: the leaf names the primary,
+/// and readers fall back along the same deterministic chain.
+fn store_one_replicated(
+    engine: &Arc<Engine>,
+    pid: blobseer_types::PageId,
+    primary: ProviderId,
+    payload: Bytes,
+) -> Result<()> {
+    let mut targets = vec![primary];
+    targets.extend(engine.providers.replicas_of(primary, engine.config.replication)?);
+    let mut stored = 0;
+    let mut last_err = None;
+    for target in targets {
+        match engine
+            .providers
+            .provider(target)
+            .and_then(|p| p.store_page(pid, payload.clone()))
+        {
+            Ok(()) => stored += 1,
+            Err(e) => last_err = Some(e),
+        }
+    }
+    if stored == 0 {
+        Err(last_err.unwrap_or(BlobError::NoAvailableProvider))
+    } else {
+        Ok(())
+    }
+}
+
+/// Read bytes of snapshot `vw − 1` (the update's predecessor), waiting
+/// on its in-flight metadata when necessary.
+fn read_old(
+    engine: &Arc<Engine>,
+    lineage: &blobseer_meta::Lineage,
+    assigned: &AssignedUpdate,
+    range: ByteRange,
+) -> Result<Vec<u8>> {
+    debug_assert!(
+        range.end() <= assigned.prev_size,
+        "old bytes {range:?} must lie within snapshot vw-1 ({} B)",
+        assigned.prev_size
+    );
+    let prev_root = assigned.prev_root.ok_or_else(|| {
+        BlobError::Internal("boundary merge against an empty predecessor".into())
+    })?;
+    read_at_root(engine, lineage, prev_root, range)
+}
+
+/// Store a batch of full pages (plus replicas) in parallel; returns
+/// their descriptors.
+fn store_pages(
+    engine: &Arc<Engine>,
+    jobs: Vec<(u64, ProviderId, Bytes)>,
+    valid_len: u32,
+) -> Result<Vec<PageDescriptor>> {
+    let n = jobs.len();
+    let pids: Vec<_> = (0..n).map(|_| engine.pidgen.next_id()).collect();
+    let shared = Arc::new((jobs, pids));
+    let eng = Arc::clone(engine);
+    let batch = Arc::clone(&shared);
+    try_parallel(&engine.pool, n, move |i| {
+        let (jobs, pids) = &*batch;
+        let (_, provider, payload) = &jobs[i];
+        store_one_replicated(&eng, pids[i], *provider, payload.clone())
+    })?;
+    let (jobs, pids) = &*shared;
+    Ok(jobs
+        .iter()
+        .zip(pids)
+        .map(|(&(page_index, provider, _), &pid)| PageDescriptor {
+            pid,
+            page_index,
+            provider,
+            valid_len,
+        })
+        .collect())
+}

@@ -1,0 +1,131 @@
+//! Deterministic hashing and the static key-to-node distribution.
+//!
+//! The paper's metadata provider is "a custom DHT based on [a] simple
+//! static distribution scheme" (§5). We distribute keys over `n` buckets
+//! (one bucket = one metadata provider) with a fixed, seed-free FNV-1a
+//! hash so that placement is **deterministic across runs and processes**
+//! — the simulator (`blobseer-sim`) recomputes the same placement to
+//! model per-provider contention, so determinism here is load-bearing.
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a, 64-bit. Deterministic, allocation-free, good enough
+/// distribution for tree-node keys.
+#[derive(Clone, Debug)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// Deterministic 64-bit hash of any `Hash` value.
+#[inline]
+pub fn fnv_hash<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = Fnv1a::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Static distribution: the bucket (metadata provider) responsible for
+/// `key` in a deployment of `n` buckets.
+///
+/// A Fibonacci multiplicative mix is applied on top of FNV so that keys
+/// differing only in low bits (consecutive tree positions) still spread
+/// evenly when `n` is far from a power of two.
+#[inline]
+pub fn static_bucket<K: Hash + ?Sized>(key: &K, n: usize) -> usize {
+    assert!(n > 0, "bucket count must be positive");
+    let mixed = fnv_hash(key).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    // Multiply-shift maps uniformly onto 0..n without modulo bias.
+    ((u128::from(mixed) * n as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(fnv_hash(&(1u64, 2u64)), fnv_hash(&(1u64, 2u64)));
+        assert_ne!(fnv_hash(&1u64), fnv_hash(&2u64));
+    }
+
+    #[test]
+    fn empty_input_hashes_to_offset_basis() {
+        let mut h = Fnv1a::new();
+        h.write(&[]);
+        assert_eq!(h.finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn buckets_in_range() {
+        for n in [1usize, 2, 3, 50, 173, 175] {
+            for k in 0u64..1000 {
+                assert!(static_bucket(&k, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        // 173 buckets (the paper's co-deployment count) and 100k keys:
+        // every bucket should land within ±50% of the mean.
+        let n = 173;
+        let keys = 100_000u64;
+        let mut counts = vec![0usize; n];
+        for k in 0..keys {
+            counts[static_bucket(&(k, k * 7 + 1), n)] += 1;
+        }
+        let mean = keys as f64 / n as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > mean * 0.5 && (c as f64) < mean * 1.5,
+                "bucket {b} has {c} keys, mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bucket_takes_everything() {
+        for k in 0u64..100 {
+            assert_eq!(static_bucket(&k, 1), 0);
+        }
+    }
+}

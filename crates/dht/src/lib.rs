@@ -1,0 +1,336 @@
+//! In-process DHT: the metadata-provider substrate.
+//!
+//! The paper stores segment-tree nodes "on the metadata provider in a
+//! distributed way, using a simple DHT" (§4.1), implemented as "a custom
+//! DHT based on [a] simple static distribution scheme" (§5). This crate
+//! reproduces that component: a sharded key/value store where each
+//! shard ("bucket") models one metadata provider, keys are placed by a
+//! deterministic static hash, and — crucially — readers may **block**
+//! until a key appears.
+//!
+//! Blocking gets are the transport-level mechanism behind the paper's
+//! writer-concurrency protocol (§4.2): writer `C2` may link to tree
+//! nodes that the concurrent, lower-versioned writer `C1` has not yet
+//! stored. `C2`'s *readers* (and `C2` itself while completing unaligned
+//! boundary pages) simply wait for those nodes to materialise. Waiting
+//! is always on strictly lower versions, so it cannot deadlock.
+//!
+//! Per-bucket access statistics are kept so that benches can observe
+//! metadata hotspots (e.g. every reader of a snapshot fetches the same
+//! root node — the paper's Figure 2(b) degradation).
+
+mod hash;
+mod stats;
+
+pub use hash::{fnv_hash, static_bucket, Fnv1a};
+pub use stats::{BucketStats, DhtStats};
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Errors from blocking DHT operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DhtError {
+    /// `get_wait` exceeded its deadline without the key appearing.
+    WaitTimeout,
+}
+
+impl std::fmt::Display for DhtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DhtError::WaitTimeout => write!(f, "timed out waiting for DHT key"),
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+struct Bucket<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    cv: Condvar,
+    stats: stats::BucketCounters,
+}
+
+impl<K, V> Bucket<K, V> {
+    fn new() -> Self {
+        Bucket {
+            map: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            stats: stats::BucketCounters::new(),
+        }
+    }
+}
+
+/// A sharded, in-process key/value store with static key distribution.
+///
+/// One bucket models one metadata provider node. All operations are
+/// thread-safe; `put` wakes any `get_wait`ers for that bucket.
+pub struct Dht<K, V> {
+    buckets: Vec<Bucket<K, V>>,
+}
+
+impl<K, V> Dht<K, V>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+{
+    /// Create a DHT spread over `buckets` metadata providers.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "DHT needs at least one bucket");
+        Dht {
+            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
+        }
+    }
+
+    /// Number of buckets (metadata providers).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket responsible for `key` under the static distribution.
+    #[inline]
+    pub fn bucket_of(&self, key: &K) -> usize {
+        static_bucket(key, self.buckets.len())
+    }
+
+    /// Store a value; overwrites silently (tree nodes are immutable in
+    /// BlobSeer, so an overwrite only happens when a writer retries and
+    /// re-stores identical content). Wakes blocked readers.
+    pub fn put(&self, key: K, value: V) {
+        let b = &self.buckets[self.bucket_of(&key)];
+        b.stats.record_put();
+        let mut map = b.map.lock();
+        map.insert(key, value);
+        b.cv.notify_all();
+    }
+
+    /// Fetch a value if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let b = &self.buckets[self.bucket_of(key)];
+        b.stats.record_get();
+        b.map.lock().get(key).cloned()
+    }
+
+    /// Fetch a value, blocking until it appears or `timeout` elapses.
+    ///
+    /// This is how a reader of still-being-written metadata waits for
+    /// the lower-versioned writer to finish (§4.2).
+    pub fn get_wait(&self, key: &K, timeout: Duration) -> Result<V, DhtError> {
+        let b = &self.buckets[self.bucket_of(key)];
+        b.stats.record_get();
+        let deadline = Instant::now() + timeout;
+        let mut map = b.map.lock();
+        loop {
+            if let Some(v) = map.get(key) {
+                return Ok(v.clone());
+            }
+            b.stats.record_wait();
+            if b.cv.wait_until(&mut map, deadline).timed_out() {
+                return match map.get(key) {
+                    Some(v) => Ok(v.clone()),
+                    None => Err(DhtError::WaitTimeout),
+                };
+            }
+        }
+    }
+
+    /// `true` when the key is currently stored.
+    pub fn contains(&self, key: &K) -> bool {
+        let b = &self.buckets[self.bucket_of(key)];
+        b.map.lock().contains_key(key)
+    }
+
+    /// Remove a key, returning the previous value if any. (Not used by
+    /// the core protocol — metadata is immutable — but exposed for
+    /// garbage-collection extensions and failure-injection tests.)
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let b = &self.buckets[self.bucket_of(key)];
+        b.map.lock().remove(key)
+    }
+
+    /// Keep only the entries for which `keep` returns `true`; returns
+    /// the number removed. The predicate may be called under a bucket
+    /// lock — keep it cheap and non-reentrant. This is the sweep
+    /// primitive of version garbage collection.
+    pub fn retain(&self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut removed = 0;
+        for b in &self.buckets {
+            let mut map = b.map.lock();
+            let before = map.len();
+            map.retain(|k, v| keep(k, v));
+            removed += before - map.len();
+        }
+        removed
+    }
+
+    /// Total number of stored entries (O(buckets)).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.map.lock().len()).sum()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|b| b.map.lock().is_empty())
+    }
+
+    /// Snapshot of per-bucket access statistics.
+    pub fn stats(&self) -> DhtStats {
+        DhtStats::collect(self.buckets.iter().map(|b| {
+            let entries = b.map.lock().len();
+            b.stats.snapshot(entries)
+        }))
+    }
+}
+
+impl<K, V> std::fmt::Debug for Dht<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dht")
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dht: Dht<u64, String> = Dht::new(8);
+        dht.put(1, "one".into());
+        dht.put(2, "two".into());
+        assert_eq!(dht.get(&1).as_deref(), Some("one"));
+        assert_eq!(dht.get(&2).as_deref(), Some("two"));
+        assert_eq!(dht.get(&3), None);
+        assert_eq!(dht.len(), 2);
+        assert!(!dht.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let dht: Dht<u64, u64> = Dht::new(4);
+        dht.put(7, 1);
+        dht.put(7, 2);
+        assert_eq!(dht.get(&7), Some(2));
+        assert_eq!(dht.len(), 1);
+    }
+
+    #[test]
+    fn remove_works() {
+        let dht: Dht<u64, u64> = Dht::new(4);
+        dht.put(7, 1);
+        assert_eq!(dht.remove(&7), Some(1));
+        assert_eq!(dht.remove(&7), None);
+        assert!(dht.is_empty());
+    }
+
+    #[test]
+    fn get_wait_returns_immediately_when_present() {
+        let dht: Dht<u64, u64> = Dht::new(4);
+        dht.put(1, 10);
+        assert_eq!(dht.get_wait(&1, Duration::from_millis(1)), Ok(10));
+    }
+
+    #[test]
+    fn get_wait_blocks_until_put() {
+        let dht: Arc<Dht<u64, u64>> = Arc::new(Dht::new(4));
+        let d2 = Arc::clone(&dht);
+        let waiter = std::thread::spawn(move || d2.get_wait(&42, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        dht.put(42, 99);
+        assert_eq!(waiter.join().unwrap(), Ok(99));
+    }
+
+    #[test]
+    fn get_wait_times_out() {
+        let dht: Dht<u64, u64> = Dht::new(4);
+        let t0 = Instant::now();
+        assert_eq!(
+            dht.get_wait(&42, Duration::from_millis(30)),
+            Err(DhtError::WaitTimeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let dht: Arc<Dht<u64, u64>> = Arc::new(Dht::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let d = Arc::clone(&dht);
+            handles.push(std::thread::spawn(move || {
+                d.get_wait(&5, Duration::from_secs(5))
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        dht.put(5, 55);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Ok(55));
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_buckets() {
+        let dht: Dht<u64, u64> = Dht::new(16);
+        for k in 0..10_000 {
+            dht.put(k, k);
+        }
+        let stats = dht.stats();
+        assert_eq!(stats.total_entries, 10_000);
+        // No bucket should be empty or hold more than 3x the mean.
+        let mean = 10_000.0 / 16.0;
+        for b in &stats.buckets {
+            assert!(b.entries > 0);
+            assert!((b.entries as f64) < mean * 3.0);
+        }
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let dht: Dht<u64, u64> = Dht::new(1);
+        dht.put(1, 1);
+        dht.get(&1);
+        dht.get(&1);
+        let _ = dht.get_wait(&2, Duration::from_millis(1));
+        let s = dht.stats();
+        assert_eq!(s.total_puts, 1);
+        assert_eq!(s.total_gets, 3);
+        assert!(s.total_waits >= 1);
+    }
+
+    #[test]
+    fn retain_removes_and_counts() {
+        let dht: Dht<u64, u64> = Dht::new(4);
+        for k in 0..100 {
+            dht.put(k, k * 2);
+        }
+        let removed = dht.retain(|&k, _| k % 3 == 0);
+        assert_eq!(removed, 66);
+        assert_eq!(dht.len(), 34);
+        assert_eq!(dht.get(&3), Some(6));
+        assert_eq!(dht.get(&4), None);
+    }
+
+    #[test]
+    fn concurrent_put_get_storm() {
+        let dht: Arc<Dht<(u64, u64), u64>> = Arc::new(Dht::new(8));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let d = Arc::clone(&dht);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    d.put((t, i), t * 10_000 + i);
+                    assert_eq!(d.get(&(t, i)), Some(t * 10_000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dht.len(), 8 * 2000);
+    }
+}

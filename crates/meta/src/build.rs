@@ -1,0 +1,449 @@
+//! `BUILD_META` (paper Algorithm 4): constructing a new snapshot's tree
+//! and weaving it with the trees of earlier versions.
+
+use std::collections::HashMap;
+
+use blobseer_types::{BlobError, NodePos, PageDescriptor, PageRange, Result, Version};
+
+use crate::node::{NodeKey, RootRef, TreeNode};
+use crate::plan::{border_positions, creates_position, update_plan};
+use crate::read::TreeReader;
+
+/// The resolved border set `B_vw`: for every border position of the
+/// update, the version of the existing node there (or `None` when the
+/// position lies beyond the blob's content — the dangling children of an
+/// incomplete tree, cf. paper Fig. 1(c)).
+#[derive(Clone, Debug, Default)]
+pub struct BorderSet {
+    map: HashMap<NodePos, Option<Version>>,
+}
+
+impl BorderSet {
+    /// Resolved version at a border position.
+    ///
+    /// Errors when `pos` was never resolved — that would mean the build
+    /// walked a child position the planner did not classify, i.e. a bug.
+    pub fn lookup(&self, pos: NodePos) -> Result<Option<Version>> {
+        self.map.get(&pos).copied().ok_or_else(|| {
+            BlobError::Internal(format!("border position {pos:?} was not resolved"))
+        })
+    }
+
+    /// Number of resolved border positions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the update touches the whole tree (no borders).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Build directly from `(position, version)` pairs — used by tests
+    /// and by the serialized-metadata ablation mode.
+    pub fn from_entries(entries: impl IntoIterator<Item = (NodePos, Option<Version>)>) -> Self {
+        BorderSet { map: entries.into_iter().collect() }
+    }
+}
+
+/// Everything a writer needs to build the metadata of its update, as
+/// assembled from the version manager's assignment reply (paper §4.2:
+/// "the version manager will build the partial set of border nodes and
+/// provide it to the writer ... also suppl[ying] a recently published
+/// snapshot version").
+#[derive(Clone, Debug)]
+pub struct UpdateContext {
+    /// The assigned snapshot version `vw`.
+    pub vw: Version,
+    /// Updated page range.
+    pub range: PageRange,
+    /// Root position of the new tree (covers the post-update size).
+    pub new_root: NodePos,
+    /// Partial border set: positions that *in-flight* lower-versioned
+    /// updates will create, mapped to those versions.
+    pub overrides: Vec<(NodePos, Version)>,
+    /// Root of the latest published snapshot, used to resolve the
+    /// remaining border positions. `None` when nothing is published yet
+    /// (the blob was empty at the last publication).
+    pub ref_root: Option<RootRef>,
+}
+
+/// Resolve the full border set for an update: overrides first (nodes
+/// being created by concurrent, lower-versioned writers), then descent
+/// of the latest *published* tree, then `None` for positions beyond the
+/// blob's content.
+///
+/// Descending the published tree never blocks (its nodes are complete);
+/// `wait` is still threaded through for the unaligned-write path where
+/// the reference may be an in-flight predecessor.
+pub fn resolve_borders(reader: &TreeReader<'_>, ctx: &UpdateContext) -> Result<BorderSet> {
+    let overrides: HashMap<NodePos, Version> = ctx.overrides.iter().copied().collect();
+    let mut map = HashMap::new();
+    for pos in border_positions(ctx.range, ctx.new_root) {
+        let version = if let Some(&v) = overrides.get(&pos) {
+            Some(v)
+        } else if let Some(ref_root) = ctx.ref_root {
+            reader.version_at(ref_root, pos, true)?
+        } else {
+            None
+        };
+        map.insert(pos, version);
+    }
+    Ok(BorderSet { map })
+}
+
+/// `BUILD_META` (paper Algorithm 4): produce every tree node of snapshot
+/// `vw`, leaves first, weaving border children in via the resolved
+/// border set. Returns the `(key, node)` pairs; the caller stores them
+/// (in parallel — Algorithm 4 line 34) and then notifies the version
+/// manager.
+pub fn build_meta(
+    reader: &TreeReader<'_>,
+    ctx: &UpdateContext,
+    leaves: &[PageDescriptor],
+) -> Result<Vec<(NodeKey, TreeNode)>> {
+    // The leaves must cover exactly the updated range, in order.
+    if leaves.len() as u64 != ctx.range.count {
+        return Err(BlobError::Internal(format!(
+            "update of {:?} got {} leaves",
+            ctx.range,
+            leaves.len()
+        )));
+    }
+    for (i, pd) in leaves.iter().enumerate() {
+        if pd.page_index != ctx.range.first + i as u64 {
+            return Err(BlobError::Internal(format!(
+                "leaf {} covers page {}, expected {}",
+                i,
+                pd.page_index,
+                ctx.range.first + i as u64
+            )));
+        }
+    }
+
+    let borders = resolve_borders(reader, ctx)?;
+    let plan = update_plan(ctx.range, ctx.new_root);
+    let owner = reader.lineage().owner_of(ctx.vw);
+    debug_assert_eq!(
+        owner,
+        reader.lineage().blob(),
+        "new versions are always owned by the blob being written"
+    );
+    let key = |pos: NodePos| NodeKey { blob: owner, version: ctx.vw, pos };
+
+    let mut out: Vec<(NodeKey, TreeNode)> = Vec::with_capacity(plan.node_count() as usize);
+    for pd in leaves {
+        out.push((
+            key(NodePos::new(pd.page_index, 1)),
+            TreeNode::Leaf { pid: pd.pid, provider: pd.provider, valid_len: pd.valid_len },
+        ));
+    }
+    let child_version = |child: NodePos| -> Result<Option<Version>> {
+        if creates_position(ctx.range, ctx.new_root, child) {
+            Ok(Some(ctx.vw))
+        } else {
+            borders.lookup(child)
+        }
+    };
+    for span in plan.levels.iter().skip(1) {
+        for pos in span.positions() {
+            let node = TreeNode::Inner {
+                left: child_version(pos.left())?,
+                right: child_version(pos.right())?,
+            };
+            out.push((key(pos), node));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::Lineage;
+    use crate::read::read_meta;
+    use crate::store::MetaStore;
+    use blobseer_types::{BlobId, ByteRange, PageId, ProviderId};
+    use std::time::Duration;
+
+    const PSIZE: u64 = 4;
+
+    fn pd(page_index: u64, pid: u128) -> PageDescriptor {
+        PageDescriptor {
+            pid: PageId(pid),
+            page_index,
+            provider: ProviderId((pid % 7) as u32),
+            valid_len: PSIZE as u32,
+        }
+    }
+
+    fn store() -> MetaStore {
+        MetaStore::new(4, Duration::from_millis(200))
+    }
+
+    fn commit(store: &MetaStore, nodes: Vec<(NodeKey, TreeNode)>) {
+        for (k, n) in nodes {
+            store.put(k, n);
+        }
+    }
+
+    /// Replays the full Figure 1 scenario and checks the exact weaving.
+    #[test]
+    fn figure_1_weaving_end_to_end() {
+        let store = store();
+        let lineage = Lineage::root(BlobId(1));
+        let reader = TreeReader::new(&store, &lineage);
+
+        // (a) v1: write 4 pages to the empty blob.
+        let ctx1 = UpdateContext {
+            vw: Version(1),
+            range: PageRange::new(0, 4),
+            new_root: NodePos::new(0, 4),
+            overrides: vec![],
+            ref_root: None,
+        };
+        let leaves1: Vec<_> = (0..4).map(|i| pd(i, 100 + i as u128)).collect();
+        let nodes1 = build_meta(&reader, &ctx1, &leaves1).unwrap();
+        assert_eq!(nodes1.len(), 7);
+        commit(&store, nodes1);
+
+        // (b) v2: overwrite pages 1..3.
+        let root1 = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
+        let ctx2 = UpdateContext {
+            vw: Version(2),
+            range: PageRange::new(1, 2),
+            new_root: NodePos::new(0, 4),
+            overrides: vec![],
+            ref_root: Some(root1),
+        };
+        let leaves2 = vec![pd(1, 201), pd(2, 202)];
+        let nodes2 = build_meta(&reader, &ctx2, &leaves2).unwrap();
+        // Exactly the grey nodes of Fig 1(b).
+        let positions: Vec<NodePos> = nodes2.iter().map(|(k, _)| k.pos).collect();
+        assert_eq!(
+            positions,
+            vec![
+                NodePos::new(1, 1),
+                NodePos::new(2, 1),
+                NodePos::new(0, 2),
+                NodePos::new(2, 2),
+                NodePos::new(0, 4)
+            ]
+        );
+        // Weaving: (0,2).left → white v1, (2,2).right → white v1.
+        let by_pos: HashMap<NodePos, TreeNode> =
+            nodes2.iter().map(|(k, n)| (k.pos, *n)).collect();
+        assert_eq!(
+            by_pos[&NodePos::new(0, 2)],
+            TreeNode::Inner { left: Some(Version(1)), right: Some(Version(2)) }
+        );
+        assert_eq!(
+            by_pos[&NodePos::new(2, 2)],
+            TreeNode::Inner { left: Some(Version(2)), right: Some(Version(1)) }
+        );
+        assert_eq!(
+            by_pos[&NodePos::new(0, 4)],
+            TreeNode::Inner { left: Some(Version(2)), right: Some(Version(2)) }
+        );
+        commit(&store, nodes2);
+
+        // (c) v3: append one page — root grows to (0,8).
+        let root2 = RootRef { version: Version(2), pos: NodePos::new(0, 4) };
+        let ctx3 = UpdateContext {
+            vw: Version(3),
+            range: PageRange::new(4, 1),
+            new_root: NodePos::new(0, 8),
+            overrides: vec![],
+            ref_root: Some(root2),
+        };
+        let nodes3 = build_meta(&reader, &ctx3, &[pd(4, 304)]).unwrap();
+        let by_pos: HashMap<NodePos, TreeNode> =
+            nodes3.iter().map(|(k, n)| (k.pos, *n)).collect();
+        // New black root: left = old grey root (v2), right = own subtree.
+        assert_eq!(
+            by_pos[&NodePos::new(0, 8)],
+            TreeNode::Inner { left: Some(Version(2)), right: Some(Version(3)) }
+        );
+        // Incomplete right spine: dangling children are None.
+        assert_eq!(
+            by_pos[&NodePos::new(4, 4)],
+            TreeNode::Inner { left: Some(Version(3)), right: None }
+        );
+        assert_eq!(
+            by_pos[&NodePos::new(4, 2)],
+            TreeNode::Inner { left: Some(Version(3)), right: None }
+        );
+        commit(&store, nodes3);
+
+        // Every snapshot remains readable with the right pages.
+        let read =
+            |root: RootRef, bytes: ByteRange| read_meta(&reader, root, bytes, PSIZE).unwrap();
+        let v1 = read(root1, ByteRange::new(0, 16));
+        assert_eq!(
+            v1.iter().map(|p| p.pid.raw()).collect::<Vec<_>>(),
+            vec![100, 101, 102, 103],
+            "v1 unchanged by later updates"
+        );
+        let v2 = read(root2, ByteRange::new(0, 16));
+        assert_eq!(
+            v2.iter().map(|p| p.pid.raw()).collect::<Vec<_>>(),
+            vec![100, 201, 202, 103],
+            "v2 shares untouched pages with v1"
+        );
+        let root3 = RootRef { version: Version(3), pos: NodePos::new(0, 8) };
+        let v3 = read(root3, ByteRange::new(0, 20));
+        assert_eq!(
+            v3.iter().map(|p| p.pid.raw()).collect::<Vec<_>>(),
+            vec![100, 201, 202, 103, 304],
+            "v3 = v2 + appended page"
+        );
+    }
+
+    /// Paper §4.2: two concurrent writers weave correctly using the
+    /// version manager's partial border set, with the *later* writer
+    /// building its metadata before the earlier one has stored its own.
+    #[test]
+    fn concurrent_writers_with_overrides() {
+        let store = store();
+        let lineage = Lineage::root(BlobId(1));
+        let reader = TreeReader::new(&store, &lineage);
+
+        // v1 (published): 4 pages.
+        let ctx1 = UpdateContext {
+            vw: Version(1),
+            range: PageRange::new(0, 4),
+            new_root: NodePos::new(0, 4),
+            overrides: vec![],
+            ref_root: None,
+        };
+        let leaves1: Vec<_> = (0..4).map(|i| pd(i, 100 + i as u128)).collect();
+        commit(&store, build_meta(&reader, &ctx1, &leaves1).unwrap());
+        let root1 = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
+
+        // C1 gets v2 appending pages [4,6); C2 gets v3 appending [6,8).
+        // C2's border (4,2) will be created by C1 → the VM supplies the
+        // override (4,2) → v2. C2 builds FIRST (C1 hasn't stored yet).
+        let ctx3 = UpdateContext {
+            vw: Version(3),
+            range: PageRange::new(6, 2),
+            new_root: NodePos::new(0, 8),
+            overrides: vec![(NodePos::new(4, 2), Version(2))],
+            ref_root: Some(root1),
+        };
+        let nodes3 =
+            build_meta(&reader, &ctx3, &[pd(6, 306), pd(7, 307)]).unwrap();
+        let by_pos: HashMap<NodePos, TreeNode> =
+            nodes3.iter().map(|(k, n)| (k.pos, *n)).collect();
+        assert_eq!(
+            by_pos[&NodePos::new(4, 4)],
+            TreeNode::Inner { left: Some(Version(2)), right: Some(Version(3)) },
+            "C2 links to C1's yet-unwritten node via the override"
+        );
+        assert_eq!(
+            by_pos[&NodePos::new(0, 8)],
+            TreeNode::Inner { left: Some(Version(1)), right: Some(Version(3)) }
+        );
+        commit(&store, nodes3);
+
+        // Now C1 builds and stores.
+        let ctx2 = UpdateContext {
+            vw: Version(2),
+            range: PageRange::new(4, 2),
+            new_root: NodePos::new(0, 8),
+            overrides: vec![],
+            ref_root: Some(root1),
+        };
+        commit(
+            &store,
+            build_meta(&reader, &ctx2, &[pd(4, 204), pd(5, 205)]).unwrap(),
+        );
+
+        // Snapshot v3 = v1 pages + C1's pages + C2's pages.
+        let root3 = RootRef { version: Version(3), pos: NodePos::new(0, 8) };
+        let v3 = read_meta(&reader, root3, ByteRange::new(0, 32), PSIZE).unwrap();
+        assert_eq!(
+            v3.iter().map(|p| p.pid.raw()).collect::<Vec<_>>(),
+            vec![100, 101, 102, 103, 204, 205, 306, 307]
+        );
+        // And v2 alone sees only C1's append.
+        let root2 = RootRef { version: Version(2), pos: NodePos::new(0, 8) };
+        let v2 = read_meta(&reader, root2, ByteRange::new(0, 24), PSIZE).unwrap();
+        assert_eq!(
+            v2.iter().map(|p| p.pid.raw()).collect::<Vec<_>>(),
+            vec![100, 101, 102, 103, 204, 205]
+        );
+    }
+
+    #[test]
+    fn branch_shares_metadata_with_parent() {
+        let store = store();
+        let parent_lineage = Lineage::root(BlobId(1));
+        let reader = TreeReader::new(&store, &parent_lineage);
+        let ctx1 = UpdateContext {
+            vw: Version(1),
+            range: PageRange::new(0, 2),
+            new_root: NodePos::new(0, 2),
+            overrides: vec![],
+            ref_root: None,
+        };
+        commit(&store, build_meta(&reader, &ctx1, &[pd(0, 100), pd(1, 101)]).unwrap());
+        let root1 = RootRef { version: Version(1), pos: NodePos::new(0, 2) };
+
+        // Branch at v1; the branch overwrites page 0 as its v2.
+        let branch_lineage = Lineage::branch(&parent_lineage, Version(1), BlobId(2));
+        let breader = TreeReader::new(&store, &branch_lineage);
+        let ctx2 = UpdateContext {
+            vw: Version(2),
+            range: PageRange::new(0, 1),
+            new_root: NodePos::new(0, 2),
+            overrides: vec![],
+            ref_root: Some(root1),
+        };
+        let nodes = build_meta(&breader, &ctx2, &[pd(0, 900)]).unwrap();
+        // New nodes are keyed under the branch blob.
+        assert!(nodes.iter().all(|(k, _)| k.blob == BlobId(2)));
+        commit(&store, nodes);
+
+        // Branch v2 reads its new page plus the parent's shared page.
+        let root2 = RootRef { version: Version(2), pos: NodePos::new(0, 2) };
+        let v2 = read_meta(&breader, root2, ByteRange::new(0, 8), PSIZE).unwrap();
+        assert_eq!(v2.iter().map(|p| p.pid.raw()).collect::<Vec<_>>(), vec![900, 101]);
+        // Parent v1 reads through the *parent* lineage, untouched.
+        let v1 = read_meta(&reader, root1, ByteRange::new(0, 8), PSIZE).unwrap();
+        assert_eq!(v1.iter().map(|p| p.pid.raw()).collect::<Vec<_>>(), vec![100, 101]);
+        // And the same root read through the *branch* lineage also works
+        // (shared versions resolve to the parent's keys).
+        let v1b = read_meta(&breader, root1, ByteRange::new(0, 8), PSIZE).unwrap();
+        assert_eq!(v1b.iter().map(|p| p.pid.raw()).collect::<Vec<_>>(), vec![100, 101]);
+    }
+
+    #[test]
+    fn build_rejects_mismatched_leaves() {
+        let store = store();
+        let lineage = Lineage::root(BlobId(1));
+        let reader = TreeReader::new(&store, &lineage);
+        let ctx = UpdateContext {
+            vw: Version(1),
+            range: PageRange::new(0, 2),
+            new_root: NodePos::new(0, 2),
+            overrides: vec![],
+            ref_root: None,
+        };
+        assert!(build_meta(&reader, &ctx, &[pd(0, 1)]).is_err(), "wrong count");
+        assert!(
+            build_meta(&reader, &ctx, &[pd(1, 1), pd(2, 2)]).is_err(),
+            "wrong indices"
+        );
+    }
+
+    #[test]
+    fn border_set_lookup_errors_on_unknown() {
+        let b = BorderSet::from_entries([(NodePos::new(0, 1), Some(Version(1)))]);
+        assert_eq!(b.lookup(NodePos::new(0, 1)).unwrap(), Some(Version(1)));
+        assert!(b.lookup(NodePos::new(1, 1)).is_err());
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    use std::collections::HashMap;
+}

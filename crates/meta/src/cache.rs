@@ -1,0 +1,198 @@
+//! A client-side cache of tree nodes.
+//!
+//! Tree nodes are **immutable** — an update creates new nodes rather
+//! than changing old ones (paper §4: "when updating data, new metadata
+//! is created, rather than updating old metadata") — so a node cache
+//! needs no invalidation protocol at all: any cached value is correct
+//! forever. Caching matters for two paths:
+//!
+//! * writers re-reading their own recent nodes during border
+//!   resolution (the effect the Figure 2(a) simulation models with
+//!   `cached_border_descent`);
+//! * readers walking the same upper tree levels over and over (every
+//!   read of a snapshot traverses the same root).
+//!
+//! The implementation is a sharded FIFO map: for an immutable,
+//! skew-heavy working set, FIFO eviction is within a whisker of LRU at
+//! a fraction of the bookkeeping.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::node::{NodeKey, TreeNode};
+
+const SHARDS: usize = 8;
+
+struct Shard {
+    map: HashMap<NodeKey, TreeNode>,
+    fifo: VecDeque<NodeKey>,
+}
+
+/// Sharded, bounded node cache.
+pub struct NodeCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl NodeCache {
+    /// Cache bounded to roughly `capacity` entries in total.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "use Option<NodeCache> to disable caching");
+        NodeCache {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard { map: HashMap::new(), fifo: VecDeque::new() })
+                })
+                .collect(),
+            capacity_per_shard: blobseer_types::div_ceil(capacity as u64, SHARDS as u64)
+                as usize,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &NodeKey) -> &Mutex<Shard> {
+        &self.shards[blobseer_dht::static_bucket(key, SHARDS)]
+    }
+
+    /// Look up a node.
+    pub fn get(&self, key: &NodeKey) -> Option<TreeNode> {
+        let out = self.shard(key).lock().map.get(key).copied();
+        if out.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Insert a node (idempotent; nodes are immutable).
+    pub fn insert(&self, key: NodeKey, node: TreeNode) {
+        let mut shard = self.shard(&key).lock();
+        if shard.map.insert(key, node).is_none() {
+            shard.fifo.push_back(key);
+            if shard.fifo.len() > self.capacity_per_shard {
+                if let Some(old) = shard.fifo.pop_front() {
+                    shard.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Drop every cached node of `blob` older than `before` — used by
+    /// garbage collection so a swept node cannot be resurrected from a
+    /// cache (the one place immutability is not enough).
+    pub fn evict_retired(&self, blob: blobseer_types::BlobId, before: blobseer_types::Version) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.retain(|k, _| !(k.blob == blob && k.version < before));
+            let remaining: std::collections::HashSet<NodeKey> =
+                s.map.keys().copied().collect();
+            s.fifo.retain(|k| remaining.contains(k));
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for NodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("NodeCache")
+            .field("entries", &self.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::{BlobId, NodePos, PageId, ProviderId, Version};
+
+    fn key(blob: u64, v: u64, off: u64) -> NodeKey {
+        NodeKey { blob: BlobId(blob), version: Version(v), pos: NodePos::new(off, 1) }
+    }
+
+    fn leaf(n: u128) -> TreeNode {
+        TreeNode::Leaf { pid: PageId(n), provider: ProviderId(0), valid_len: 1 }
+    }
+
+    #[test]
+    fn hit_miss_roundtrip() {
+        let c = NodeCache::new(100);
+        assert_eq!(c.get(&key(1, 1, 0)), None);
+        c.insert(key(1, 1, 0), leaf(5));
+        assert_eq!(c.get(&key(1, 1, 0)), Some(leaf(5)));
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_bounds_size() {
+        let c = NodeCache::new(64);
+        for i in 0..10_000u64 {
+            c.insert(key(1, 1, i), leaf(i as u128));
+        }
+        // Per-shard cap × shards, with slack for shard imbalance.
+        assert!(c.len() <= 64 + SHARDS, "len {}", c.len());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let c = NodeCache::new(10);
+        c.insert(key(1, 1, 0), leaf(1));
+        c.insert(key(1, 1, 0), leaf(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evict_retired_is_targeted() {
+        let c = NodeCache::new(100);
+        c.insert(key(1, 1, 0), leaf(1));
+        c.insert(key(1, 5, 0), leaf(2));
+        c.insert(key(2, 1, 0), leaf(3));
+        c.evict_retired(BlobId(1), Version(3));
+        assert_eq!(c.get(&key(1, 1, 0)), None, "retired");
+        assert_eq!(c.get(&key(1, 5, 0)), Some(leaf(2)), "kept: newer");
+        assert_eq!(c.get(&key(2, 1, 0)), Some(leaf(3)), "kept: other blob");
+    }
+
+    #[test]
+    fn concurrent_use() {
+        let c = std::sync::Arc::new(NodeCache::new(1000));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..2000 {
+                        c.insert(key(t, 1, i), leaf(i as u128));
+                        c.get(&key(t, 1, i / 2));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Blob ancestry: the mechanism behind cheap branching.
+//!
+//! `BRANCH(id, v)` "virtually duplicates the blob ... identical to the
+//! original blob in every snapshot up to (and including) v" (paper
+//! §2.1). No data or metadata is copied: the branch merely *resolves*
+//! versions at or below the branch point to the ancestor blob that owns
+//! them. A lineage is the ordered list of `(blob, up_to)` segments; the
+//! owner of version `v` is the first segment whose cut-off covers `v`.
+//!
+//! Because a branch of a branch collapses segments (branching `B` at a
+//! version below `B`'s own divergence never mentions `B`), lineages stay
+//! short: their length is bounded by the number of *distinct divergence
+//! levels*, not by the number of branch operations.
+
+use blobseer_types::{BlobId, Version};
+
+/// One ancestry segment: versions `<= up_to` belong to `blob`
+/// (`up_to == None` only on the final segment, the blob itself).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Segment {
+    blob: BlobId,
+    up_to: Option<Version>,
+}
+
+/// Ancestry of a blob: resolves any version to the blob owning its
+/// metadata tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lineage {
+    segments: Vec<Segment>,
+}
+
+impl Lineage {
+    /// Lineage of a freshly created (non-branched) blob.
+    pub fn root(blob: BlobId) -> Self {
+        Lineage { segments: vec![Segment { blob, up_to: None }] }
+    }
+
+    /// Lineage of `child`, branched off `parent`'s lineage at version `at`.
+    pub fn branch(parent: &Lineage, at: Version, child: BlobId) -> Self {
+        let mut segments = Vec::with_capacity(parent.segments.len() + 1);
+        for seg in &parent.segments {
+            match seg.up_to {
+                Some(u) if u < at => segments.push(*seg),
+                // This segment covers `at`: clamp it and stop — deeper
+                // parent segments are unreachable from the child.
+                _ => {
+                    segments.push(Segment { blob: seg.blob, up_to: Some(at) });
+                    break;
+                }
+            }
+        }
+        segments.push(Segment { blob: child, up_to: None });
+        Lineage { segments }
+    }
+
+    /// The blob this lineage belongs to.
+    pub fn blob(&self) -> BlobId {
+        self.segments.last().expect("lineage non-empty").blob
+    }
+
+    /// The blob owning (the metadata of) version `v`.
+    pub fn owner_of(&self, v: Version) -> BlobId {
+        for seg in &self.segments {
+            match seg.up_to {
+                Some(u) if v <= u => return seg.blob,
+                None => return seg.blob,
+                _ => {}
+            }
+        }
+        unreachable!("final lineage segment is unbounded")
+    }
+
+    /// Number of ancestry segments (the blob itself included).
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `true` when this blob was branched (has at least one ancestor).
+    pub fn is_branch(&self) -> bool {
+        self.segments.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: BlobId = BlobId(1);
+    const B: BlobId = BlobId(2);
+    const C: BlobId = BlobId(3);
+    const D: BlobId = BlobId(4);
+
+    #[test]
+    fn root_owns_everything() {
+        let l = Lineage::root(A);
+        assert_eq!(l.blob(), A);
+        assert_eq!(l.owner_of(Version(0)), A);
+        assert_eq!(l.owner_of(Version(1_000_000)), A);
+        assert!(!l.is_branch());
+        assert_eq!(l.depth(), 1);
+    }
+
+    #[test]
+    fn simple_branch_splits_ownership() {
+        let a = Lineage::root(A);
+        let b = Lineage::branch(&a, Version(5), B);
+        assert_eq!(b.blob(), B);
+        assert!(b.is_branch());
+        assert_eq!(b.owner_of(Version(0)), A);
+        assert_eq!(b.owner_of(Version(5)), A);
+        assert_eq!(b.owner_of(Version(6)), B);
+        assert_eq!(b.owner_of(Version(100)), B);
+        // The parent is unaffected.
+        assert_eq!(a.owner_of(Version(6)), A);
+    }
+
+    #[test]
+    fn branch_of_branch_above_divergence() {
+        let a = Lineage::root(A);
+        let b = Lineage::branch(&a, Version(5), B);
+        // C branches from B at v7 (> 5): keeps B as an intermediate owner.
+        let c = Lineage::branch(&b, Version(7), C);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.owner_of(Version(3)), A);
+        assert_eq!(c.owner_of(Version(5)), A);
+        assert_eq!(c.owner_of(Version(6)), B);
+        assert_eq!(c.owner_of(Version(7)), B);
+        assert_eq!(c.owner_of(Version(8)), C);
+    }
+
+    #[test]
+    fn branch_of_branch_below_divergence_collapses() {
+        let a = Lineage::root(A);
+        let b = Lineage::branch(&a, Version(5), B);
+        // C branches from B at v3 (≤ 5): B drops out entirely.
+        let c = Lineage::branch(&b, Version(3), C);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.owner_of(Version(3)), A);
+        assert_eq!(c.owner_of(Version(4)), C);
+    }
+
+    #[test]
+    fn branch_at_exact_divergence_point() {
+        let a = Lineage::root(A);
+        let b = Lineage::branch(&a, Version(5), B);
+        let c = Lineage::branch(&b, Version(5), C);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.owner_of(Version(5)), A);
+        assert_eq!(c.owner_of(Version(6)), C);
+    }
+
+    #[test]
+    fn deep_chain() {
+        let a = Lineage::root(A);
+        let b = Lineage::branch(&a, Version(10), B);
+        let c = Lineage::branch(&b, Version(20), C);
+        let d = Lineage::branch(&c, Version(30), D);
+        assert_eq!(d.owner_of(Version(10)), A);
+        assert_eq!(d.owner_of(Version(11)), B);
+        assert_eq!(d.owner_of(Version(20)), B);
+        assert_eq!(d.owner_of(Version(21)), C);
+        assert_eq!(d.owner_of(Version(30)), C);
+        assert_eq!(d.owner_of(Version(31)), D);
+    }
+
+    #[test]
+    fn branch_at_zero() {
+        let a = Lineage::root(A);
+        let b = Lineage::branch(&a, Version(0), B);
+        assert_eq!(b.owner_of(Version(0)), A);
+        assert_eq!(b.owner_of(Version(1)), B);
+    }
+}

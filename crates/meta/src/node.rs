@@ -1,0 +1,117 @@
+//! Tree-node model and DHT keys.
+
+use blobseer_types::{BlobId, NodePos, PageId, ProviderId, Version};
+
+/// DHT key of a tree node: "each tree node is identified uniquely by its
+/// version and [the] range specified by the offset and size it covers"
+/// (paper §4.1). We additionally scope keys by the *owning* blob so that
+/// independent blobs never collide; branches resolve shared versions to
+/// the ancestor owner through [`crate::Lineage`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeKey {
+    /// Blob whose update created this node (lineage owner).
+    pub blob: BlobId,
+    /// Snapshot version whose update created this node.
+    pub version: Version,
+    /// Dyadic page range the node covers.
+    pub pos: NodePos,
+}
+
+/// A node of the distributed segment tree.
+///
+/// Inner nodes "hold the version of the left child vl and the version of
+/// the right child vr, while leaves hold the page id pid and the provider
+/// that store[s] the page" (paper §4.1). A `None` child version marks a
+/// child position beyond the blob's current content — incomplete trees
+/// arise whenever the page count is not a power of two (e.g. paper
+/// Fig. 1(c), where the grown root `(0,8)` has no pages 5..8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeNode {
+    /// An interior node: versions of the children occupying the left and
+    /// right half of this node's range.
+    Inner {
+        /// Version of the node at the left-child position, if any.
+        left: Option<Version>,
+        /// Version of the node at the right-child position, if any.
+        right: Option<Version>,
+    },
+    /// A leaf covering exactly one page.
+    Leaf {
+        /// Stored page id.
+        pid: PageId,
+        /// Data provider holding the page.
+        provider: ProviderId,
+        /// Valid bytes in the page (< page size only for a snapshot's
+        /// final, partially-filled page).
+        valid_len: u32,
+    },
+}
+
+impl TreeNode {
+    /// Child version toward the left/right half; panics on leaves.
+    pub fn child(&self, left_side: bool) -> Option<Version> {
+        match self {
+            TreeNode::Inner { left, right } => {
+                if left_side {
+                    *left
+                } else {
+                    *right
+                }
+            }
+            TreeNode::Leaf { .. } => panic!("leaf has no children"),
+        }
+    }
+
+    /// `true` for leaves.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, TreeNode::Leaf { .. })
+    }
+}
+
+/// A snapshot's tree root: the version plus the dyadic position its root
+/// node covers. Handed to readers by the version manager (which tracks
+/// per-version sizes and therefore root spans).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RootRef {
+    /// Snapshot version the root belongs to.
+    pub version: Version,
+    /// Position covered by the root node (always offset 0).
+    pub pos: NodePos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_child_access() {
+        let n = TreeNode::Inner { left: Some(Version(3)), right: None };
+        assert_eq!(n.child(true), Some(Version(3)));
+        assert_eq!(n.child(false), None);
+        assert!(!n.is_leaf());
+    }
+
+    #[test]
+    fn leaf_identification() {
+        let l = TreeNode::Leaf { pid: PageId(1), provider: ProviderId(0), valid_len: 64 };
+        assert!(l.is_leaf());
+    }
+
+    #[test]
+    #[should_panic]
+    fn leaf_child_panics() {
+        let l = TreeNode::Leaf { pid: PageId(1), provider: ProviderId(0), valid_len: 64 };
+        let _ = l.child(true);
+    }
+
+    #[test]
+    fn keys_are_distinct_per_blob_version_pos() {
+        let a = NodeKey { blob: BlobId(1), version: Version(1), pos: NodePos::new(0, 2) };
+        let b = NodeKey { blob: BlobId(2), ..a };
+        let c = NodeKey { version: Version(2), ..a };
+        let d = NodeKey { pos: NodePos::new(2, 2), ..a };
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

@@ -1,0 +1,371 @@
+//! Pure tree planners: which positions an update creates, which
+//! positions border it, which positions a read visits.
+//!
+//! These functions are arithmetic only — no storage, no locking — and
+//! are shared by three consumers:
+//!
+//! * [`crate::build`] materialises exactly the positions planned here;
+//! * the version manager computes **partial border sets** for concurrent
+//!   writers by asking, for each border position, which in-flight update
+//!   creates it ([`creates_position`]) — the paper's §4.2 protocol;
+//! * the network simulator (`blobseer-sim`) prices operations by the
+//!   *planned* node counts, so simulated metadata overhead (including
+//!   the power-of-two step-downs visible in the paper's Figure 2(a))
+//!   follows the real tree math.
+
+use blobseer_types::{NodePos, PageRange};
+
+/// The contiguous run of tree positions an update creates at one level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelSpan {
+    /// Tree level (0 = leaves).
+    pub level: u32,
+    /// First position index at this level (position offset = index << level).
+    pub first_index: u64,
+    /// Last position index at this level (inclusive).
+    pub last_index: u64,
+}
+
+impl LevelSpan {
+    /// Number of positions in the span.
+    pub fn count(&self) -> u64 {
+        self.last_index - self.first_index + 1
+    }
+
+    /// Iterate the positions in the span.
+    pub fn positions(&self) -> impl Iterator<Item = NodePos> + '_ {
+        let level = self.level;
+        (self.first_index..=self.last_index).map(move |i| NodePos::new(i << level, 1u64 << level))
+    }
+}
+
+/// Everything an update of `range` in a tree rooted at `root` creates.
+///
+/// Paper §4.2: the new tree "is the smallest (possibly incomplete)
+/// binary tree such that its leaves are exactly the leaves covering the
+/// pages of [the] range that is written", built "bottom-up ... up to
+/// (and including) the root". Because the updated page range is
+/// contiguous, the created positions at each level form one contiguous
+/// index interval — which is why the whole plan is a `Vec<LevelSpan>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdatePlan {
+    /// Updated page range.
+    pub range: PageRange,
+    /// Root position of the new tree.
+    pub root: NodePos,
+    /// Created positions, one span per level, leaves first.
+    pub levels: Vec<LevelSpan>,
+}
+
+impl UpdatePlan {
+    /// Total tree nodes created by the update.
+    pub fn node_count(&self) -> u64 {
+        self.levels.iter().map(LevelSpan::count).sum()
+    }
+
+    /// Tree depth (number of levels, root included).
+    pub fn depth(&self) -> u32 {
+        self.root.level() + 1
+    }
+
+    /// Iterate all created positions, leaves first.
+    pub fn positions(&self) -> impl Iterator<Item = NodePos> + '_ {
+        self.levels.iter().flat_map(LevelSpan::positions)
+    }
+}
+
+/// Plan the positions created by updating `range` in a tree rooted at
+/// `root` (the root position *after* the update).
+pub fn update_plan(range: PageRange, root: NodePos) -> UpdatePlan {
+    assert!(!range.is_empty(), "updates cover at least one page");
+    assert!(
+        root.contains_page(range.last().expect("non-empty")),
+        "root {root:?} does not cover update {range:?}"
+    );
+    let last = range.last().expect("non-empty");
+    let levels = (0..=root.level())
+        .map(|level| LevelSpan {
+            level,
+            first_index: range.first >> level,
+            last_index: last >> level,
+        })
+        .collect();
+    UpdatePlan { range, root, levels }
+}
+
+/// `true` when an update of `range` under `root` creates a node at
+/// `pos`. Used by the version manager to decide whether an *in-flight*
+/// update will supply a border node for a newer writer (paper §4.2).
+pub fn creates_position(range: PageRange, root: NodePos, pos: NodePos) -> bool {
+    root.contains(pos) && pos.intersects(range)
+}
+
+/// The border positions of an update: children of created inner nodes
+/// that the update itself does not create (paper §4.2's set `B_vw`).
+/// Ordered top-down, left before right. Positions may lie beyond the
+/// blob's content; the resolver decides whether they map to an existing
+/// node or to a `None` child.
+pub fn border_positions(range: PageRange, root: NodePos) -> Vec<NodePos> {
+    assert!(!range.is_empty());
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(pos) = stack.pop() {
+        if pos.is_leaf() {
+            continue;
+        }
+        // Visit right first so the (LIFO) traversal emits left-to-right.
+        for child in [pos.right(), pos.left()] {
+            if child.intersects(range) {
+                stack.push(child);
+            } else {
+                out.push(child);
+            }
+        }
+    }
+    // LIFO order above is top-down but right-heavy per level; normalise
+    // to a deterministic (level desc, offset asc) order for tests/sim.
+    out.sort_by(|a, b| b.level().cmp(&a.level()).then(a.offset.cmp(&b.offset)));
+    out
+}
+
+/// The positions `READ_META` visits, level by level (root first).
+///
+/// Algorithm 3 explores a node iff its range intersects the request, so
+/// the visited positions at each level form one contiguous index run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadPlan {
+    /// Visited positions per level, **root level first**, each a span.
+    pub levels: Vec<LevelSpan>,
+}
+
+impl ReadPlan {
+    /// Total nodes fetched.
+    pub fn node_count(&self) -> u64 {
+        self.levels.iter().map(LevelSpan::count).sum()
+    }
+
+    /// Number of leaves fetched (equals pages covered by the request).
+    pub fn leaf_count(&self) -> u64 {
+        self.levels.last().map(LevelSpan::count).unwrap_or(0)
+    }
+
+    /// Tree depth traversed.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Plan a metadata read of `range` in a tree rooted at `root`.
+pub fn read_plan(range: PageRange, root: NodePos) -> ReadPlan {
+    assert!(!range.is_empty(), "reads cover at least one page");
+    assert!(root.contains_page(range.last().expect("non-empty")));
+    let last = range.last().expect("non-empty");
+    let levels = (0..=root.level())
+        .rev()
+        .map(|level| LevelSpan {
+            level,
+            first_index: range.first >> level,
+            last_index: last >> level,
+        })
+        .collect();
+    ReadPlan { levels }
+}
+
+/// Nodes in a *complete* (from-scratch) tree over `pages` pages — the
+/// cost of the naive rebuild the paper rejects (§4.1: "rebuilding a full
+/// tree for subsequent updates would be space- and time-inefficient").
+pub fn full_tree_node_count(pages: u64) -> u64 {
+    if pages == 0 {
+        return 0;
+    }
+    let root = NodePos::root_for(pages);
+    (0..=root.level()).map(|level| ((pages - 1) >> level) + 1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(offset: u64, size: u64) -> NodePos {
+        NodePos::new(offset, size)
+    }
+
+    #[test]
+    fn figure_1a_initial_write() {
+        // Fig 1(a): write of 4 pages to an empty blob — full 4-page tree.
+        let plan = update_plan(PageRange::new(0, 4), pos(0, 4));
+        assert_eq!(plan.node_count(), 7);
+        assert_eq!(plan.depth(), 3);
+        let all: Vec<NodePos> = plan.positions().collect();
+        assert_eq!(
+            all,
+            vec![
+                pos(0, 1), pos(1, 1), pos(2, 1), pos(3, 1),
+                pos(0, 2), pos(2, 2),
+                pos(0, 4),
+            ]
+        );
+        assert!(border_positions(PageRange::new(0, 4), pos(0, 4)).is_empty());
+    }
+
+    #[test]
+    fn figure_1b_overwrite_two_middle_pages() {
+        // Fig 1(b): overwrite pages 1..3 of the 4-page blob. Grey nodes:
+        // (1,1), (2,1), (0,2), (2,2), (0,4).
+        let range = PageRange::new(1, 2);
+        let plan = update_plan(range, pos(0, 4));
+        let all: Vec<NodePos> = plan.positions().collect();
+        assert_eq!(
+            all,
+            vec![pos(1, 1), pos(2, 1), pos(0, 2), pos(2, 2), pos(0, 4)]
+        );
+        // Borders: the white leaves (0,1) and (3,1) get weaved in.
+        assert_eq!(
+            border_positions(range, pos(0, 4)),
+            vec![pos(0, 1), pos(3, 1)]
+        );
+    }
+
+    #[test]
+    fn figure_1c_append_grows_root() {
+        // Fig 1(c): append one page (index 4) — root grows to (0,8); the
+        // old root (0,4) becomes the left child of the new root.
+        let range = PageRange::new(4, 1);
+        let plan = update_plan(range, pos(0, 8));
+        let all: Vec<NodePos> = plan.positions().collect();
+        assert_eq!(all, vec![pos(4, 1), pos(4, 2), pos(4, 4), pos(0, 8)]);
+        // Borders: old root (0,4), then the empty right siblings.
+        assert_eq!(
+            border_positions(range, pos(0, 8)),
+            vec![pos(0, 4), pos(6, 2), pos(5, 1)]
+        );
+    }
+
+    #[test]
+    fn creates_position_matches_plan() {
+        for (range, root) in [
+            (PageRange::new(1, 2), pos(0, 4)),
+            (PageRange::new(4, 1), pos(0, 8)),
+            (PageRange::new(3, 9), pos(0, 16)),
+        ] {
+            let plan = update_plan(range, root);
+            let created: std::collections::HashSet<NodePos> = plan.positions().collect();
+            // Every dyadic position under the root is classified correctly.
+            for level in 0..=root.level() {
+                let size = 1u64 << level;
+                for idx in 0..(root.size >> level) {
+                    let p = pos(idx * size, size);
+                    assert_eq!(
+                        creates_position(range, root, p),
+                        created.contains(&p),
+                        "range {range:?} root {root:?} pos {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn borders_disjoint_from_created_and_adjacent() {
+        let range = PageRange::new(3, 9);
+        let root = pos(0, 16);
+        let plan = update_plan(range, root);
+        let created: std::collections::HashSet<NodePos> = plan.positions().collect();
+        for b in border_positions(range, root) {
+            assert!(!b.intersects(range), "border {b:?} intersects update");
+            assert!(!created.contains(&b));
+            // A border's parent is always a created node.
+            assert!(created.contains(&b.parent()), "border {b:?} parent not created");
+        }
+    }
+
+    #[test]
+    fn created_plus_borders_cover_consistently() {
+        // For every created inner node, each child is either created or
+        // a border — never unaccounted for.
+        let range = PageRange::new(5, 6);
+        let root = pos(0, 16);
+        let plan = update_plan(range, root);
+        let created: std::collections::HashSet<NodePos> = plan.positions().collect();
+        let borders: std::collections::HashSet<NodePos> =
+            border_positions(range, root).into_iter().collect();
+        for p in plan.positions().filter(|p| !p.is_leaf()) {
+            for child in [p.left(), p.right()] {
+                assert!(
+                    created.contains(&child) ^ borders.contains(&child),
+                    "child {child:?} of {p:?} must be exactly one of created/border"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn read_plan_matches_algorithm3_counts() {
+        // Reading 1024 pages out of a 2^20-page blob: 1 node at each of
+        // the top 11 levels, then 2, 4, ..., 1024.
+        let root = pos(0, 1 << 20);
+        let plan = read_plan(PageRange::new(0, 1024), root);
+        assert_eq!(plan.depth(), 21);
+        assert_eq!(plan.levels[0].count(), 1, "root");
+        assert_eq!(plan.levels[10].count(), 1, "level 10 spans exactly the request");
+        assert_eq!(plan.levels[11].count(), 2);
+        assert_eq!(plan.levels[20].count(), 1024, "leaves");
+        assert_eq!(plan.leaf_count(), 1024);
+        assert_eq!(plan.node_count(), 11 + (2048 - 2));
+    }
+
+    #[test]
+    fn read_plan_unaligned_chunk() {
+        // A chunk straddling a big subtree boundary visits two nodes per
+        // upper level instead of one.
+        let root = pos(0, 16);
+        let plan = read_plan(PageRange::new(7, 2), root);
+        let counts: Vec<u64> = plan.levels.iter().map(LevelSpan::count).collect();
+        assert_eq!(counts, vec![1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn full_tree_counts() {
+        assert_eq!(full_tree_node_count(0), 0);
+        assert_eq!(full_tree_node_count(1), 1);
+        assert_eq!(full_tree_node_count(2), 3);
+        assert_eq!(full_tree_node_count(4), 7);
+        assert_eq!(full_tree_node_count(5), 5 + 3 + 2 + 1); // incomplete 8-span tree
+        assert_eq!(full_tree_node_count(8), 15);
+    }
+
+    #[test]
+    fn update_count_shows_power_of_two_step() {
+        // The depth term grows by one exactly when the blob's page count
+        // crosses a power of two — the cause of the small bandwidth dips
+        // in the paper's Figure 2(a).
+        let append_pages = 16u64;
+        let mut total = 0u64;
+        let mut depths = Vec::new();
+        for _ in 0..64 {
+            let range = PageRange::new(total, append_pages);
+            total += append_pages;
+            let root = NodePos::root_for(total);
+            let plan = update_plan(range, root);
+            depths.push(plan.depth());
+        }
+        // Depth is non-decreasing and steps up at powers of two.
+        assert!(depths.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(depths[0], 5); // 16 pages
+        assert_eq!(depths[1], 6); // 32 pages
+        assert_eq!(depths[3], 7); // 64 pages
+        assert_eq!(depths[63], 11); // 1024 pages
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_update_rejected() {
+        update_plan(PageRange::new(0, 0), pos(0, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn root_must_cover_update() {
+        update_plan(PageRange::new(3, 4), pos(0, 4));
+    }
+}

@@ -1,0 +1,230 @@
+//! Tree traversal: `READ_META` (paper Algorithm 3) and point lookups.
+
+use blobseer_types::{
+    BlobError, ByteRange, NodePos, PageDescriptor, Result, Version,
+};
+
+use crate::lineage::Lineage;
+use crate::node::{NodeKey, RootRef, TreeNode};
+use crate::store::MetaStore;
+
+/// A read-side view of one blob's metadata: the store plus the blob's
+/// lineage (so shared branch versions resolve to their owning ancestor).
+pub struct TreeReader<'a> {
+    store: &'a MetaStore,
+    lineage: &'a Lineage,
+}
+
+impl<'a> TreeReader<'a> {
+    /// View `lineage`'s blob through `store`.
+    pub fn new(store: &'a MetaStore, lineage: &'a Lineage) -> Self {
+        TreeReader { store, lineage }
+    }
+
+    /// The blob's lineage.
+    pub fn lineage(&self) -> &Lineage {
+        self.lineage
+    }
+
+    /// DHT key of the node created by `version` at `pos`.
+    pub fn key_for(&self, version: Version, pos: NodePos) -> NodeKey {
+        NodeKey {
+            blob: self.lineage.owner_of(version),
+            version,
+            pos,
+        }
+    }
+
+    /// Fetch a node; `wait` selects blocking vs. immediate semantics.
+    pub fn fetch(&self, version: Version, pos: NodePos, wait: bool) -> Result<TreeNode> {
+        let key = self.key_for(version, pos);
+        if wait {
+            self.store.get_wait(&key)
+        } else {
+            self.store.get(&key)
+        }
+    }
+
+    /// The version of the node occupying `pos` within the tree rooted at
+    /// `root`, or `None` when the tree has no node there (position beyond
+    /// the snapshot's content). Descends parent→child following the
+    /// child-version pointers, exactly like a point query of Algorithm 3.
+    pub fn version_at(&self, root: RootRef, pos: NodePos, wait: bool) -> Result<Option<Version>> {
+        if root.pos == pos {
+            return Ok(Some(root.version));
+        }
+        if !root.pos.contains(pos) {
+            return Ok(None);
+        }
+        let mut cur_version = root.version;
+        let mut cur_pos = root.pos;
+        while cur_pos != pos {
+            let node = self.fetch(cur_version, cur_pos, wait)?;
+            let child_pos = cur_pos.child_toward(pos.offset);
+            match node.child(child_pos.is_left_child()) {
+                Some(v) => {
+                    cur_version = v;
+                    cur_pos = child_pos;
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(cur_version))
+    }
+}
+
+/// `READ_META` (paper Algorithm 3): the page descriptors covering
+/// `request` in the snapshot rooted at `root`, sorted by page index.
+///
+/// The caller must have validated `request` against the snapshot size
+/// (the version manager's `GET_SIZE`); a `None` child encountered within
+/// the requested range therefore indicates corrupt metadata and is
+/// surfaced as [`BlobError::Internal`].
+pub fn read_meta(
+    reader: &TreeReader<'_>,
+    root: RootRef,
+    request: ByteRange,
+    psize: u64,
+) -> Result<Vec<PageDescriptor>> {
+    let pages = request.pages(psize);
+    if pages.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::with_capacity(pages.count as usize);
+    let mut stack: Vec<(Version, NodePos)> = vec![(root.version, root.pos)];
+    while let Some((version, pos)) = stack.pop() {
+        let node = reader.fetch(version, pos, true)?;
+        match node {
+            TreeNode::Leaf { pid, provider, valid_len } => {
+                debug_assert!(pos.is_leaf());
+                out.push(PageDescriptor { pid, page_index: pos.offset, provider, valid_len });
+            }
+            TreeNode::Inner { left, right } => {
+                for (child, child_version) in [(pos.left(), left), (pos.right(), right)] {
+                    if !child.intersects(pages) {
+                        continue;
+                    }
+                    match child_version {
+                        Some(v) => stack.push((v, child)),
+                        None => {
+                            return Err(BlobError::Internal(format!(
+                                "tree {root:?}: missing child {child:?} inside request {request:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|pd| pd.page_index);
+    // Exactly one leaf per requested page.
+    if out.len() as u64 != pages.count
+        || out.first().map(|p| p.page_index) != Some(pages.first)
+    {
+        return Err(BlobError::Internal(format!(
+            "read_meta assembled {} descriptors for {} pages",
+            out.len(),
+            pages.count
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TreeNode;
+    use blobseer_types::{BlobId, PageId, ProviderId};
+    use std::time::Duration;
+
+    /// Hand-build the Figure 1(a) tree: version 1 covering 4 pages.
+    fn fig1a_store() -> (MetaStore, Lineage) {
+        let store = MetaStore::new(4, Duration::from_millis(100));
+        let lineage = Lineage::root(BlobId(1));
+        let leaf = |i: u64| TreeNode::Leaf {
+            pid: PageId(100 + i as u128),
+            provider: ProviderId(i as u32),
+            valid_len: 4,
+        };
+        let k = |v: u64, o: u64, s: u64| NodeKey {
+            blob: BlobId(1),
+            version: Version(v),
+            pos: NodePos::new(o, s),
+        };
+        for i in 0..4 {
+            store.put(k(1, i, 1), leaf(i));
+        }
+        let inner = |l, r| TreeNode::Inner { left: Some(Version(l)), right: Some(Version(r)) };
+        store.put(k(1, 0, 2), inner(1, 1));
+        store.put(k(1, 2, 2), inner(1, 1));
+        store.put(k(1, 0, 4), inner(1, 1));
+        (store, lineage)
+    }
+
+    #[test]
+    fn read_meta_full_range() {
+        let (store, lineage) = fig1a_store();
+        let reader = TreeReader::new(&store, &lineage);
+        let root = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
+        let pds = read_meta(&reader, root, ByteRange::new(0, 16), 4).unwrap();
+        assert_eq!(pds.len(), 4);
+        for (i, pd) in pds.iter().enumerate() {
+            assert_eq!(pd.page_index, i as u64);
+            assert_eq!(pd.pid, PageId(100 + i as u128));
+        }
+    }
+
+    #[test]
+    fn read_meta_partial_and_unaligned() {
+        let (store, lineage) = fig1a_store();
+        let reader = TreeReader::new(&store, &lineage);
+        let root = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
+        // Bytes [5, 11) touch pages 1 and 2 only.
+        let pds = read_meta(&reader, root, ByteRange::new(5, 6), 4).unwrap();
+        assert_eq!(pds.len(), 2);
+        assert_eq!(pds[0].page_index, 1);
+        assert_eq!(pds[1].page_index, 2);
+    }
+
+    #[test]
+    fn read_meta_empty_request() {
+        let (store, lineage) = fig1a_store();
+        let reader = TreeReader::new(&store, &lineage);
+        let root = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
+        assert!(read_meta(&reader, root, ByteRange::new(4, 0), 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn version_at_walks_pointers() {
+        let (store, lineage) = fig1a_store();
+        let reader = TreeReader::new(&store, &lineage);
+        let root = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
+        assert_eq!(
+            reader.version_at(root, NodePos::new(0, 4), false).unwrap(),
+            Some(Version(1))
+        );
+        assert_eq!(
+            reader.version_at(root, NodePos::new(2, 2), false).unwrap(),
+            Some(Version(1))
+        );
+        assert_eq!(
+            reader.version_at(root, NodePos::new(3, 1), false).unwrap(),
+            Some(Version(1))
+        );
+        // Outside the root span.
+        assert_eq!(
+            reader.version_at(root, NodePos::new(4, 4), false).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn missing_node_surfaces_as_timeout_when_waiting() {
+        let store = MetaStore::new(2, Duration::from_millis(10));
+        let lineage = Lineage::root(BlobId(9));
+        let reader = TreeReader::new(&store, &lineage);
+        let root = RootRef { version: Version(1), pos: NodePos::new(0, 2) };
+        let err = read_meta(&reader, root, ByteRange::new(0, 8), 4).unwrap_err();
+        assert_eq!(err, BlobError::Timeout("metadata tree node"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Typed facade over the DHT for tree nodes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use blobseer_dht::{Dht, DhtError, DhtStats};
+use blobseer_types::{BlobError, Result};
+
+use crate::cache::NodeCache;
+use crate::node::{NodeKey, TreeNode};
+
+/// The metadata provider: tree nodes distributed over DHT buckets.
+///
+/// `get` is non-blocking and suits reads of *published* versions (whose
+/// trees are complete by definition). `get_wait` blocks until the node
+/// appears — the mechanism by which an operation depending on a lower,
+/// still-in-flight version waits for its writer (paper §4.2). The wait
+/// is bounded by the configured timeout so a crashed writer surfaces as
+/// a [`BlobError::Timeout`] instead of a hang.
+pub struct MetaStore {
+    dht: Arc<Dht<NodeKey, TreeNode>>,
+    wait_timeout: Duration,
+    cache: Option<NodeCache>,
+}
+
+impl MetaStore {
+    /// Fresh store over `metadata_providers` DHT buckets.
+    pub fn new(metadata_providers: usize, wait_timeout: Duration) -> Self {
+        MetaStore {
+            dht: Arc::new(Dht::new(metadata_providers)),
+            wait_timeout,
+            cache: None,
+        }
+    }
+
+    /// Wrap an existing DHT (lets tests share one DHT across stores).
+    pub fn with_dht(dht: Arc<Dht<NodeKey, TreeNode>>, wait_timeout: Duration) -> Self {
+        MetaStore { dht, wait_timeout, cache: None }
+    }
+
+    /// Enable a client-side node cache of roughly `entries` nodes.
+    /// Nodes are immutable, so cached values are always correct; see
+    /// [`NodeCache`].
+    pub fn with_cache(mut self, entries: usize) -> Self {
+        self.cache = (entries > 0).then(|| NodeCache::new(entries));
+        self
+    }
+
+    /// `(hits, misses)` of the node cache, if one is configured.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(NodeCache::stats)
+    }
+
+    /// The configured blocking-get timeout.
+    pub fn wait_timeout(&self) -> Duration {
+        self.wait_timeout
+    }
+
+    /// Store a tree node (idempotent: nodes are immutable). Also warms
+    /// the local cache — a writer's freshly built nodes are exactly
+    /// what its next border resolution will look up.
+    pub fn put(&self, key: NodeKey, node: TreeNode) {
+        self.dht.put(key, node);
+        if let Some(cache) = &self.cache {
+            cache.insert(key, node);
+        }
+    }
+
+    /// Fetch a node without blocking.
+    pub fn get(&self, key: &NodeKey) -> Result<TreeNode> {
+        if let Some(cache) = &self.cache {
+            if let Some(node) = cache.get(key) {
+                return Ok(node);
+            }
+        }
+        let node = self.dht.get(key).ok_or(BlobError::MetadataMissing {
+            blob: key.blob,
+            version: key.version,
+        })?;
+        if let Some(cache) = &self.cache {
+            cache.insert(*key, node);
+        }
+        Ok(node)
+    }
+
+    /// Fetch a node, waiting up to the configured timeout for an
+    /// in-flight writer to store it.
+    pub fn get_wait(&self, key: &NodeKey) -> Result<TreeNode> {
+        if let Some(cache) = &self.cache {
+            if let Some(node) = cache.get(key) {
+                return Ok(node);
+            }
+        }
+        let node = self.dht.get_wait(key, self.wait_timeout).map_err(|e| match e {
+            DhtError::WaitTimeout => BlobError::Timeout("metadata tree node"),
+        })?;
+        if let Some(cache) = &self.cache {
+            cache.insert(*key, node);
+        }
+        Ok(node)
+    }
+
+    /// Garbage-collection sweep: delete every node of `blob` created by
+    /// a version `< before` that is not in `reachable`. Returns the
+    /// removed count and the `(pid, provider)` pairs of the swept
+    /// leaves, whose pages are now unreferenced.
+    pub fn sweep_retired(
+        &self,
+        blob: blobseer_types::BlobId,
+        before: blobseer_types::Version,
+        reachable: &std::collections::HashSet<NodeKey>,
+    ) -> (usize, Vec<(blobseer_types::PageId, blobseer_types::ProviderId)>) {
+        let mut orphaned_pages = Vec::new();
+        let removed = self.dht.retain(|key, node| {
+            let sweep =
+                key.blob == blob && key.version < before && !reachable.contains(key);
+            if sweep {
+                if let TreeNode::Leaf { pid, provider, .. } = node {
+                    orphaned_pages.push((*pid, *provider));
+                }
+            }
+            !sweep
+        });
+        if let Some(cache) = &self.cache {
+            cache.evict_retired(blob, before);
+        }
+        (removed, orphaned_pages)
+    }
+
+    /// `true` when the node is currently stored.
+    pub fn contains(&self, key: &NodeKey) -> bool {
+        self.dht.contains(key)
+    }
+
+    /// Total nodes stored — the metadata footprint measured by the
+    /// storage-efficiency experiment (E3).
+    pub fn node_count(&self) -> usize {
+        self.dht.len()
+    }
+
+    /// Per-bucket access statistics (hotspot analysis).
+    pub fn stats(&self) -> DhtStats {
+        self.dht.stats()
+    }
+
+    /// Number of metadata providers (buckets).
+    pub fn provider_count(&self) -> usize {
+        self.dht.bucket_count()
+    }
+}
+
+impl std::fmt::Debug for MetaStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaStore")
+            .field("providers", &self.provider_count())
+            .field("nodes", &self.node_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::{BlobId, NodePos, PageId, ProviderId, Version};
+
+    fn key(v: u64, off: u64, size: u64) -> NodeKey {
+        NodeKey {
+            blob: BlobId(1),
+            version: Version(v),
+            pos: NodePos::new(off, size),
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = MetaStore::new(4, Duration::from_millis(50));
+        let n = TreeNode::Leaf { pid: PageId(1), provider: ProviderId(0), valid_len: 10 };
+        store.put(key(1, 0, 1), n);
+        assert_eq!(store.get(&key(1, 0, 1)).unwrap(), n);
+        assert!(store.contains(&key(1, 0, 1)));
+        assert_eq!(store.node_count(), 1);
+    }
+
+    #[test]
+    fn missing_node_is_typed() {
+        let store = MetaStore::new(4, Duration::from_millis(20));
+        assert!(matches!(
+            store.get(&key(1, 0, 1)),
+            Err(BlobError::MetadataMissing { .. })
+        ));
+        assert_eq!(
+            store.get_wait(&key(1, 0, 1)),
+            Err(BlobError::Timeout("metadata tree node"))
+        );
+    }
+
+    #[test]
+    fn cache_serves_hits_and_tracks_stats() {
+        let store = MetaStore::new(4, Duration::from_millis(50)).with_cache(100);
+        let n = TreeNode::Leaf { pid: PageId(1), provider: ProviderId(0), valid_len: 8 };
+        store.put(key(1, 0, 1), n);
+        // put warmed the cache; this get is a pure cache hit.
+        assert_eq!(store.get(&key(1, 0, 1)).unwrap(), n);
+        let (hits, _) = store.cache_stats().unwrap();
+        assert_eq!(hits, 1);
+        // get_wait also consults the cache first.
+        assert_eq!(store.get_wait(&key(1, 0, 1)).unwrap(), n);
+        assert_eq!(store.cache_stats().unwrap().0, 2);
+    }
+
+    #[test]
+    fn cache_fills_on_dht_miss_then_hit() {
+        let dht = Arc::new(blobseer_dht::Dht::new(2));
+        let warm = MetaStore::with_dht(Arc::clone(&dht), Duration::from_millis(50));
+        let n = TreeNode::Inner { left: Some(Version(1)), right: None };
+        warm.put(key(3, 0, 2), n);
+        // A second store (separate cache) over the same DHT.
+        let store =
+            MetaStore::with_dht(dht, Duration::from_millis(50)).with_cache(10);
+        assert_eq!(store.get(&key(3, 0, 2)).unwrap(), n);
+        let (hits, misses) = store.cache_stats().unwrap();
+        assert_eq!((hits, misses), (0, 1));
+        assert_eq!(store.get(&key(3, 0, 2)).unwrap(), n);
+        assert_eq!(store.cache_stats().unwrap().0, 1);
+    }
+
+    #[test]
+    fn sweep_removes_unreachable_and_reports_pages() {
+        let store = MetaStore::new(4, Duration::from_millis(50));
+        let leaf = |pid: u128| TreeNode::Leaf {
+            pid: PageId(pid),
+            provider: ProviderId(1),
+            valid_len: 4,
+        };
+        store.put(key(1, 0, 1), leaf(10)); // v1 leaf, unreachable
+        store.put(key(2, 0, 1), leaf(20)); // v2 leaf, reachable
+        store.put(key(2, 1, 1), leaf(21)); // v2 leaf, unreachable
+        let reachable: std::collections::HashSet<NodeKey> =
+            [key(2, 0, 1)].into_iter().collect();
+        let (removed, pages) =
+            store.sweep_retired(BlobId(1), Version(3), &reachable);
+        assert_eq!(removed, 2);
+        let mut pids: Vec<u128> = pages.iter().map(|(p, _)| p.raw()).collect();
+        pids.sort_unstable();
+        assert_eq!(pids, vec![10, 21]);
+        assert!(store.get(&key(2, 0, 1)).is_ok());
+        assert!(store.get(&key(1, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn get_wait_sees_delayed_writer() {
+        let store = Arc::new(MetaStore::new(4, Duration::from_secs(5)));
+        let s2 = Arc::clone(&store);
+        let waiter = std::thread::spawn(move || s2.get_wait(&key(2, 0, 2)));
+        std::thread::sleep(Duration::from_millis(20));
+        let n = TreeNode::Inner { left: Some(Version(1)), right: None };
+        store.put(key(2, 0, 2), n);
+        assert_eq!(waiter.join().unwrap().unwrap(), n);
+    }
+}

@@ -1,0 +1,338 @@
+//! The provider manager and its page-to-provider allocation strategies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use blobseer_types::{BlobError, ProviderId, Result};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::provider::{DataProvider, ProviderStats};
+use crate::store::MemoryPageStore;
+
+/// Page-to-provider placement policy (paper §3.1: "a strategy aiming at
+/// ensuring an even distribution of pages among providers"; §4.3 calls
+/// the strategy "central" to minimising serialization conflicts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocationStrategy {
+    /// Deterministic rotation — the baseline "even distribution". Also
+    /// what the figure simulations assume, so placement there matches
+    /// the real engine exactly.
+    RoundRobin,
+    /// Uniform random placement (seeded for reproducibility).
+    Random,
+    /// Always pick the providers currently storing the fewest bytes.
+    LeastLoaded,
+    /// Two random candidates, keep the less loaded (the classic
+    /// power-of-two-choices load balancer).
+    PowerOfTwoChoices,
+}
+
+/// The provider manager: registry of data providers plus the placement
+/// strategy. Providers may join dynamically ([`ProviderManager::register`]),
+/// mirroring the paper's "new data providers may dynamically join and
+/// leave the system".
+pub struct ProviderManager {
+    providers: RwLock<Vec<Arc<DataProvider>>>,
+    strategy: AllocationStrategy,
+    rr_next: AtomicU64,
+    rng: Mutex<StdRng>,
+}
+
+impl ProviderManager {
+    /// Manager over `n` fresh in-memory providers.
+    pub fn with_memory_providers(n: usize, strategy: AllocationStrategy) -> Self {
+        let providers = (0..n)
+            .map(|i| {
+                Arc::new(DataProvider::new(
+                    ProviderId(i as u32),
+                    Arc::new(MemoryPageStore::new()),
+                ))
+            })
+            .collect();
+        Self::new(providers, strategy)
+    }
+
+    /// Manager over pre-built providers.
+    pub fn new(providers: Vec<Arc<DataProvider>>, strategy: AllocationStrategy) -> Self {
+        assert!(!providers.is_empty(), "at least one data provider required");
+        ProviderManager {
+            providers: RwLock::new(providers),
+            strategy,
+            rr_next: AtomicU64::new(0),
+            rng: Mutex::new(StdRng::seed_from_u64(0x5eed_b10b)),
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> AllocationStrategy {
+        self.strategy
+    }
+
+    /// Number of registered providers.
+    pub fn provider_count(&self) -> usize {
+        self.providers.read().len()
+    }
+
+    /// Register a provider that joined the deployment.
+    pub fn register(&self, provider: Arc<DataProvider>) {
+        self.providers.write().push(provider);
+    }
+
+    /// Look up a provider by id.
+    pub fn provider(&self, id: ProviderId) -> Result<Arc<DataProvider>> {
+        self.providers
+            .read()
+            .iter()
+            .find(|p| p.id() == id)
+            .cloned()
+            .ok_or(BlobError::ProviderNotFound(id))
+    }
+
+    /// Choose `n` providers to receive `n` new pages (paper Algorithm 2
+    /// line 2: "PP ← the list of n page providers"). Providers repeat
+    /// when `n` exceeds the deployment size. Failed providers are
+    /// skipped; errors when every provider is offline.
+    pub fn allocate(&self, n: usize) -> Result<Vec<ProviderId>> {
+        let all = self.providers.read();
+        let providers: Vec<&Arc<DataProvider>> =
+            all.iter().filter(|p| p.is_available()).collect();
+        if providers.is_empty() {
+            return Err(BlobError::NoAvailableProvider);
+        }
+        let count = providers.len();
+        Ok(match self.strategy {
+            AllocationStrategy::RoundRobin => {
+                let start = self.rr_next.fetch_add(n as u64, Ordering::Relaxed);
+                (0..n)
+                    .map(|i| providers[((start + i as u64) % count as u64) as usize].id())
+                    .collect()
+            }
+            AllocationStrategy::Random => {
+                let mut rng = self.rng.lock();
+                (0..n).map(|_| providers[rng.gen_range(0..count)].id()).collect()
+            }
+            AllocationStrategy::LeastLoaded => {
+                // Sort once per allocation by current stored bytes, then
+                // deal pages out round-robin over that order so a single
+                // large allocation still spreads.
+                let mut by_load: Vec<(u64, ProviderId)> =
+                    providers.iter().map(|p| (p.stored_bytes(), p.id())).collect();
+                by_load.sort_by_key(|&(load, id)| (load, id.raw()));
+                (0..n).map(|i| by_load[i % count].1).collect()
+            }
+            AllocationStrategy::PowerOfTwoChoices => {
+                let mut rng = self.rng.lock();
+                (0..n)
+                    .map(|_| {
+                        let a = &providers[rng.gen_range(0..count)];
+                        let b = &providers[rng.gen_range(0..count)];
+                        if a.stored_bytes() <= b.stored_bytes() { a.id() } else { b.id() }
+                    })
+                    .collect()
+            }
+        })
+    }
+
+    /// The deterministic replica chain of a page whose primary copy is
+    /// on `primary`: the `replicas − 1` providers that follow it in
+    /// registry order. Deriving replica locations from the primary
+    /// keeps the metadata tree unchanged (leaves name one provider) —
+    /// readers recompute the same chain when the primary is down.
+    ///
+    /// The chain is computed over **all** registered providers, not
+    /// just the currently available ones, so it is stable across
+    /// failures and recoveries.
+    pub fn replicas_of(&self, primary: ProviderId, replicas: usize) -> Result<Vec<ProviderId>> {
+        assert!(replicas >= 1);
+        let providers = self.providers.read();
+        let idx = providers
+            .iter()
+            .position(|p| p.id() == primary)
+            .ok_or(BlobError::ProviderNotFound(primary))?;
+        Ok((1..replicas)
+            .map(|i| providers[(idx + i) % providers.len()].id())
+            .collect())
+    }
+
+    /// Stats snapshot for every provider.
+    pub fn stats(&self) -> Vec<ProviderStats> {
+        self.providers.read().iter().map(|p| p.stats()).collect()
+    }
+
+    /// Total payload bytes stored across all providers — the physical
+    /// footprint used by the storage-efficiency experiment (E3).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.providers.read().iter().map(|p| p.stored_bytes()).sum()
+    }
+
+    /// Total pages stored across all providers.
+    pub fn total_pages(&self) -> usize {
+        self.providers.read().iter().map(|p| p.page_count()).sum()
+    }
+}
+
+impl std::fmt::Debug for ProviderManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProviderManager")
+            .field("providers", &self.provider_count())
+            .field("strategy", &self.strategy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::PageId;
+    use bytes::Bytes;
+
+    fn fill(mgr: &ProviderManager, pages: usize, page_bytes: usize) {
+        let ids = mgr.allocate(pages).unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            mgr.provider(*id)
+                .unwrap()
+                .store_page(PageId(i as u128), Bytes::from(vec![0u8; page_bytes]))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn round_robin_is_perfectly_even() {
+        let mgr = ProviderManager::with_memory_providers(7, AllocationStrategy::RoundRobin);
+        let ids = mgr.allocate(70).unwrap();
+        let mut counts = vec![0usize; 7];
+        for id in ids {
+            counts[id.raw() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10), "{counts:?}");
+    }
+
+    #[test]
+    fn round_robin_continues_across_allocations() {
+        let mgr = ProviderManager::with_memory_providers(4, AllocationStrategy::RoundRobin);
+        let a = mgr.allocate(3).unwrap();
+        let b = mgr.allocate(3).unwrap();
+        assert_eq!(a, vec![ProviderId(0), ProviderId(1), ProviderId(2)]);
+        assert_eq!(b, vec![ProviderId(3), ProviderId(0), ProviderId(1)]);
+    }
+
+    #[test]
+    fn random_covers_all_providers_eventually() {
+        let mgr = ProviderManager::with_memory_providers(8, AllocationStrategy::Random);
+        let ids = mgr.allocate(1000).unwrap();
+        let mut seen = [false; 8];
+        for id in &ids {
+            seen[id.raw() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn least_loaded_prefers_empty_providers() {
+        let mgr = ProviderManager::with_memory_providers(3, AllocationStrategy::LeastLoaded);
+        // Pre-load provider 0 heavily.
+        mgr.provider(ProviderId(0))
+            .unwrap()
+            .store_page(PageId(999), Bytes::from(vec![0u8; 10_000]))
+            .unwrap();
+        let ids = mgr.allocate(2).unwrap();
+        assert!(!ids.contains(&ProviderId(0)), "{ids:?}");
+    }
+
+    #[test]
+    fn power_of_two_choices_balances() {
+        let mgr =
+            ProviderManager::with_memory_providers(10, AllocationStrategy::PowerOfTwoChoices);
+        for round in 0..100 {
+            let ids = mgr.allocate(10).unwrap();
+            for (i, id) in ids.iter().enumerate() {
+                mgr.provider(*id)
+                    .unwrap()
+                    .store_page(
+                        PageId((round * 100 + i) as u128),
+                        Bytes::from(vec![0u8; 100]),
+                    )
+                    .unwrap();
+            }
+        }
+        let stats = mgr.stats();
+        let max = stats.iter().map(|s| s.pages).max().unwrap();
+        let min = stats.iter().map(|s| s.pages).min().unwrap();
+        // p2c keeps the gap tight: no provider more than ~2x any other.
+        assert!(max <= min * 2 + 10, "max={max} min={min}");
+    }
+
+    #[test]
+    fn allocate_more_than_providers_repeats() {
+        let mgr = ProviderManager::with_memory_providers(3, AllocationStrategy::RoundRobin);
+        let ids = mgr.allocate(10).unwrap();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn register_grows_deployment() {
+        let mgr = ProviderManager::with_memory_providers(2, AllocationStrategy::RoundRobin);
+        assert_eq!(mgr.provider_count(), 2);
+        mgr.register(Arc::new(DataProvider::new(
+            ProviderId(2),
+            Arc::new(MemoryPageStore::new()),
+        )));
+        assert_eq!(mgr.provider_count(), 3);
+        assert!(mgr.provider(ProviderId(2)).is_ok());
+    }
+
+    #[test]
+    fn unknown_provider_is_error() {
+        let mgr = ProviderManager::with_memory_providers(2, AllocationStrategy::RoundRobin);
+        assert!(matches!(
+            mgr.provider(ProviderId(9)),
+            Err(BlobError::ProviderNotFound(ProviderId(9)))
+        ));
+    }
+
+    #[test]
+    fn allocate_skips_failed_providers() {
+        let mgr = ProviderManager::with_memory_providers(4, AllocationStrategy::RoundRobin);
+        mgr.provider(ProviderId(1)).unwrap().fail();
+        let ids = mgr.allocate(30).unwrap();
+        assert!(!ids.contains(&ProviderId(1)), "{ids:?}");
+        assert!(ids.contains(&ProviderId(0)));
+        mgr.provider(ProviderId(1)).unwrap().recover();
+        assert!(mgr.allocate(30).unwrap().contains(&ProviderId(1)));
+    }
+
+    #[test]
+    fn allocate_fails_when_all_providers_down() {
+        let mgr = ProviderManager::with_memory_providers(2, AllocationStrategy::Random);
+        mgr.provider(ProviderId(0)).unwrap().fail();
+        mgr.provider(ProviderId(1)).unwrap().fail();
+        assert!(matches!(mgr.allocate(1), Err(BlobError::NoAvailableProvider)));
+    }
+
+    #[test]
+    fn replica_chain_is_successors_in_registry_order() {
+        let mgr = ProviderManager::with_memory_providers(5, AllocationStrategy::RoundRobin);
+        assert_eq!(
+            mgr.replicas_of(ProviderId(3), 3).unwrap(),
+            vec![ProviderId(4), ProviderId(0)]
+        );
+        assert!(mgr.replicas_of(ProviderId(0), 1).unwrap().is_empty());
+        assert!(mgr.replicas_of(ProviderId(9), 2).is_err());
+        // Stable across failures: the chain ignores availability.
+        mgr.provider(ProviderId(4)).unwrap().fail();
+        assert_eq!(
+            mgr.replicas_of(ProviderId(3), 2).unwrap(),
+            vec![ProviderId(4)]
+        );
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let mgr = ProviderManager::with_memory_providers(4, AllocationStrategy::RoundRobin);
+        fill(&mgr, 8, 128);
+        assert_eq!(mgr.total_pages(), 8);
+        assert_eq!(mgr.total_stored_bytes(), 8 * 128);
+    }
+}

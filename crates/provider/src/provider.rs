@@ -1,0 +1,242 @@
+//! A single data provider node.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use blobseer_types::{BlobError, PageId, ProviderId, Result};
+use bytes::Bytes;
+
+use crate::store::PageStore;
+
+/// One storage node: a page store plus request counters.
+///
+/// The counters let benches observe per-provider load imbalance — the
+/// paper notes that "data access serialization is only necessary when
+/// the same provider is contacted at the same time by different
+/// clients" (§4.3), so skew here is the real engine's analogue of the
+/// contention the simulator models with queues.
+pub struct DataProvider {
+    id: ProviderId,
+    store: Arc<dyn PageStore>,
+    available: AtomicBool,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl DataProvider {
+    /// Wrap a store as provider `id`.
+    pub fn new(id: ProviderId, store: Arc<dyn PageStore>) -> Self {
+        DataProvider {
+            id,
+            store,
+            available: AtomicBool::new(true),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        }
+    }
+
+    /// This provider's id.
+    pub fn id(&self) -> ProviderId {
+        self.id
+    }
+
+    /// Failure injection: take the provider offline. Stored pages are
+    /// retained (a crashed node, not a wiped one); every request fails
+    /// with [`BlobError::ProviderUnavailable`] until [`Self::recover`].
+    pub fn fail(&self) {
+        self.available.store(false, Ordering::SeqCst);
+    }
+
+    /// Bring a failed provider back online.
+    pub fn recover(&self) {
+        self.available.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` when the provider accepts requests.
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::SeqCst)
+    }
+
+    fn check_available(&self) -> Result<()> {
+        if self.is_available() {
+            Ok(())
+        } else {
+            Err(BlobError::ProviderUnavailable(self.id))
+        }
+    }
+
+    /// Store a page on this provider.
+    pub fn store_page(&self, pid: PageId, data: Bytes) -> Result<()> {
+        self.check_available()?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.store.store(pid, data)
+    }
+
+    /// Fetch a whole page.
+    pub fn fetch_page(&self, pid: PageId) -> Result<Bytes> {
+        self.check_available()?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let out = self
+            .store
+            .fetch(pid)
+            .map_err(|_| BlobError::PageMissing { pid, provider: self.id })?;
+        self.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Fetch part of a page.
+    pub fn fetch_page_range(&self, pid: PageId, offset: u64, len: u64) -> Result<Bytes> {
+        self.check_available()?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let out = self
+            .store
+            .fetch_range(pid, offset, len)
+            .map_err(|e| match e {
+                BlobError::Storage(msg) if msg.contains("not stored") => {
+                    BlobError::PageMissing { pid, provider: self.id }
+                }
+                other => other,
+            })?;
+        self.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// `true` when the page is stored here.
+    pub fn has_page(&self, pid: PageId) -> bool {
+        self.store.contains(pid)
+    }
+
+    /// Delete a page (garbage collection); returns the bytes freed, or
+    /// `None` when the page was not stored here.
+    pub fn delete_page(&self, pid: PageId) -> Result<Option<u64>> {
+        self.check_available()?;
+        self.store.delete(pid)
+    }
+
+    /// Pages currently stored.
+    pub fn page_count(&self) -> usize {
+        self.store.page_count()
+    }
+
+    /// Payload bytes currently stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.store.stored_bytes()
+    }
+
+    /// Snapshot of access counters.
+    pub fn stats(&self) -> ProviderStats {
+        ProviderStats {
+            id: self.id,
+            pages: self.store.page_count(),
+            stored_bytes: self.store.stored_bytes(),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for DataProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataProvider")
+            .field("id", &self.id)
+            .field("pages", &self.page_count())
+            .finish()
+    }
+}
+
+/// Point-in-time counters for one provider.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProviderStats {
+    /// Provider id.
+    pub id: ProviderId,
+    /// Pages stored.
+    pub pages: usize,
+    /// Payload bytes stored.
+    pub stored_bytes: u64,
+    /// Lifetime page reads served.
+    pub reads: u64,
+    /// Lifetime page writes served.
+    pub writes: u64,
+    /// Lifetime bytes served to readers.
+    pub bytes_read: u64,
+    /// Lifetime bytes accepted from writers.
+    pub bytes_written: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryPageStore;
+
+    fn provider() -> DataProvider {
+        DataProvider::new(ProviderId(7), Arc::new(MemoryPageStore::new()))
+    }
+
+    #[test]
+    fn store_fetch_roundtrip_with_stats() {
+        let p = provider();
+        p.store_page(PageId(1), Bytes::from_static(b"abcdef")).unwrap();
+        assert_eq!(p.fetch_page(PageId(1)).unwrap(), Bytes::from_static(b"abcdef"));
+        assert_eq!(p.fetch_page_range(PageId(1), 2, 3).unwrap(), Bytes::from_static(b"cde"));
+        let s = p.stats();
+        assert_eq!(s.id, ProviderId(7));
+        assert_eq!(s.pages, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_written, 6);
+        assert_eq!(s.bytes_read, 9);
+    }
+
+    #[test]
+    fn missing_page_is_typed_error() {
+        let p = provider();
+        match p.fetch_page(PageId(99)) {
+            Err(BlobError::PageMissing { pid, provider }) => {
+                assert_eq!(pid, PageId(99));
+                assert_eq!(provider, ProviderId(7));
+            }
+            other => panic!("expected PageMissing, got {other:?}"),
+        }
+        assert!(matches!(
+            p.fetch_page_range(PageId(99), 0, 1),
+            Err(BlobError::PageMissing { .. })
+        ));
+    }
+
+    #[test]
+    fn has_page_reflects_store() {
+        let p = provider();
+        assert!(!p.has_page(PageId(5)));
+        p.store_page(PageId(5), Bytes::from_static(b"x")).unwrap();
+        assert!(p.has_page(PageId(5)));
+    }
+
+    #[test]
+    fn failed_provider_rejects_requests_but_keeps_data() {
+        let p = provider();
+        p.store_page(PageId(1), Bytes::from_static(b"kept")).unwrap();
+        p.fail();
+        assert!(!p.is_available());
+        assert!(matches!(
+            p.store_page(PageId(2), Bytes::from_static(b"no")),
+            Err(BlobError::ProviderUnavailable(ProviderId(7)))
+        ));
+        assert!(matches!(
+            p.fetch_page(PageId(1)),
+            Err(BlobError::ProviderUnavailable(_))
+        ));
+        assert!(matches!(
+            p.fetch_page_range(PageId(1), 0, 1),
+            Err(BlobError::ProviderUnavailable(_))
+        ));
+        p.recover();
+        assert_eq!(p.fetch_page(PageId(1)).unwrap(), Bytes::from_static(b"kept"));
+    }
+}

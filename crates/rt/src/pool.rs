@@ -1,0 +1,118 @@
+//! A fixed-size FIFO thread pool.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{Receiver, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size worker pool with FIFO dispatch.
+///
+/// Dropping the pool closes the queue and joins all workers; queued jobs
+/// run to completion first (graceful drain).
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `threads` workers named `"{name}-{i}"`.
+    pub fn new(threads: usize, name: &str) -> Self {
+        assert!(threads > 0, "thread pool needs at least one worker");
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx: Receiver<Job> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job; never blocks.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain remaining jobs and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            // A panicked worker already reported; don't double-panic.
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_jobs() {
+        let pool = ThreadPool::new(3, "t");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // graceful drain
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let pool = ThreadPool::new(1, "t");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                std::thread::yield_now();
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        let _ = ThreadPool::new(0, "t");
+    }
+
+    #[test]
+    fn threads_reports_size() {
+        assert_eq!(ThreadPool::new(5, "t").threads(), 5);
+    }
+}

@@ -1,0 +1,144 @@
+//! A counting wait group with deadline support.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting rendezvous: `add` before dispatching work, `done` from each
+/// job, `wait`/`wait_for` from the coordinator.
+///
+/// Unlike `crossbeam`'s wait group this one supports deadlines, which the
+/// engine uses to bound blocking metadata waits.
+#[derive(Clone)]
+pub struct WaitGroup {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl WaitGroup {
+    /// New group with a zero count.
+    pub fn new() -> Self {
+        WaitGroup {
+            inner: Arc::new(Inner { count: Mutex::new(0), cv: Condvar::new() }),
+        }
+    }
+
+    /// Register `n` outstanding jobs.
+    pub fn add(&self, n: usize) {
+        *self.inner.count.lock() += n;
+    }
+
+    /// Mark one job complete.
+    pub fn done(&self) {
+        let mut c = self.inner.count.lock();
+        assert!(*c > 0, "WaitGroup::done without matching add");
+        *c -= 1;
+        if *c == 0 {
+            self.inner.cv.notify_all();
+        }
+    }
+
+    /// Current outstanding count.
+    pub fn pending(&self) -> usize {
+        *self.inner.count.lock()
+    }
+
+    /// Block until the count drops to zero.
+    pub fn wait(&self) {
+        let mut c = self.inner.count.lock();
+        while *c > 0 {
+            self.inner.cv.wait(&mut c);
+        }
+    }
+
+    /// Block until the count drops to zero or the timeout elapses.
+    /// Returns `true` on success, `false` on timeout.
+    pub fn wait_for(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut c = self.inner.count.lock();
+        while *c > 0 {
+            if self.inner.cv.wait_until(&mut c, deadline).timed_out() {
+                return *c == 0;
+            }
+        }
+        true
+    }
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WaitGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitGroup")
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_completes_when_all_done() {
+        let wg = WaitGroup::new();
+        wg.add(4);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let wg = wg.clone();
+            handles.push(std::thread::spawn(move || wg.done()));
+        }
+        wg.wait();
+        assert_eq!(wg.pending(), 0);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_with_zero_count_returns_immediately() {
+        let wg = WaitGroup::new();
+        wg.wait();
+        assert!(wg.wait_for(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let wg = WaitGroup::new();
+        wg.add(1);
+        assert!(!wg.wait_for(Duration::from_millis(20)));
+        wg.done();
+        assert!(wg.wait_for(Duration::from_millis(20)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn done_without_add_panics() {
+        WaitGroup::new().done();
+    }
+
+    #[test]
+    fn reusable_across_rounds() {
+        let wg = WaitGroup::new();
+        for round in 0..3 {
+            wg.add(2);
+            let a = wg.clone();
+            let b = wg.clone();
+            let h1 = std::thread::spawn(move || a.done());
+            let h2 = std::thread::spawn(move || b.done());
+            wg.wait();
+            h1.join().unwrap();
+            h2.join().unwrap();
+            assert_eq!(wg.pending(), 0, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The Figure 2(a) workload: a single client appends to a growing blob.
+//!
+//! Per append, the simulated client executes the real pipeline of
+//! Algorithm 2: store all new pages in parallel → register with the
+//! version manager → build the new metadata tree (the node set comes
+//! from [`blobseer_meta::plan::update_plan`] — the *real* planner) and
+//! store every node in parallel → notify the version manager. The
+//! client-side tree build charges CPU per node and per level, which is
+//! where the paper's "slight bandwidth decrease ... when the number of
+//! pages reaches a power of two" comes from: crossing a power of two
+//! adds a tree level permanently.
+
+use std::sync::{Arc, Mutex};
+
+use blobseer_meta::plan::{border_positions, update_plan, UpdatePlan};
+use blobseer_simnet::{
+    millis, to_secs, Activity, Engine, Nanos, Network, NodeId, Process, Stage, Step,
+    TransferSpec,
+};
+use blobseer_types::{NodePos, PageRange};
+
+use crate::cluster::Cluster;
+use crate::params::SimParams;
+
+/// One measured append: the paper plots `mbps` against `pages_after`.
+#[derive(Clone, Copy, Debug)]
+pub struct AppendPoint {
+    /// Blob size in pages after this append.
+    pub pages_after: u64,
+    /// Wall-clock (virtual) duration of the append in seconds.
+    pub seconds: f64,
+    /// Achieved append bandwidth in MB/s.
+    pub mbps: f64,
+}
+
+/// Run the Figure 2(a) experiment: a dedicated client performs
+/// successive `append_bytes`-sized appends until the blob holds
+/// `total_pages` pages, on a cluster of `providers` co-deployed
+/// data+metadata providers. Returns one point per append.
+pub fn append_experiment(
+    params: SimParams,
+    providers: usize,
+    page_size: u64,
+    append_bytes: u64,
+    total_pages: u64,
+) -> Vec<AppendPoint> {
+    assert!(append_bytes.is_multiple_of(page_size), "appends are page-aligned in this workload");
+    let mut net = Network::new(params.latency);
+    let cluster = Cluster::build(&mut net, providers, 1)
+        .with_centralized_metadata(params.centralized_metadata);
+    let client = cluster.clients[0];
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let proc = AppendClient {
+        params,
+        cluster,
+        client,
+        page_size,
+        pages_per_append: append_bytes / page_size,
+        total_pages,
+        pages_before: 0,
+        phase: Phase::Begin,
+        plan: None,
+        append_start: 0,
+        results: Arc::clone(&results),
+    };
+    let mut engine = Engine::new(net);
+    engine.spawn(Box::new(proc));
+    engine.run();
+    drop(engine); // releases the process's clone of `results`
+    Arc::try_unwrap(results).expect("engine dropped").into_inner().expect("no poison")
+}
+
+enum Phase {
+    /// Start the next append (or finish).
+    Begin,
+    /// Pages stored; register with the version manager.
+    Register,
+    /// Version assigned; resolve borders (cold descent only).
+    Borders,
+    /// Build the tree in memory (client CPU).
+    Build,
+    /// Store all new tree nodes.
+    StoreNodes,
+    /// Nodes durable; notify the version manager.
+    Notify,
+    /// Notify acknowledged; record the measurement.
+    Record {
+        start: Nanos,
+        pages_after: u64,
+        bytes: u64,
+    },
+}
+
+struct AppendClient {
+    params: SimParams,
+    cluster: Cluster,
+    client: NodeId,
+    page_size: u64,
+    pages_per_append: u64,
+    total_pages: u64,
+    pages_before: u64,
+    phase: Phase,
+    plan: Option<UpdatePlan>,
+    append_start: Nanos,
+    results: Arc<Mutex<Vec<AppendPoint>>>,
+}
+
+impl AppendClient {
+    fn rpc(&self, dst: NodeId, req_bytes: u64, resp_bytes: u64) -> Activity {
+        let p = &self.params;
+        Activity::new(vec![
+            Stage::Transfer(TransferSpec {
+                src: self.client,
+                dst,
+                bytes: req_bytes,
+                src_overhead: p.client_send_overhead,
+                dst_overhead: 0,
+            }),
+            Stage::Service { node: dst, duration: p.rpc_service },
+            Stage::Transfer(TransferSpec {
+                src: dst,
+                dst: self.client,
+                bytes: resp_bytes,
+                src_overhead: 0,
+                dst_overhead: p.client_recv_ctl_overhead,
+            }),
+        ])
+    }
+
+    fn page_store(&self, page_index: u64) -> Activity {
+        let p = &self.params;
+        let dst = self.cluster.data_provider_of(page_index);
+        Activity::new(vec![
+            Stage::Transfer(TransferSpec {
+                src: self.client,
+                dst,
+                bytes: self.page_size,
+                src_overhead: p.client_send_overhead,
+                dst_overhead: p.provider_store_overhead,
+            }),
+            Stage::Service { node: dst, duration: p.rpc_service },
+            Stage::Transfer(TransferSpec {
+                src: dst,
+                dst: self.client,
+                bytes: p.ctl_bytes,
+                src_overhead: 0,
+                dst_overhead: p.client_recv_ctl_overhead,
+            }),
+        ])
+    }
+
+    fn node_store(&self, pos: NodePos) -> Activity {
+        let p = &self.params;
+        let dst = self.cluster.meta_provider_of(pos);
+        Activity::new(vec![
+            Stage::Transfer(TransferSpec {
+                src: self.client,
+                dst,
+                bytes: p.node_bytes,
+                src_overhead: p.client_send_overhead,
+                dst_overhead: p.meta_store_overhead,
+            }),
+            Stage::Service { node: dst, duration: p.rpc_service },
+            Stage::Transfer(TransferSpec {
+                src: dst,
+                dst: self.client,
+                bytes: p.ctl_bytes,
+                src_overhead: 0,
+                dst_overhead: p.client_recv_ctl_overhead,
+            }),
+        ])
+    }
+
+    fn node_fetch(&self, pos: NodePos) -> Vec<Stage> {
+        let p = &self.params;
+        let dst = self.cluster.meta_provider_of(pos);
+        vec![
+            Stage::Transfer(TransferSpec {
+                src: self.client,
+                dst,
+                bytes: p.ctl_bytes,
+                src_overhead: p.client_send_overhead,
+                dst_overhead: 0,
+            }),
+            Stage::Service { node: dst, duration: p.rpc_service },
+            Stage::Transfer(TransferSpec {
+                src: dst,
+                dst: self.client,
+                bytes: p.node_bytes,
+                src_overhead: p.meta_read_overhead,
+                dst_overhead: p.client_recv_ctl_overhead,
+            }),
+        ]
+    }
+
+    /// Client-side CPU cost of computing the new tree: per created node
+    /// plus per level (border bookkeeping, level assembly). The
+    /// per-level term is what makes a new tree level — gained exactly
+    /// when the page count crosses a power of two — visible in the
+    /// bandwidth curve.
+    fn build_compute(&self, plan: &UpdatePlan) -> Nanos {
+        let per_node = millis(0.01);
+        let per_level = millis(0.15);
+        plan.node_count() * per_node + u64::from(plan.depth()) * per_level
+    }
+}
+
+impl Process for AppendClient {
+    fn step(&mut self, now: Nanos) -> Step {
+        loop {
+            match self.phase {
+                Phase::Begin => {
+                    if self.pages_before >= self.total_pages {
+                        return Step::Done;
+                    }
+                    self.append_start = now;
+                    let range = PageRange::new(self.pages_before, self.pages_per_append);
+                    let root = NodePos::root_for(self.pages_before + self.pages_per_append);
+                    self.plan = Some(update_plan(range, root));
+                    self.phase = Phase::Register;
+                    let batch = range.iter().map(|p| self.page_store(p)).collect();
+                    return Step::AwaitWindow {
+                        activities: batch,
+                        window: self.params.store_window,
+                    };
+                }
+                Phase::Register => {
+                    self.phase = Phase::Borders;
+                    // Version grant carries the partial border set.
+                    return Step::Await(vec![self.rpc(
+                        self.cluster.vm,
+                        self.params.ctl_bytes,
+                        self.params.ctl_bytes + self.params.node_bytes,
+                    )]);
+                }
+                Phase::Borders => {
+                    self.phase = Phase::Build;
+                    if self.params.cached_border_descent {
+                        // Single writer: every border node is one this
+                        // client wrote itself — resolution is local.
+                        continue;
+                    }
+                    // Cold descent: sequential fetches of the border
+                    // positions plus the path from the root.
+                    let plan = self.plan.as_ref().expect("planned");
+                    let mut stages = Vec::new();
+                    let mut cur = plan.root;
+                    while !cur.is_leaf() && cur.intersects(plan.range) {
+                        stages.extend(self.node_fetch(cur));
+                        cur = cur.child_toward(plan.range.first);
+                    }
+                    for pos in border_positions(plan.range, plan.root) {
+                        stages.extend(self.node_fetch(pos));
+                    }
+                    if stages.is_empty() {
+                        continue;
+                    }
+                    return Step::Await(vec![Activity::new(stages)]);
+                }
+                Phase::Build => {
+                    // In-memory tree construction on the client CPU.
+                    self.phase = Phase::StoreNodes;
+                    let compute = self.build_compute(self.plan.as_ref().expect("planned"));
+                    return Step::Await(vec![Activity::new(vec![Stage::Service {
+                        node: self.client,
+                        duration: compute,
+                    }])]);
+                }
+                Phase::StoreNodes => {
+                    self.phase = Phase::Notify;
+                    let plan = self.plan.as_ref().expect("planned");
+                    let batch: Vec<Activity> =
+                        plan.positions().map(|pos| self.node_store(pos)).collect();
+                    return Step::AwaitWindow {
+                        activities: batch,
+                        window: self.params.store_window,
+                    };
+                }
+                Phase::Notify => {
+                    // The notify RPC is the append's last timed step.
+                    self.phase = Phase::Record {
+                        start: self.append_start,
+                        pages_after: self.pages_before + self.pages_per_append,
+                        bytes: self.pages_per_append * self.page_size,
+                    };
+                    return Step::Await(vec![self.rpc(
+                        self.cluster.vm,
+                        self.params.ctl_bytes,
+                        self.params.ctl_bytes,
+                    )]);
+                }
+                Phase::Record { start, pages_after, bytes } => {
+                    let seconds = to_secs(now - start);
+                    self.results.lock().expect("no poison").push(AppendPoint {
+                        pages_after,
+                        seconds,
+                        mbps: bytes as f64 / 1e6 / seconds,
+                    });
+                    self.pages_before = pages_after;
+                    self.phase = Phase::Begin;
+                    continue;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Simulated deployment layout (paper §5).
+//!
+//! "We deploy each the version manager and the provider manager on two
+//! distinct dedicated nodes, and we co-deploy a data provider and a
+//! metadata provider on the other nodes."
+
+use blobseer_dht::static_bucket;
+use blobseer_simnet::{Network, NodeId, NodeSpec};
+use blobseer_types::NodePos;
+
+/// Node roles of one simulated deployment.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// The version manager's dedicated node.
+    pub vm: NodeId,
+    /// The provider manager's dedicated node.
+    pub pm: NodeId,
+    /// Co-deployed data + metadata provider nodes.
+    pub providers: Vec<NodeId>,
+    /// Dedicated client nodes (may be empty when clients are
+    /// co-deployed on provider nodes, as in the Figure 2(b) setup).
+    pub clients: Vec<NodeId>,
+    /// When `true`, every metadata node lives on `providers[0]` — the
+    /// centralized-metadata baseline of the related work (paper §1).
+    pub centralized_metadata: bool,
+}
+
+impl Cluster {
+    /// Build the paper's topology: VM + PM on dedicated nodes,
+    /// `providers` co-deployed data+metadata nodes, plus
+    /// `dedicated_clients` extra client nodes.
+    pub fn build(net: &mut Network, providers: usize, dedicated_clients: usize) -> Cluster {
+        let spec = NodeSpec::grid5000();
+        let vm = net.add_node(spec);
+        let pm = net.add_node(spec);
+        let providers = (0..providers).map(|_| net.add_node(spec)).collect();
+        let clients = (0..dedicated_clients).map(|_| net.add_node(spec)).collect();
+        Cluster { vm, pm, providers, clients, centralized_metadata: false }
+    }
+
+    /// Switch the deployment to the centralized-metadata baseline.
+    pub fn with_centralized_metadata(mut self, on: bool) -> Self {
+        self.centralized_metadata = on;
+        self
+    }
+
+    /// Data provider storing `page_index` — replays the engine's
+    /// round-robin allocation for a single sequential writer.
+    pub fn data_provider_of(&self, page_index: u64) -> NodeId {
+        self.providers[(page_index % self.providers.len() as u64) as usize]
+    }
+
+    /// Metadata provider (DHT bucket) owning the tree node at `pos` —
+    /// the *real* static distribution used by `blobseer-dht`, or the
+    /// single metadata server in centralized mode.
+    pub fn meta_provider_of(&self, pos: NodePos) -> NodeId {
+        if self.centralized_metadata {
+            return self.providers[0];
+        }
+        self.providers[static_bucket(&(pos.offset, pos.size), self.providers.len())]
+    }
+
+    /// The node a reader runs on: reader `r` is co-deployed on provider
+    /// node `r mod P` (paper §5: "the readers are deployed on nodes
+    /// that already run a data and metadata provider").
+    pub fn co_deployed_client(&self, reader: usize) -> NodeId {
+        self.providers[reader % self.providers.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_simnet::millis;
+
+    #[test]
+    fn topology_counts() {
+        let mut net = Network::new(millis(0.1));
+        let c = Cluster::build(&mut net, 173, 1);
+        assert_eq!(net.node_count(), 2 + 173 + 1);
+        assert_eq!(c.providers.len(), 173);
+        assert_eq!(c.clients.len(), 1);
+        assert_ne!(c.vm, c.pm);
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        let mut net = Network::new(millis(0.1));
+        let c = Cluster::build(&mut net, 50, 0);
+        assert_eq!(c.data_provider_of(0), c.providers[0]);
+        assert_eq!(c.data_provider_of(51), c.providers[1]);
+        for level in 0..10u32 {
+            let pos = NodePos::new(0, 1 << level);
+            let a = c.meta_provider_of(pos);
+            let b = c.meta_provider_of(pos);
+            assert_eq!(a, b);
+            assert!(c.providers.contains(&a));
+        }
+    }
+
+    #[test]
+    fn centralized_mode_pins_metadata_to_one_node() {
+        let mut net = Network::new(millis(0.1));
+        let c = Cluster::build(&mut net, 8, 0).with_centralized_metadata(true);
+        for level in 0..6u32 {
+            assert_eq!(c.meta_provider_of(NodePos::new(0, 1 << level)), c.providers[0]);
+            assert_eq!(c.meta_provider_of(NodePos::new(1 << level, 1 << level)), c.providers[0]);
+        }
+    }
+
+    #[test]
+    fn co_deployment_wraps() {
+        let mut net = Network::new(millis(0.1));
+        let c = Cluster::build(&mut net, 3, 0);
+        assert_eq!(c.co_deployed_client(0), c.providers[0]);
+        assert_eq!(c.co_deployed_client(4), c.providers[1]);
+    }
+}

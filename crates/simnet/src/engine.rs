@@ -1,0 +1,434 @@
+//! The discrete-event engine driving processes over the network model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::net::{Activity, Network};
+use crate::Nanos;
+
+/// Identifies a spawned process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProcessId(pub usize);
+
+/// What a process does next.
+pub enum Step {
+    /// Fork the batch; the process is stepped again when *all* its
+    /// activities complete (join). The batch must be non-empty.
+    Await(Vec<Activity>),
+    /// Like [`Step::Await`], but with at most `window` activities in
+    /// flight: the engine starts the next queued activity as each one
+    /// completes. This models bounded RPC pipelining — without it, a
+    /// client would book an entire 1000-request batch ahead of every
+    /// later-arriving client, which no real transport allows.
+    AwaitWindow {
+        /// Activities to run (in order of admission).
+        activities: Vec<Activity>,
+        /// Maximum number in flight at once (≥ 1).
+        window: usize,
+    },
+    /// The process has finished.
+    Done,
+}
+
+/// A simulated workload: a state machine stepped at fork-join points.
+///
+/// `step` is called once at start (with the spawn time) and then each
+/// time the previously submitted batch has fully completed.
+pub trait Process {
+    /// Advance to the next phase.
+    fn step(&mut self, now: Nanos) -> Step;
+}
+
+struct ActivityState {
+    stages: Vec<crate::net::Stage>,
+    next_stage: usize,
+    owner: ProcessId,
+}
+
+struct ProcState {
+    proc: Box<dyn Process>,
+    outstanding: usize,
+    queued: std::collections::VecDeque<Activity>,
+    done: bool,
+}
+
+/// Event queue entry: `(time, sequence, activity)` — the sequence number
+/// breaks ties FIFO, keeping runs deterministic.
+type Event = Reverse<(Nanos, u64, usize)>;
+
+/// The simulation engine: owns the network, the processes and the event
+/// queue.
+pub struct Engine {
+    net: Network,
+    clock: Nanos,
+    seq: u64,
+    events: BinaryHeap<Event>,
+    activities: Vec<ActivityState>,
+    processes: Vec<ProcState>,
+}
+
+impl Engine {
+    /// Engine over a prepared network.
+    pub fn new(net: Network) -> Self {
+        Engine {
+            net,
+            clock: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            activities: Vec::new(),
+            processes: Vec::new(),
+        }
+    }
+
+    /// Read access to the network (stats).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.clock
+    }
+
+    /// Register a process; it takes its first step when `run` starts.
+    pub fn spawn(&mut self, proc: Box<dyn Process>) -> ProcessId {
+        let id = ProcessId(self.processes.len());
+        self.processes.push(ProcState {
+            proc,
+            outstanding: 0,
+            queued: std::collections::VecDeque::new(),
+            done: false,
+        });
+        id
+    }
+
+    fn submit(&mut self, owner: ProcessId, batch: Vec<Activity>, window: usize) {
+        assert!(!batch.is_empty(), "Await batch must be non-empty (use Done)");
+        assert!(window >= 1, "window must admit at least one activity");
+        let p = &mut self.processes[owner.0];
+        debug_assert_eq!(p.outstanding, 0);
+        debug_assert!(p.queued.is_empty());
+        let admit = window.min(batch.len());
+        let mut iter = batch.into_iter();
+        let head: Vec<Activity> = iter.by_ref().take(admit).collect();
+        p.queued = iter.collect();
+        p.outstanding = admit;
+        for activity in head {
+            self.start_activity(owner, activity);
+        }
+    }
+
+    fn start_activity(&mut self, owner: ProcessId, activity: Activity) {
+        assert!(!activity.stages.is_empty(), "activity must have stages");
+        let id = self.activities.len();
+        self.activities.push(ActivityState {
+            stages: activity.stages,
+            next_stage: 0,
+            owner,
+        });
+        self.advance_activity(id);
+    }
+
+    /// Book the next stage of `id` and queue its completion event.
+    fn advance_activity(&mut self, id: usize) {
+        let stage = self.activities[id].stages[self.activities[id].next_stage];
+        let done_at = self.net.book(self.clock, &stage);
+        self.seq += 1;
+        self.events.push(Reverse((done_at, self.seq, id)));
+    }
+
+    fn step_process(&mut self, pid: ProcessId) {
+        let step = self.processes[pid.0].proc.step(self.clock);
+        match step {
+            Step::Await(batch) => {
+                let window = batch.len();
+                self.submit(pid, batch, window);
+            }
+            Step::AwaitWindow { activities, window } => self.submit(pid, activities, window),
+            Step::Done => self.processes[pid.0].done = true,
+        }
+    }
+
+    /// Run to completion; returns the final virtual time. Panics if the
+    /// event queue drains while some process still awaits work (a bug
+    /// in the workload).
+    pub fn run(&mut self) -> Nanos {
+        for pid in 0..self.processes.len() {
+            self.step_process(ProcessId(pid));
+        }
+        while let Some(Reverse((t, _, act))) = self.events.pop() {
+            debug_assert!(t >= self.clock, "time must not run backwards");
+            self.clock = t;
+            let a = &mut self.activities[act];
+            a.next_stage += 1;
+            if a.next_stage < a.stages.len() {
+                self.advance_activity(act);
+                continue;
+            }
+            let owner = a.owner;
+            let p = &mut self.processes[owner.0];
+            p.outstanding -= 1;
+            if let Some(next) = p.queued.pop_front() {
+                p.outstanding += 1;
+                self.start_activity(owner, next);
+            } else if p.outstanding == 0 && !p.done {
+                self.step_process(owner);
+            }
+        }
+        assert!(
+            self.processes.iter().all(|p| p.done),
+            "event queue drained with unfinished processes"
+        );
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NodeId, NodeSpec, Stage, TransferSpec};
+    use crate::{millis, Nanos};
+    use std::sync::{Arc, Mutex};
+
+    fn network(n: usize) -> (Network, Vec<NodeId>) {
+        let mut net = Network::new(millis(0.1));
+        let nodes = (0..n).map(|_| net.add_node(NodeSpec::grid5000())).collect();
+        (net, nodes)
+    }
+
+    /// A process running a fixed list of phases, recording step times.
+    struct Phased {
+        phases: Vec<Vec<Activity>>,
+        next: usize,
+        log: Arc<Mutex<Vec<Nanos>>>,
+    }
+
+    impl Process for Phased {
+        fn step(&mut self, now: Nanos) -> Step {
+            self.log.lock().unwrap().push(now);
+            if self.next < self.phases.len() {
+                self.next += 1;
+                Step::Await(self.phases[self.next - 1].clone())
+            } else {
+                Step::Done
+            }
+        }
+    }
+
+    #[test]
+    fn fork_join_waits_for_slowest() {
+        let (net, _) = network(2);
+        let mut engine = Engine::new(net);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        engine.spawn(Box::new(Phased {
+            phases: vec![vec![
+                Activity::delay(millis(5.0)),
+                Activity::delay(millis(20.0)),
+                Activity::delay(millis(1.0)),
+            ]],
+            next: 0,
+            log: Arc::clone(&log),
+        }));
+        let end = engine.run();
+        assert_eq!(end, millis(20.0));
+        assert_eq!(*log.lock().unwrap(), vec![0, millis(20.0)]);
+    }
+
+    #[test]
+    fn phases_are_sequential() {
+        let (net, _) = network(2);
+        let mut engine = Engine::new(net);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        engine.spawn(Box::new(Phased {
+            phases: vec![
+                vec![Activity::delay(millis(3.0))],
+                vec![Activity::delay(millis(4.0))],
+            ],
+            next: 0,
+            log: Arc::clone(&log),
+        }));
+        let end = engine.run();
+        assert_eq!(end, millis(7.0));
+        assert_eq!(*log.lock().unwrap(), vec![0, millis(3.0), millis(7.0)]);
+    }
+
+    #[test]
+    fn multi_stage_activities_chain() {
+        let (net, nodes) = network(2);
+        let mut engine = Engine::new(net);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Request-response RPC: 1 KB there, service, 1 KB back.
+        let rpc = Activity::new(vec![
+            Stage::Transfer(TransferSpec {
+                src: nodes[0],
+                dst: nodes[1],
+                bytes: 0,
+                src_overhead: 0,
+                dst_overhead: 0,
+            }),
+            Stage::Service { node: nodes[1], duration: millis(1.0) },
+            Stage::Transfer(TransferSpec {
+                src: nodes[1],
+                dst: nodes[0],
+                bytes: 0,
+                src_overhead: 0,
+                dst_overhead: 0,
+            }),
+        ]);
+        engine.spawn(Box::new(Phased {
+            phases: vec![vec![rpc]],
+            next: 0,
+            log: Arc::clone(&log),
+        }));
+        let end = engine.run();
+        // 0.1 latency + 1.0 service + 0.1 latency.
+        assert_eq!(end, millis(1.2));
+    }
+
+    #[test]
+    fn concurrent_processes_contend() {
+        // Two clients each pushing 1 MB to the same server: the shared
+        // ingress serializes them, so one finishes ~2x later.
+        let (net, nodes) = network(3);
+        let mut engine = Engine::new(net);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for client in [nodes[1], nodes[2]] {
+            engine.spawn(Box::new(Phased {
+                phases: vec![vec![Activity::new(vec![Stage::Transfer(TransferSpec {
+                    src: client,
+                    dst: nodes[0],
+                    bytes: 1_175_000, // 10 ms at 117.5 MB/s
+                    src_overhead: 0,
+                    dst_overhead: 0,
+                })])]],
+                next: 0,
+                log: Arc::clone(&log),
+            }));
+        }
+        let end = engine.run();
+        assert_eq!(end, millis(20.1));
+        let stats = engine.network().stats(nodes[0]);
+        assert_eq!(stats.bytes_received, 2 * 1_175_000);
+    }
+
+    #[test]
+    fn determinism() {
+        let run_once = || {
+            let (net, nodes) = network(4);
+            let mut engine = Engine::new(net);
+            for i in 1..4 {
+                engine.spawn(Box::new(Phased {
+                    phases: vec![vec![Activity::new(vec![Stage::Transfer(TransferSpec {
+                        src: nodes[i],
+                        dst: nodes[0],
+                        bytes: 100_000 * i as u64,
+                        src_overhead: millis(0.05),
+                        dst_overhead: millis(0.1),
+                    })])]],
+                    next: 0,
+                    log: Arc::new(Mutex::new(Vec::new())),
+                }));
+            }
+            engine.run()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    /// A process that runs one windowed batch of fixed-length delays.
+    struct Windowed {
+        n: usize,
+        window: usize,
+        started: bool,
+    }
+
+    impl Process for Windowed {
+        fn step(&mut self, _now: Nanos) -> Step {
+            if self.started {
+                return Step::Done;
+            }
+            self.started = true;
+            Step::AwaitWindow {
+                activities: (0..self.n).map(|_| Activity::delay(millis(1.0))).collect(),
+                window: self.window,
+            }
+        }
+    }
+
+    #[test]
+    fn window_limits_concurrency() {
+        // 8 one-ms delays with window 2 → 4 ms; window 8 → 1 ms.
+        for (window, expect) in [(2usize, millis(4.0)), (8, millis(1.0)), (1, millis(8.0))] {
+            let (net, _) = network(1);
+            let mut engine = Engine::new(net);
+            engine.spawn(Box::new(Windowed { n: 8, window, started: false }));
+            assert_eq!(engine.run(), expect, "window {window}");
+        }
+    }
+
+    #[test]
+    fn window_interleaves_processes_fairly() {
+        // Two clients pushing 8 transfers each through one server with
+        // window 1 finish at (nearly) the same time; with unbounded
+        // batches the first-spawned client would finish ~2x earlier.
+        let (net, nodes) = network(3);
+        let mut engine = Engine::new(net);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        struct Win1 {
+            src: NodeId,
+            dst: NodeId,
+            started: bool,
+            log: Arc<Mutex<Vec<Nanos>>>,
+        }
+        impl Process for Win1 {
+            fn step(&mut self, now: Nanos) -> Step {
+                if self.started {
+                    self.log.lock().unwrap().push(now);
+                    return Step::Done;
+                }
+                self.started = true;
+                Step::AwaitWindow {
+                    activities: (0..8)
+                        .map(|_| {
+                            Activity::new(vec![Stage::Transfer(TransferSpec {
+                                src: self.src,
+                                dst: self.dst,
+                                bytes: 117_500, // 1 ms
+                                src_overhead: 0,
+                                dst_overhead: 0,
+                            })])
+                        })
+                        .collect(),
+                    window: 1,
+                }
+            }
+        }
+        for src in [nodes[1], nodes[2]] {
+            engine.spawn(Box::new(Win1 {
+                src,
+                dst: nodes[0],
+                started: false,
+                log: Arc::clone(&log),
+            }));
+        }
+        engine.run();
+        let ends = log.lock().unwrap().clone();
+        let spread = ends[1].abs_diff(ends[0]);
+        assert!(
+            spread <= millis(2.0),
+            "windowed clients finish within one slot of each other, spread {spread}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_batch_rejected() {
+        let (net, _) = network(1);
+        let mut engine = Engine::new(net);
+        engine.spawn(Box::new(Phased {
+            phases: vec![vec![]],
+            next: 0,
+            log: Arc::new(Mutex::new(Vec::new())),
+        }));
+        engine.run();
+    }
+}

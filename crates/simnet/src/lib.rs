@@ -1,0 +1,72 @@
+//! A flow-level discrete-event network simulator.
+//!
+//! This crate stands in for the paper's Grid'5000 testbed (§5: 175
+//! nodes, 1 Gbit/s links — 117.5 MB/s measured for TCP — and 0.1 ms
+//! latency). The throughput experiments in the paper measure *bandwidth
+//! under contention*; what determines those curves is how transfers
+//! share NIC capacity and how requests queue at busy nodes, not packet-
+//! level dynamics. Accordingly the model is *fluid*:
+//!
+//! * every node has three serial resources: **egress** NIC, **ingress**
+//!   NIC, and a **CPU** serving requests FIFO;
+//! * a [`Stage::Transfer`] books `bytes / min(src_cap, dst_cap)` of busy
+//!   time on the source egress and destination ingress (overlapped,
+//!   offset by the propagation latency — cut-through, not
+//!   store-and-forward), plus optional per-transfer *processing
+//!   overheads* charged serially at each side. Those overheads model
+//!   the send/receive software path (buffer assembly, storage write-out
+//!   or read-in) and are what make a data-carrying page transfer more
+//!   expensive than its wire time — the calibration lever behind the
+//!   paper's measured single-client bandwidths;
+//! * a [`Stage::Service`] books busy time on a node's CPU (request
+//!   processing);
+//! * bookings happen in event-time order, so earlier-arriving work
+//!   delays later work exactly like a FIFO queue.
+//!
+//! Workloads are [`Process`]es: state machines that, on each step,
+//! submit a batch of [`Activity`] chains (fork) and are woken when the
+//! whole batch has completed (join). This matches BlobSeer's
+//! phase-structured operations (store pages in parallel → RPC to the
+//! version manager → write metadata level by level → notify).
+//!
+//! Everything is deterministic: same inputs, same event order, same
+//! virtual timings.
+
+mod engine;
+mod net;
+
+pub use engine::{Engine, Process, ProcessId, Step};
+pub use net::{Activity, NetStats, Network, NodeId, NodeSpec, Stage, TransferSpec};
+
+/// Nanoseconds, the simulator's time unit.
+pub type Nanos = u64;
+
+/// Convert seconds to the simulator clock.
+#[inline]
+pub fn secs(s: f64) -> Nanos {
+    (s * 1e9) as Nanos
+}
+
+/// Convert milliseconds to the simulator clock.
+#[inline]
+pub fn millis(ms: f64) -> Nanos {
+    (ms * 1e6) as Nanos
+}
+
+/// Convert a simulator timestamp to seconds.
+#[inline]
+pub fn to_secs(ns: Nanos) -> f64 {
+    ns as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(secs(1.0), 1_000_000_000);
+        assert_eq!(millis(0.1), 100_000);
+        assert!((to_secs(1_500_000_000) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests of the fluid network model's booking discipline.
+//!
+//! The throughput figures rest on these invariants: if booking ever
+//! double-counted capacity or let time run backwards, the reproduced
+//! curves would be artifacts.
+
+use blobseer_simnet::{
+    millis, Activity, Engine, Nanos, Network, NodeId, NodeSpec, Process, Stage, Step,
+    TransferSpec,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+struct Xfer {
+    src: usize,
+    dst: usize,
+    kbytes: u32,
+}
+
+fn xfers(nodes: usize) -> impl Strategy<Value = Vec<Xfer>> {
+    proptest::collection::vec(
+        (0..nodes, 0..nodes, 1u32..2000).prop_map(|(src, dst, kbytes)| Xfer {
+            src,
+            dst,
+            kbytes,
+        }),
+        1..40,
+    )
+}
+
+struct OneShot {
+    batch: Vec<Activity>,
+    window: usize,
+    started: bool,
+}
+
+impl Process for OneShot {
+    fn step(&mut self, _now: Nanos) -> Step {
+        if self.started {
+            return Step::Done;
+        }
+        self.started = true;
+        Step::AwaitWindow { activities: std::mem::take(&mut self.batch), window: self.window }
+    }
+}
+
+fn run_batch(transfers: &[Xfer], nodes: usize, window: usize) -> (Nanos, Vec<u64>, Vec<u64>) {
+    let mut net = Network::new(millis(0.1));
+    let ids: Vec<NodeId> = (0..nodes).map(|_| net.add_node(NodeSpec::grid5000())).collect();
+    let batch: Vec<Activity> = transfers
+        .iter()
+        .map(|t| {
+            Activity::new(vec![Stage::Transfer(TransferSpec {
+                src: ids[t.src],
+                dst: ids[t.dst],
+                bytes: u64::from(t.kbytes) * 1024,
+                src_overhead: 0,
+                dst_overhead: 0,
+            })])
+        })
+        .collect();
+    let mut engine = Engine::new(net);
+    engine.spawn(Box::new(OneShot { batch, window, started: false }));
+    let end = engine.run();
+    let sent = ids.iter().map(|&n| engine.network().stats(n).bytes_sent).collect();
+    let received = ids.iter().map(|&n| engine.network().stats(n).bytes_received).collect();
+    (end, sent, received)
+}
+
+proptest! {
+    #[test]
+    fn conservation_of_bytes(transfers in xfers(5)) {
+        let (_, sent, received) = run_batch(&transfers, 5, usize::MAX);
+        let total: u64 = transfers.iter().map(|t| u64::from(t.kbytes) * 1024).sum();
+        prop_assert_eq!(sent.iter().sum::<u64>(), total);
+        prop_assert_eq!(received.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn wall_clock_bounded_below_by_busiest_resource(transfers in xfers(5)) {
+        // The end time can never beat the busiest NIC's serial work.
+        let (end, _, _) = run_batch(&transfers, 5, usize::MAX);
+        let cap = 117.5e6;
+        let mut egress = [0f64; 5];
+        let mut ingress = [0f64; 5];
+        for t in &transfers {
+            let bytes = f64::from(t.kbytes) * 1024.0;
+            if t.src != t.dst {
+                egress[t.src] += bytes / cap;
+                ingress[t.dst] += bytes / cap;
+            }
+        }
+        let busiest = egress
+            .iter()
+            .chain(ingress.iter())
+            .fold(0f64, |a, &b| a.max(b));
+        prop_assert!(
+            end as f64 / 1e9 + 1e-6 >= busiest,
+            "finished at {} s but busiest resource needs {} s",
+            end as f64 / 1e9,
+            busiest
+        );
+    }
+
+    #[test]
+    fn narrower_windows_never_finish_earlier(transfers in xfers(4)) {
+        let (wide, _, _) = run_batch(&transfers, 4, usize::MAX);
+        let (narrow, _, _) = run_batch(&transfers, 4, 2);
+        let (serial, _, _) = run_batch(&transfers, 4, 1);
+        prop_assert!(narrow >= wide, "window 2 beat unbounded: {narrow} < {wide}");
+        prop_assert!(serial >= narrow, "window 1 beat window 2: {serial} < {narrow}");
+    }
+
+    #[test]
+    fn determinism_under_any_batch(transfers in xfers(6)) {
+        let a = run_batch(&transfers, 6, 4);
+        let b = run_batch(&transfers, 6, 4);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn single_transfer_exact_time(kbytes in 1u32..100_000) {
+        let t = Xfer { src: 0, dst: 1, kbytes };
+        let (end, _, _) = run_batch(&[t], 2, 1);
+        let expect = millis(0.1) as f64 + f64::from(kbytes) * 1024.0 / 117.5e6 * 1e9;
+        prop_assert!(
+            ((end as f64) - expect).abs() < 2.0,
+            "got {end}, expected ~{expect}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Store-wide configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Default page size: 64 KiB, the smaller of the two page sizes used in
+/// the paper's evaluation (§5 uses 64 KiB and 256 KiB).
+pub const DEFAULT_PAGE_SIZE: u64 = 64 * 1024;
+
+/// Configuration of a BlobSeer deployment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Page size in bytes (`psize`). Must be a power of two (paper §4.1:
+    /// "We assume the page size psize is a power of two").
+    pub page_size: u64,
+    /// Number of data providers pages are striped over.
+    pub data_providers: usize,
+    /// Number of metadata providers (DHT buckets) tree nodes are
+    /// distributed over.
+    pub metadata_providers: usize,
+    /// Maximum time a blocking metadata wait may take before an
+    /// operation fails with [`crate::BlobError::Timeout`]. Expressed in
+    /// milliseconds to keep the type serde-friendly.
+    pub metadata_wait_ms: u64,
+    /// Number of worker threads each client uses for parallel page and
+    /// metadata I/O (the paper's clients fetch/store pages "in
+    /// parallel").
+    pub client_io_threads: usize,
+    /// Copies kept of every page (1 = no replication). The paper defers
+    /// replication to future work (§3.2); this implementation places
+    /// the extra copies on the providers that follow the primary in
+    /// registry order, so replica locations are derivable without any
+    /// extra metadata.
+    pub replication: usize,
+    /// Entries in the client-side metadata node cache (0 disables it).
+    /// Tree nodes are immutable, so the cache needs no invalidation.
+    pub metadata_cache_entries: usize,
+}
+
+impl StoreConfig {
+    /// Validate invariants, normalising nothing.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.page_size.is_power_of_two() {
+            return Err(format!("page_size {} is not a power of two", self.page_size));
+        }
+        if self.data_providers == 0 {
+            return Err("at least one data provider is required".into());
+        }
+        if self.metadata_providers == 0 {
+            return Err("at least one metadata provider is required".into());
+        }
+        if self.client_io_threads == 0 {
+            return Err("client_io_threads must be at least 1".into());
+        }
+        if self.replication == 0 {
+            return Err("replication must be at least 1 (1 = no extra copies)".into());
+        }
+        if self.replication > self.data_providers {
+            return Err(format!(
+                "replication {} exceeds the {} data providers",
+                self.replication, self.data_providers
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+            data_providers: 16,
+            metadata_providers: 16,
+            metadata_wait_ms: 10_000,
+            client_io_threads: 8,
+            replication: 1,
+            metadata_cache_entries: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(StoreConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_pages() {
+        let cfg = StoreConfig { page_size: 3000, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_providers() {
+        let cfg = StoreConfig { data_providers: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = StoreConfig { metadata_providers: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = StoreConfig { client_io_threads: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_replication() {
+        let cfg = StoreConfig { replication: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = StoreConfig { replication: 17, data_providers: 16, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = StoreConfig { replication: 3, data_providers: 16, ..Default::default() };
+        assert!(cfg.validate().is_ok());
+    }
+}

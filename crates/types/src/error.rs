@@ -1,0 +1,149 @@
+//! The common error type for all BlobSeer crates.
+
+use std::fmt;
+
+use crate::{BlobId, PageId, ProviderId, Version};
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, BlobError>;
+
+/// Errors surfaced by the BlobSeer public API and its substrates.
+///
+/// The paper's primitives fail in well-defined situations (§2.1): a
+/// `READ` of an unpublished version, a `READ` beyond the snapshot size,
+/// a `WRITE` whose offset exceeds the previous snapshot size, a `BRANCH`
+/// from an unpublished version. The remaining variants cover substrate
+/// faults (missing pages/metadata, timeouts) that the paper's prototype
+/// would surface as RPC failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlobError {
+    /// The blob id is not registered with the version manager.
+    BlobNotFound(BlobId),
+    /// The version has not been published yet (READ/GET_SIZE/BRANCH).
+    VersionNotPublished { blob: BlobId, version: Version },
+    /// The version exceeds anything ever assigned for this blob.
+    VersionUnknown { blob: BlobId, version: Version },
+    /// WRITE offset beyond the size of the previous snapshot (§2.1:
+    /// "the WRITE primitive fails if the specified offset is larger than
+    /// the total size of the snapshot vw − 1").
+    WriteBeyondEnd { blob: BlobId, offset: u64, snapshot_size: u64 },
+    /// READ range exceeds the snapshot size (§2.1: "a read fails also if
+    /// the total size of the snapshot v is smaller than offset + size").
+    ReadBeyondEnd {
+        blob: BlobId,
+        version: Version,
+        requested_end: u64,
+        snapshot_size: u64,
+    },
+    /// Zero-byte updates are rejected: they would publish a snapshot
+    /// indistinguishable from its predecessor.
+    EmptyUpdate,
+    /// A page referenced by metadata is missing from its provider.
+    PageMissing { pid: PageId, provider: ProviderId },
+    /// A requested provider id is not part of the deployment.
+    ProviderNotFound(ProviderId),
+    /// The provider is registered but currently failed/offline.
+    ProviderUnavailable(ProviderId),
+    /// No available provider could serve an allocation or fetch (all
+    /// registered providers, or all replicas of a page, are offline).
+    NoAvailableProvider,
+    /// The version was reclaimed by garbage collection and can no
+    /// longer be read.
+    VersionRetired { blob: BlobId, version: Version },
+    /// Garbage collection cannot proceed (live branch pins the history,
+    /// or updates are in flight).
+    GcConflict(String),
+    /// A metadata tree node was not found (and waiting was not allowed
+    /// or timed out).
+    MetadataMissing { blob: BlobId, version: Version },
+    /// A blocking wait (SYNC, DHT `get_wait`) exceeded its deadline.
+    Timeout(&'static str),
+    /// Storage-level failure (file-backed page store I/O, etc.).
+    Storage(String),
+    /// Internal invariant violation; indicates a bug, surfaced rather
+    /// than panicking so stress tests can report it.
+    Internal(String),
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::BlobNotFound(id) => write!(f, "{id} not found"),
+            BlobError::VersionNotPublished { blob, version } => {
+                write!(f, "{blob} {version} is not published yet")
+            }
+            BlobError::VersionUnknown { blob, version } => {
+                write!(f, "{blob} {version} was never assigned")
+            }
+            BlobError::WriteBeyondEnd { blob, offset, snapshot_size } => write!(
+                f,
+                "write to {blob} at offset {offset} beyond snapshot size {snapshot_size}"
+            ),
+            BlobError::ReadBeyondEnd { blob, version, requested_end, snapshot_size } => write!(
+                f,
+                "read of {blob} {version} up to byte {requested_end} exceeds snapshot size {snapshot_size}"
+            ),
+            BlobError::EmptyUpdate => write!(f, "zero-byte updates are not allowed"),
+            BlobError::PageMissing { pid, provider } => {
+                write!(f, "{pid:?} missing from {provider}")
+            }
+            BlobError::ProviderNotFound(p) => write!(f, "{p} is not deployed"),
+            BlobError::ProviderUnavailable(p) => write!(f, "{p} is currently unavailable"),
+            BlobError::NoAvailableProvider => {
+                write!(f, "no available provider can serve the request")
+            }
+            BlobError::VersionRetired { blob, version } => {
+                write!(f, "{blob} {version} was retired by garbage collection")
+            }
+            BlobError::GcConflict(why) => write!(f, "garbage collection blocked: {why}"),
+            BlobError::MetadataMissing { blob, version } => {
+                write!(f, "metadata node missing for {blob} {version}")
+            }
+            BlobError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            BlobError::Storage(msg) => write!(f, "storage failure: {msg}"),
+            BlobError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+impl From<std::io::Error> for BlobError {
+    fn from(e: std::io::Error) -> Self {
+        BlobError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BlobError::WriteBeyondEnd { blob: BlobId(1), offset: 100, snapshot_size: 64 };
+        let s = e.to_string();
+        assert!(s.contains("blob#1"));
+        assert!(s.contains("100"));
+        assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: BlobError = io.into();
+        assert!(matches!(e, BlobError::Storage(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            BlobError::Timeout("publication"),
+            BlobError::Timeout("publication")
+        );
+        assert_ne!(
+            BlobError::BlobNotFound(BlobId(1)),
+            BlobError::BlobNotFound(BlobId(2))
+        );
+    }
+}

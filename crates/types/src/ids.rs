@@ -1,0 +1,220 @@
+//! Identifier newtypes.
+//!
+//! All identifiers are small `Copy` newtypes so they can be used as map
+//! keys and passed across component boundaries freely. Uniqueness of
+//! [`BlobId`] and [`PageId`] is provided by monotonic in-process
+//! generators (the paper's deployment uses globally-unique ids handed
+//! out by the version manager; a process-wide atomic counter plays the
+//! same role in our in-process reproduction).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Globally-unique identifier of a blob (paper §2.1, `CREATE` returns it).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlobId(pub u64);
+
+impl BlobId {
+    /// Raw numeric value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for BlobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blob#{}", self.0)
+    }
+}
+
+impl fmt::Display for BlobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blob#{}", self.0)
+    }
+}
+
+/// Snapshot version label.
+///
+/// Versions are assigned by the version manager in a total order per
+/// blob; version 0 is the initial empty snapshot (paper §2: "In its
+/// initial state, we assume any blob is considered empty ... and is
+/// labeled with version 0").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The initial, empty snapshot of every blob.
+    pub const ZERO: Version = Version(0);
+
+    /// Raw numeric value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next version in the per-blob total order.
+    #[inline]
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+
+    /// The previous version; `None` for version 0.
+    #[inline]
+    pub fn prev(self) -> Option<Version> {
+        self.0.checked_sub(1).map(Version)
+    }
+}
+
+impl fmt::Debug for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Globally-unique identifier of a stored page (the paper's *pid*).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(pub u128);
+
+impl PageId {
+    /// Raw numeric value.
+    #[inline]
+    pub fn raw(self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{:x}", self.0)
+    }
+}
+
+/// Identifier of a data provider (storage node).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProviderId(pub u32);
+
+impl ProviderId {
+    /// Raw numeric value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prov#{}", self.0)
+    }
+}
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prov#{}", self.0)
+    }
+}
+
+/// Generator of globally-unique [`PageId`]s.
+///
+/// Each generator instance gets a distinct high 64-bit *namespace* from a
+/// process-wide counter; page ids are `(namespace << 64) | sequence`.
+/// Clients each own a generator, so page-id generation is contention-free
+/// (the paper stresses that page writes need no synchronisation at all).
+#[derive(Debug)]
+pub struct PageIdGen {
+    namespace: u64,
+    seq: AtomicU64,
+}
+
+static NAMESPACE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+impl PageIdGen {
+    /// Create a generator with a fresh, process-unique namespace.
+    pub fn new() -> Self {
+        PageIdGen {
+            namespace: NAMESPACE_COUNTER.fetch_add(1, Ordering::Relaxed),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Produce the next unique page id.
+    #[inline]
+    pub fn next_id(&self) -> PageId {
+        let lo = self.seq.fetch_add(1, Ordering::Relaxed);
+        PageId(((self.namespace as u128) << 64) | lo as u128)
+    }
+}
+
+impl Default for PageIdGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn version_arithmetic() {
+        assert_eq!(Version::ZERO.next(), Version(1));
+        assert_eq!(Version(5).prev(), Some(Version(4)));
+        assert_eq!(Version::ZERO.prev(), None);
+        assert!(Version(3) < Version(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BlobId(7).to_string(), "blob#7");
+        assert_eq!(Version(12).to_string(), "v12");
+        assert_eq!(ProviderId(3).to_string(), "prov#3");
+        assert_eq!(format!("{:?}", PageId(255)), "pid:ff");
+    }
+
+    #[test]
+    fn page_ids_unique_within_generator() {
+        let g = PageIdGen::new();
+        let ids: HashSet<_> = (0..10_000).map(|_| g.next_id()).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn page_ids_unique_across_generators() {
+        let a = PageIdGen::new();
+        let b = PageIdGen::new();
+        let mut ids = HashSet::new();
+        for _ in 0..1000 {
+            assert!(ids.insert(a.next_id()));
+            assert!(ids.insert(b.next_id()));
+        }
+    }
+
+    #[test]
+    fn page_ids_unique_under_concurrency() {
+        let g = Arc::new(PageIdGen::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                (0..5000).map(|_| g.next_id()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "duplicate page id {:?}", id);
+            }
+        }
+        assert_eq!(all.len(), 8 * 5000);
+    }
+}

@@ -1,0 +1,74 @@
+//! Core data model for the BlobSeer reproduction.
+//!
+//! BlobSeer (Nicolae, Antoniu, Bougé — EDBT/DAMAP 2009) stores *binary
+//! large objects* (blobs) striped into fixed-size **pages** distributed
+//! over data providers, with per-snapshot metadata organised as a
+//! distributed **segment tree**. This crate defines the vocabulary shared
+//! by every other crate in the workspace:
+//!
+//! * identifiers — [`BlobId`], [`Version`], [`PageId`], [`ProviderId`];
+//! * range arithmetic — [`ByteRange`], [`PageRange`] and the dyadic
+//!   segment-tree positions [`NodePos`];
+//! * the [`PageDescriptor`] record exchanged between the metadata layer
+//!   and the data-access layer (the paper's *PD* sets);
+//! * store-wide [`StoreConfig`] and the common [`BlobError`] type.
+//!
+//! Everything here is pure data: no I/O, no locks, no global state other
+//! than the monotonic id generators.
+
+mod config;
+mod error;
+mod ids;
+mod page;
+mod range;
+
+pub use config::{StoreConfig, DEFAULT_PAGE_SIZE};
+pub use error::{BlobError, Result};
+pub use ids::{BlobId, PageId, PageIdGen, ProviderId, Version};
+pub use page::{PageDescriptor, PageSlice};
+pub use range::{ByteRange, NodePos, PageRange};
+
+/// Round `n` up to the next power of two, with `next_pow2(0) == 1`.
+///
+/// Used to size segment-tree roots: the root of a snapshot holding `p`
+/// pages covers `next_pow2(p)` pages (paper §4.1 assumes power-of-two
+/// tree spans).
+#[inline]
+pub fn next_pow2(n: u64) -> u64 {
+    n.max(1).next_power_of_two()
+}
+
+/// Integer ceiling division.
+#[inline]
+pub fn div_ceil(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + u64::from(!a.is_multiple_of(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_edge_cases() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(4), 4);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1023), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn div_ceil_edge_cases() {
+        assert_eq!(div_ceil(0, 4), 0);
+        assert_eq!(div_ceil(1, 4), 1);
+        assert_eq!(div_ceil(4, 4), 1);
+        assert_eq!(div_ceil(5, 4), 2);
+        assert_eq!(div_ceil(8, 4), 2);
+        assert_eq!(div_ceil(u64::MAX, 1), u64::MAX);
+    }
+}

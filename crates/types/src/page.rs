@@ -1,0 +1,122 @@
+//! Page descriptors: the records linking metadata to stored pages.
+//!
+//! A `READ` first consults metadata to assemble a set of page
+//! descriptors (the paper's *PD* set, Algorithm 1 line 4), then fetches
+//! the described pages in parallel. A `WRITE`/`APPEND` produces the same
+//! records while storing pages and hands them to `BUILD_META`
+//! (Algorithm 2 line 8).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ByteRange, PageId, ProviderId};
+
+/// One entry of the paper's *PD* set: a page, where it lives, and which
+/// page slot of the blob it occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PageDescriptor {
+    /// Globally-unique id of the stored page.
+    pub pid: PageId,
+    /// Absolute page index within the blob (the paper indexes pages
+    /// relative to the accessed range; we keep absolute indices and
+    /// derive buffer offsets at the access site).
+    pub page_index: u64,
+    /// Data provider storing the page.
+    pub provider: ProviderId,
+    /// Number of valid bytes in the page (< `psize` only for the final,
+    /// partially-filled page of a snapshot).
+    pub valid_len: u32,
+}
+
+/// A sub-range of a single page that a `READ` must fetch.
+///
+/// When the requested byte range is not page-aligned, the first and last
+/// pages are fetched partially (paper §3.2: "the client may request only
+/// a part of the page from the page provider").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageSlice {
+    /// The page to fetch from.
+    pub descriptor: PageDescriptor,
+    /// Byte range *within the page* to fetch: `offset < psize`,
+    /// `offset + len <= psize`.
+    pub within: ByteRange,
+    /// Destination offset in the caller's buffer.
+    pub buffer_offset: u64,
+}
+
+impl PageSlice {
+    /// Compute the slice of `descriptor`'s page needed to satisfy a read
+    /// of `request` (absolute byte range), given the page size.
+    ///
+    /// Returns `None` when the page does not intersect the request.
+    pub fn for_request(
+        descriptor: PageDescriptor,
+        request: ByteRange,
+        psize: u64,
+    ) -> Option<PageSlice> {
+        let page_bytes = ByteRange::new(descriptor.page_index * psize, psize);
+        let hit = page_bytes.intersect(request)?;
+        Some(PageSlice {
+            descriptor,
+            within: ByteRange::new(hit.offset - page_bytes.offset, hit.size),
+            buffer_offset: hit.offset - request.offset,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PageId;
+
+    fn pd(page_index: u64) -> PageDescriptor {
+        PageDescriptor {
+            pid: PageId(page_index as u128 + 1000),
+            page_index,
+            provider: ProviderId(0),
+            valid_len: 4,
+        }
+    }
+
+    #[test]
+    fn full_page_slice() {
+        let s = PageSlice::for_request(pd(2), ByteRange::new(8, 4), 4).unwrap();
+        assert_eq!(s.within, ByteRange::new(0, 4));
+        assert_eq!(s.buffer_offset, 0);
+    }
+
+    #[test]
+    fn head_partial_slice() {
+        // Request [9, 16) with psize 4: page 2 contributes [1,4) of itself.
+        let s = PageSlice::for_request(pd(2), ByteRange::new(9, 7), 4).unwrap();
+        assert_eq!(s.within, ByteRange::new(1, 3));
+        assert_eq!(s.buffer_offset, 0);
+    }
+
+    #[test]
+    fn tail_partial_slice() {
+        // Request [8, 14): page 3 contributes [0,2), landing at buffer 4.
+        let s = PageSlice::for_request(pd(3), ByteRange::new(8, 6), 4).unwrap();
+        assert_eq!(s.within, ByteRange::new(0, 2));
+        assert_eq!(s.buffer_offset, 4);
+    }
+
+    #[test]
+    fn middle_page_full_slice_with_unaligned_request() {
+        // Request [9, 19): page 3 is fully interior.
+        let s = PageSlice::for_request(pd(3), ByteRange::new(9, 10), 4).unwrap();
+        assert_eq!(s.within, ByteRange::new(0, 4));
+        assert_eq!(s.buffer_offset, 3);
+    }
+
+    #[test]
+    fn disjoint_page_yields_none() {
+        assert!(PageSlice::for_request(pd(5), ByteRange::new(8, 6), 4).is_none());
+    }
+
+    #[test]
+    fn single_byte_request() {
+        let s = PageSlice::for_request(pd(0), ByteRange::new(2, 1), 4).unwrap();
+        assert_eq!(s.within, ByteRange::new(2, 1));
+        assert_eq!(s.buffer_offset, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! The version manager — "the key actor of the system" (paper §3.1).
+//!
+//! The version manager (VM):
+//!
+//! * assigns snapshot version numbers to WRITE/APPEND requests, fixing
+//!   the per-blob **total order** of updates (§2);
+//! * **publishes** versions strictly in order once their metadata is
+//!   complete, which is what makes every operation atomic (§4.3: "it is
+//!   up to the version manager to decide when their effects will be
+//!   revealed ... The only synchronization occurs at the level of the
+//!   version manager");
+//! * supplies each writer with the **partial border set**: the tree
+//!   positions that concurrent, lower-versioned, still-unpublished
+//!   updates will create (§4.2). This is the trick that lets metadata
+//!   builds proceed in parallel instead of serializing version by
+//!   version — and it is computable without touching the DHT because
+//!   the set of positions an update creates is a pure function of its
+//!   range and root (see [`blobseer_meta::plan::creates_position`]);
+//! * tracks per-version snapshot sizes (`GET_SIZE`), recent published
+//!   versions (`GET_RECENT`), publication waits (`SYNC`) and the
+//!   branching registry (`BRANCH`).
+//!
+//! The VM is centralized, as in the paper ("In our current
+//! implementation, atomicity is easy to achieve, as the version manager
+//! is centralized"); distribution of the VM is explicitly future work
+//! there and is out of scope here too.
+
+mod manager;
+mod state;
+
+pub use manager::{AssignedUpdate, ConcurrencyMode, UpdateKind, VersionManager, VmStats};

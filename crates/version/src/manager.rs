@@ -1,0 +1,722 @@
+//! The version manager proper.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blobseer_meta::plan::{border_positions, creates_position};
+use blobseer_meta::{Lineage, RootRef};
+use blobseer_types::{
+    div_ceil, BlobError, BlobId, ByteRange, NodePos, PageRange, Result, Version,
+};
+use parking_lot::RwLock;
+
+use crate::state::{BlobInner, BlobState, Inflight};
+
+/// How writers interact with concurrent metadata builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConcurrencyMode {
+    /// The paper's scheme: writers get partial border sets and build
+    /// metadata concurrently (§4.2).
+    Concurrent,
+    /// Ablation baseline: a writer's version assignment blocks until
+    /// all lower versions have *published*, so metadata builds are
+    /// serialized version by version. Measured by experiment E5.
+    SerializedMetadata,
+}
+
+/// The update type being registered (paper §2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Replace `size` bytes starting at `offset`.
+    Write {
+        /// Absolute byte offset (must be ≤ the previous snapshot size).
+        offset: u64,
+        /// Bytes written.
+        size: u64,
+    },
+    /// Append `size` bytes at the end of the previous snapshot ("the
+    /// offset is implicitly assumed to be the size of snapshot va − 1").
+    Append {
+        /// Bytes appended.
+        size: u64,
+    },
+}
+
+/// The version manager's reply to an update registration: everything the
+/// writer needs to build and weave its metadata (paper §4.2).
+#[derive(Clone, Debug)]
+pub struct AssignedUpdate {
+    /// Assigned snapshot version `vw`.
+    pub vw: Version,
+    /// Resolved byte offset of the update.
+    pub offset: u64,
+    /// Byte size of the update.
+    pub size: u64,
+    /// Size of snapshot `vw − 1` in bytes.
+    pub prev_size: u64,
+    /// Size of snapshot `vw` in bytes.
+    pub new_size: u64,
+    /// Pages covered by the update.
+    pub range: PageRange,
+    /// Root position of the new tree.
+    pub new_root: NodePos,
+    /// Partial border set: positions that in-flight lower-versioned
+    /// updates will create, with the creating version (§4.2).
+    pub overrides: Vec<(NodePos, Version)>,
+    /// Root of the latest *published* snapshot (the "recently published
+    /// snapshot version" of §4.2); `None` while nothing non-empty is
+    /// published.
+    pub ref_root: Option<RootRef>,
+    /// Root of snapshot `vw − 1` (possibly still in flight); used by the
+    /// unaligned-write merge path. `None` when `vw − 1` is empty.
+    pub prev_root: Option<RootRef>,
+}
+
+/// Counters exposed for the E6 micro-experiment (VM work is claimed to
+/// be "negligible when compared to the full operation", §4.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Blobs registered.
+    pub blobs: u64,
+    /// Updates assigned.
+    pub assigned: u64,
+    /// Versions published.
+    pub published: u64,
+    /// Branches created.
+    pub branches: u64,
+}
+
+/// The centralized version manager.
+pub struct VersionManager {
+    psize: u64,
+    mode: ConcurrencyMode,
+    publish_wait: Duration,
+    blobs: RwLock<HashMap<BlobId, Arc<BlobState>>>,
+    next_blob: AtomicU64,
+    assigned: AtomicU64,
+    published: AtomicU64,
+    branches: AtomicU64,
+}
+
+impl VersionManager {
+    /// VM for a deployment with the given page size.
+    pub fn new(psize: u64, mode: ConcurrencyMode, publish_wait: Duration) -> Self {
+        assert!(psize.is_power_of_two(), "page size must be a power of two");
+        VersionManager {
+            psize,
+            mode,
+            publish_wait,
+            blobs: RwLock::new(HashMap::new()),
+            next_blob: AtomicU64::new(1),
+            assigned: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            branches: AtomicU64::new(0),
+        }
+    }
+
+    /// Page size the VM was configured with.
+    pub fn page_size(&self) -> u64 {
+        self.psize
+    }
+
+    /// Configured concurrency mode.
+    pub fn mode(&self) -> ConcurrencyMode {
+        self.mode
+    }
+
+    fn blob_state(&self, blob: BlobId) -> Result<Arc<BlobState>> {
+        self.blobs
+            .read()
+            .get(&blob)
+            .cloned()
+            .ok_or(BlobError::BlobNotFound(blob))
+    }
+
+    /// `CREATE`: register a new blob with the empty snapshot 0.
+    pub fn create(&self) -> BlobId {
+        let id = BlobId(self.next_blob.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(BlobState::new(BlobInner::new(Lineage::root(id))));
+        self.blobs.write().insert(id, state);
+        id
+    }
+
+    /// `BRANCH(id, v)`: fork a blob at a *published* version. The new
+    /// blob shares all data and metadata up to (and including) `v`.
+    pub fn branch(&self, blob: BlobId, at: Version) -> Result<BlobId> {
+        let state = self.blob_state(blob)?;
+        let mut parent = state.inner.lock();
+        if at > parent.published {
+            return Err(BlobError::VersionNotPublished { blob, version: at });
+        }
+        if parent.is_retired(at) {
+            return Err(BlobError::VersionRetired { blob, version: at });
+        }
+        let child_id = BlobId(self.next_blob.fetch_add(1, Ordering::Relaxed));
+        let lineage = Lineage::branch(&parent.lineage, at, child_id);
+        let child = BlobInner::branched(&parent, at, lineage);
+        parent.child_branch_points.push(at);
+        drop(parent);
+        self.blobs.write().insert(child_id, Arc::new(BlobState::new(child)));
+        self.branches.fetch_add(1, Ordering::Relaxed);
+        Ok(child_id)
+    }
+
+    /// Register an update and assign it the next snapshot version
+    /// (Algorithm 2 line 10 plus the §4.2 border-set supply).
+    pub fn assign(&self, blob: BlobId, kind: UpdateKind) -> Result<AssignedUpdate> {
+        let state = self.blob_state(blob)?;
+        let mut inner = state.inner.lock();
+
+        let prev_size = *inner.sizes.last().expect("sizes non-empty");
+        let (offset, size) = match kind {
+            UpdateKind::Write { offset, size } => {
+                if offset > prev_size {
+                    return Err(BlobError::WriteBeyondEnd { blob, offset, snapshot_size: prev_size });
+                }
+                (offset, size)
+            }
+            UpdateKind::Append { size } => (prev_size, size),
+        };
+        if size == 0 {
+            return Err(BlobError::EmptyUpdate);
+        }
+
+        let vw = Version(inner.sizes.len() as u64);
+        let new_size = prev_size.max(offset + size);
+        let range = ByteRange::new(offset, size).pages(self.psize);
+        let new_root = NodePos::root_for(div_ceil(new_size, self.psize));
+
+        // Partial border set: for each border position, the *highest*
+        // in-flight (assigned, unpublished) version creating a node
+        // there. Iterating the BTreeMap ascending makes "last match
+        // wins" select the maximum.
+        let mut overrides = Vec::new();
+        if self.mode == ConcurrencyMode::Concurrent {
+            for pos in border_positions(range, new_root) {
+                let mut best: Option<Version> = None;
+                for (&vk, inf) in inner.inflight.iter() {
+                    if creates_position(inf.range, inf.root, pos) {
+                        best = Some(Version(vk));
+                    }
+                }
+                if let Some(v) = best {
+                    overrides.push((pos, v));
+                }
+            }
+        }
+
+        inner.sizes.push(new_size);
+        inner
+            .inflight
+            .insert(vw.raw(), Inflight { range, root: new_root, completed: false });
+        self.assigned.fetch_add(1, Ordering::Relaxed);
+
+        if self.mode == ConcurrencyMode::SerializedMetadata {
+            // Ablation: hold the writer until every lower version has
+            // published, so its border resolution needs no overrides.
+            let deadline = Instant::now() + self.publish_wait;
+            while inner.published.next() != vw {
+                if state.publish_cv.wait_until(&mut inner, deadline).timed_out() {
+                    return Err(BlobError::Timeout("serialized publication order"));
+                }
+            }
+        }
+
+        let ref_root = inner.root_of(inner.published, self.psize);
+        let prev_root = inner.root_of(vw.prev().expect("vw ≥ 1"), self.psize);
+        Ok(AssignedUpdate {
+            vw,
+            offset,
+            size,
+            prev_size,
+            new_size,
+            range,
+            new_root,
+            overrides,
+            ref_root,
+            prev_root,
+        })
+    }
+
+    /// Writer notification that metadata for `vw` is durable
+    /// (Algorithm 2 line 12). The VM "takes the responsibility of
+    /// eventually publishing vw": it publishes as soon as all lower
+    /// versions are published, preserving total order.
+    pub fn complete(&self, blob: BlobId, vw: Version) -> Result<()> {
+        let state = self.blob_state(blob)?;
+        let mut inner = state.inner.lock();
+        match inner.inflight.get_mut(&vw.raw()) {
+            Some(inf) if !inf.completed => inf.completed = true,
+            Some(_) => {
+                return Err(BlobError::Internal(format!("{vw} completed twice")));
+            }
+            None => {
+                return Err(BlobError::VersionUnknown { blob, version: vw });
+            }
+        }
+        let n = inner.drain_publishable();
+        if n > 0 {
+            self.published.fetch_add(n as u64, Ordering::Relaxed);
+            state.publish_cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// `GET_RECENT`: a recently published version (monotonic, hence ≥
+    /// every version published before the call).
+    pub fn get_recent(&self, blob: BlobId) -> Result<Version> {
+        Ok(self.blob_state(blob)?.inner.lock().published)
+    }
+
+    /// `true` when `v` is published for `blob`.
+    pub fn is_published(&self, blob: BlobId, v: Version) -> Result<bool> {
+        Ok(v <= self.blob_state(blob)?.inner.lock().published)
+    }
+
+    /// `GET_SIZE`: size of a *published* snapshot.
+    pub fn get_size(&self, blob: BlobId, v: Version) -> Result<u64> {
+        let state = self.blob_state(blob)?;
+        let inner = state.inner.lock();
+        if v > inner.published {
+            return Err(BlobError::VersionNotPublished { blob, version: v });
+        }
+        if inner.is_retired(v) {
+            return Err(BlobError::VersionRetired { blob, version: v });
+        }
+        Ok(inner.size_of(v))
+    }
+
+    /// Everything a READ needs: the snapshot size and tree root of a
+    /// published version (`None` root for the empty snapshot 0).
+    pub fn read_view(&self, blob: BlobId, v: Version) -> Result<(u64, Option<RootRef>)> {
+        let state = self.blob_state(blob)?;
+        let inner = state.inner.lock();
+        if v > inner.published {
+            return Err(BlobError::VersionNotPublished { blob, version: v });
+        }
+        if inner.is_retired(v) {
+            return Err(BlobError::VersionRetired { blob, version: v });
+        }
+        Ok((inner.size_of(v), inner.root_of(v, self.psize)))
+    }
+
+    /// `SYNC`: block until `v` is published or `timeout` elapses.
+    pub fn sync(&self, blob: BlobId, v: Version, timeout: Duration) -> Result<()> {
+        let state = self.blob_state(blob)?;
+        let mut inner = state.inner.lock();
+        if v > inner.last_assigned() {
+            return Err(BlobError::VersionUnknown { blob, version: v });
+        }
+        let deadline = Instant::now() + timeout;
+        while inner.published < v {
+            if state.publish_cv.wait_until(&mut inner, deadline).timed_out() {
+                return Err(BlobError::Timeout("snapshot publication"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Begin garbage collection: retire every version `< keep_from`.
+    ///
+    /// Preconditions (all typed errors, nothing partial happens on
+    /// failure): `keep_from` must be published; no update may be in
+    /// flight (quiescence — the sweep must not race border
+    /// resolution); no live branch may pin history below `keep_from`.
+    ///
+    /// On success the retired versions immediately become unreadable
+    /// ([`BlobError::VersionRetired`]) and the *mark roots* — the tree
+    /// roots of every retained, non-empty snapshot — are returned for
+    /// the caller's mark-and-sweep.
+    pub fn begin_retire(&self, blob: BlobId, keep_from: Version) -> Result<Vec<RootRef>> {
+        let state = self.blob_state(blob)?;
+        let mut inner = state.inner.lock();
+        if keep_from > inner.published {
+            return Err(BlobError::VersionNotPublished { blob, version: keep_from });
+        }
+        if !inner.inflight.is_empty() {
+            return Err(BlobError::GcConflict(format!(
+                "{} update(s) in flight; GC requires quiescence",
+                inner.inflight.len()
+            )));
+        }
+        if let Some(&pin) = inner.child_branch_points.iter().min() {
+            if pin < keep_from {
+                return Err(BlobError::GcConflict(format!(
+                    "a branch pins history at {pin} (< {keep_from})"
+                )));
+            }
+        }
+        if keep_from <= inner.retired_before {
+            // Nothing new to retire.
+            return Ok(Vec::new());
+        }
+        inner.retired_before = keep_from;
+        let roots = (keep_from.raw()..=inner.published.raw())
+            .filter_map(|v| inner.root_of(Version(v), self.psize))
+            .collect();
+        Ok(roots)
+    }
+
+    /// The earliest readable version of `blob` (`v0` when nothing has
+    /// been retired).
+    pub fn retired_before(&self, blob: BlobId) -> Result<Version> {
+        Ok(self.blob_state(blob)?.inner.lock().retired_before)
+    }
+
+    /// The blob's lineage (for metadata key resolution).
+    pub fn lineage(&self, blob: BlobId) -> Result<Lineage> {
+        Ok(self.blob_state(blob)?.inner.lock().lineage.clone())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> VmStats {
+        VmStats {
+            blobs: self.blobs.read().len() as u64,
+            assigned: self.assigned.load(Ordering::Relaxed),
+            published: self.published.load(Ordering::Relaxed),
+            branches: self.branches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for VersionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionManager")
+            .field("psize", &self.psize)
+            .field("mode", &self.mode)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PSIZE: u64 = 4;
+
+    fn vm() -> VersionManager {
+        VersionManager::new(PSIZE, ConcurrencyMode::Concurrent, Duration::from_secs(5))
+    }
+
+    #[test]
+    fn create_starts_empty() {
+        let vm = vm();
+        let b = vm.create();
+        assert_eq!(vm.get_recent(b).unwrap(), Version::ZERO);
+        assert_eq!(vm.get_size(b, Version::ZERO).unwrap(), 0);
+        let (size, root) = vm.read_view(b, Version::ZERO).unwrap();
+        assert_eq!(size, 0);
+        assert!(root.is_none());
+    }
+
+    #[test]
+    fn unknown_blob_errors() {
+        let vm = vm();
+        let ghost = BlobId(999);
+        assert!(matches!(vm.get_recent(ghost), Err(BlobError::BlobNotFound(_))));
+        assert!(vm.assign(ghost, UpdateKind::Append { size: 4 }).is_err());
+    }
+
+    #[test]
+    fn assign_sequences_versions_and_sizes() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        assert_eq!(a1.vw, Version(1));
+        assert_eq!(a1.offset, 0);
+        assert_eq!(a1.new_size, 8);
+        assert_eq!(a1.range, PageRange::new(0, 2));
+        assert_eq!(a1.new_root, NodePos::new(0, 2));
+        assert!(a1.ref_root.is_none(), "nothing published yet");
+        assert!(a1.prev_root.is_none(), "v0 is empty");
+
+        let a2 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        assert_eq!(a2.vw, Version(2));
+        assert_eq!(a2.offset, 8, "append offset = previous assigned size");
+        assert_eq!(a2.new_size, 12);
+        assert_eq!(a2.new_root, NodePos::new(0, 4));
+        // v1 not yet complete → prev root refers to the in-flight v1.
+        assert_eq!(a2.prev_root.unwrap().version, Version(1));
+    }
+
+    #[test]
+    fn write_validation() {
+        let vm = vm();
+        let b = vm.create();
+        assert!(matches!(
+            vm.assign(b, UpdateKind::Write { offset: 1, size: 4 }),
+            Err(BlobError::WriteBeyondEnd { .. })
+        ));
+        assert!(matches!(
+            vm.assign(b, UpdateKind::Append { size: 0 }),
+            Err(BlobError::EmptyUpdate)
+        ));
+        vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        // Offset equal to the assigned (unpublished) size is allowed:
+        // updates chain on assigned order, not publication order.
+        let a = vm.assign(b, UpdateKind::Write { offset: 8, size: 4 }).unwrap();
+        assert_eq!(a.vw, Version(2));
+        // Overwrite within bounds does not grow the blob.
+        let a3 = vm.assign(b, UpdateKind::Write { offset: 0, size: 4 }).unwrap();
+        assert_eq!(a3.new_size, 12);
+    }
+
+    #[test]
+    fn publication_is_total_order() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        let a2 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        let a3 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        // Completing out of order publishes nothing until the gap fills.
+        vm.complete(b, a3.vw).unwrap();
+        assert_eq!(vm.get_recent(b).unwrap(), Version(0));
+        vm.complete(b, a2.vw).unwrap();
+        assert_eq!(vm.get_recent(b).unwrap(), Version(0));
+        vm.complete(b, a1.vw).unwrap();
+        assert_eq!(vm.get_recent(b).unwrap(), Version(3));
+        // Published sizes now visible.
+        assert_eq!(vm.get_size(b, Version(2)).unwrap(), 8);
+    }
+
+    #[test]
+    fn get_size_requires_publication() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        assert!(matches!(
+            vm.get_size(b, a1.vw),
+            Err(BlobError::VersionNotPublished { .. })
+        ));
+        vm.complete(b, a1.vw).unwrap();
+        assert_eq!(vm.get_size(b, a1.vw).unwrap(), 4);
+    }
+
+    #[test]
+    fn complete_validation() {
+        let vm = vm();
+        let b = vm.create();
+        assert!(matches!(
+            vm.complete(b, Version(1)),
+            Err(BlobError::VersionUnknown { .. })
+        ));
+        let a = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        vm.complete(b, a.vw).unwrap();
+        assert!(vm.complete(b, a.vw).is_err(), "double complete");
+    }
+
+    #[test]
+    fn sync_blocks_until_publication() {
+        let vm = Arc::new(vm());
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        let vm2 = Arc::clone(&vm);
+        let waiter = std::thread::spawn(move || {
+            vm2.sync(b, Version(1), Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        vm.complete(b, a1.vw).unwrap();
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn sync_times_out_and_rejects_unknown() {
+        let vm = vm();
+        let b = vm.create();
+        assert!(matches!(
+            vm.sync(b, Version(5), Duration::from_millis(5)),
+            Err(BlobError::VersionUnknown { .. })
+        ));
+        vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        assert_eq!(
+            vm.sync(b, Version(1), Duration::from_millis(10)),
+            Err(BlobError::Timeout("snapshot publication"))
+        );
+    }
+
+    #[test]
+    fn overrides_point_to_inflight_creators() {
+        // Replays the §4.2 scenario from the meta crate's concurrent
+        // test, now with the VM computing the override itself.
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 16 }).unwrap(); // v1: 4 pages
+        vm.complete(b, a1.vw).unwrap();
+        // C1: v2 appends pages [4,6); stays in flight.
+        let a2 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        assert_eq!(a2.range, PageRange::new(4, 2));
+        assert!(a2.overrides.is_empty(), "borders all come from published v1");
+        // C2: v3 appends pages [6,8); its border (4,2) is created by v2.
+        let a3 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        assert_eq!(a3.range, PageRange::new(6, 2));
+        assert_eq!(a3.overrides, vec![(NodePos::new(4, 2), Version(2))]);
+        assert_eq!(a3.ref_root.unwrap().version, Version(1));
+    }
+
+    #[test]
+    fn overrides_pick_highest_inflight_version() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 16 }).unwrap();
+        vm.complete(b, a1.vw).unwrap();
+        // Two in-flight overwrites of page 0; a third writer of page 2
+        // needs border (0,2) → must take the *newest* in-flight creator.
+        vm.assign(b, UpdateKind::Write { offset: 0, size: 4 }).unwrap(); // v2
+        vm.assign(b, UpdateKind::Write { offset: 0, size: 4 }).unwrap(); // v3
+        let a4 = vm.assign(b, UpdateKind::Write { offset: 8, size: 4 }).unwrap(); // v4
+        assert!(a4.overrides.contains(&(NodePos::new(0, 2), Version(3))));
+        assert!(!a4.overrides.iter().any(|&(_, v)| v == Version(2)));
+    }
+
+    #[test]
+    fn branch_requires_published_version() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        assert!(matches!(
+            vm.branch(b, Version(1)),
+            Err(BlobError::VersionNotPublished { .. })
+        ));
+        vm.complete(b, a1.vw).unwrap();
+        let c = vm.branch(b, Version(1)).unwrap();
+        assert_ne!(c, b);
+        assert_eq!(vm.get_recent(c).unwrap(), Version(1));
+        assert_eq!(vm.get_size(c, Version(1)).unwrap(), 4);
+        // The branch evolves independently.
+        let ac = vm.assign(c, UpdateKind::Append { size: 4 }).unwrap();
+        assert_eq!(ac.vw, Version(2));
+        vm.complete(c, ac.vw).unwrap();
+        assert_eq!(vm.get_size(c, Version(2)).unwrap(), 8);
+        assert_eq!(vm.get_recent(b).unwrap(), Version(1), "parent unaffected");
+        // Lineage resolves shared versions to the parent.
+        let lin = vm.lineage(c).unwrap();
+        assert_eq!(lin.owner_of(Version(1)), b);
+        assert_eq!(lin.owner_of(Version(2)), c);
+    }
+
+    #[test]
+    fn serialized_mode_blocks_until_predecessor_publishes() {
+        let vm = Arc::new(VersionManager::new(
+            PSIZE,
+            ConcurrencyMode::SerializedMetadata,
+            Duration::from_secs(5),
+        ));
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        assert!(a1.overrides.is_empty());
+        let vm2 = Arc::clone(&vm);
+        let t0 = Instant::now();
+        let second = std::thread::spawn(move || {
+            let a2 = vm2.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+            (a2, Instant::now())
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        vm.complete(b, a1.vw).unwrap();
+        let (a2, done) = second.join().unwrap();
+        assert!(done - t0 >= Duration::from_millis(40), "assign was blocked");
+        assert!(a2.overrides.is_empty());
+        assert_eq!(a2.ref_root.unwrap().version, Version(1));
+    }
+
+    #[test]
+    fn concurrent_assign_storm_is_gapless() {
+        let vm = Arc::new(vm());
+        let b = vm.create();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let vm = Arc::clone(&vm);
+            handles.push(std::thread::spawn(move || {
+                let mut versions = Vec::new();
+                for _ in 0..50 {
+                    let a = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+                    versions.push(a.vw);
+                    vm.complete(b, a.vw).unwrap();
+                }
+                versions
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .map(|v| v.raw())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..=400).collect::<Vec<u64>>(), "dense, unique versions");
+        assert_eq!(vm.get_recent(b).unwrap(), Version(400));
+        assert_eq!(vm.get_size(b, Version(400)).unwrap(), 1600);
+        let stats = vm.stats();
+        assert_eq!(stats.assigned, 400);
+        assert_eq!(stats.published, 400);
+    }
+
+    #[test]
+    fn retire_validates_and_marks() {
+        let vm = vm();
+        let b = vm.create();
+        for _ in 0..5 {
+            let a = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+            vm.complete(b, a.vw).unwrap();
+        }
+        // Unpublished keep_from rejected.
+        assert!(matches!(
+            vm.begin_retire(b, Version(9)),
+            Err(BlobError::VersionNotPublished { .. })
+        ));
+        // Quiescence required.
+        let inflight = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        assert!(matches!(vm.begin_retire(b, Version(3)), Err(BlobError::GcConflict(_))));
+        vm.complete(b, inflight.vw).unwrap();
+        // Success: roots of v3..=v6 returned, v1..v2 retired.
+        let roots = vm.begin_retire(b, Version(3)).unwrap();
+        assert_eq!(roots.len(), 4);
+        assert_eq!(roots[0].version, Version(3));
+        assert_eq!(vm.retired_before(b).unwrap(), Version(3));
+        assert!(matches!(
+            vm.get_size(b, Version(2)),
+            Err(BlobError::VersionRetired { .. })
+        ));
+        assert!(matches!(
+            vm.read_view(b, Version(1)),
+            Err(BlobError::VersionRetired { .. })
+        ));
+        assert!(vm.get_size(b, Version(3)).is_ok());
+        // Re-retiring below the watermark is a no-op.
+        assert!(vm.begin_retire(b, Version(2)).unwrap().is_empty());
+        // Branching at a retired version is rejected.
+        assert!(matches!(
+            vm.branch(b, Version(1)),
+            Err(BlobError::VersionRetired { .. })
+        ));
+    }
+
+    #[test]
+    fn branches_pin_history_against_gc() {
+        let vm = vm();
+        let b = vm.create();
+        for _ in 0..4 {
+            let a = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+            vm.complete(b, a.vw).unwrap();
+        }
+        let _child = vm.branch(b, Version(2)).unwrap();
+        assert!(matches!(vm.begin_retire(b, Version(4)), Err(BlobError::GcConflict(_))));
+        // Retiring up to (and including protection of) the pin is fine.
+        assert_eq!(vm.begin_retire(b, Version(2)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn append_offsets_chain_across_inflight_versions() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 6 }).unwrap();
+        let a2 = vm.assign(b, UpdateKind::Append { size: 6 }).unwrap();
+        // a2 starts where a1 *will* end, even though a1 is unpublished.
+        assert_eq!(a2.offset, 6);
+        assert_eq!(a2.new_size, 12);
+        vm.complete(b, a1.vw).unwrap();
+        vm.complete(b, a2.vw).unwrap();
+        assert_eq!(vm.get_size(b, Version(2)).unwrap(), 12);
+    }
+}

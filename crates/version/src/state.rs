@@ -1,0 +1,181 @@
+//! Per-blob bookkeeping held by the version manager.
+
+use std::collections::BTreeMap;
+
+use blobseer_meta::{Lineage, RootRef};
+use blobseer_types::{div_ceil, NodePos, PageRange, Version};
+use parking_lot::{Condvar, Mutex};
+
+/// An update that has been assigned a version but not yet published.
+/// The VM keeps its range and root so it can compute partial border
+/// sets for later concurrent writers (paper §4.2: such operations "have
+/// been assigned a version number ... but they have not been published
+/// yet").
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Inflight {
+    pub range: PageRange,
+    pub root: NodePos,
+    /// Metadata fully written; waiting for lower versions to publish.
+    pub completed: bool,
+}
+
+/// Mutable per-blob state, guarded by one mutex per blob so different
+/// blobs never contend.
+pub(crate) struct BlobInner {
+    pub lineage: Lineage,
+    /// `sizes[k]` = byte size of snapshot `k`; `sizes.len()-1` is the
+    /// latest *assigned* version.
+    pub sizes: Vec<u64>,
+    /// Latest published version.
+    pub published: Version,
+    /// Assigned-but-unpublished updates, keyed by raw version.
+    pub inflight: BTreeMap<u64, Inflight>,
+    /// Versions `1..retired_before` were reclaimed by garbage
+    /// collection and are no longer readable.
+    pub retired_before: Version,
+    /// Branch points of direct children — they pin the shared history
+    /// against garbage collection.
+    pub child_branch_points: Vec<Version>,
+}
+
+impl BlobInner {
+    pub fn new(lineage: Lineage) -> Self {
+        BlobInner {
+            lineage,
+            sizes: vec![0],
+            published: Version::ZERO,
+            inflight: BTreeMap::new(),
+            retired_before: Version::ZERO,
+            child_branch_points: Vec::new(),
+        }
+    }
+
+    /// Fork of `parent` at published version `at` for blob `child`.
+    pub fn branched(parent: &BlobInner, at: Version, lineage: Lineage) -> Self {
+        BlobInner {
+            lineage,
+            sizes: parent.sizes[..=at.raw() as usize].to_vec(),
+            published: at,
+            inflight: BTreeMap::new(),
+            // The child's shared history is exactly as retired as the
+            // parent's was at fork time.
+            retired_before: parent.retired_before,
+            child_branch_points: Vec::new(),
+        }
+    }
+
+    /// `true` when `v` has been garbage-collected.
+    pub fn is_retired(&self, v: Version) -> bool {
+        v > Version::ZERO && v < self.retired_before
+    }
+
+    /// Latest assigned version.
+    pub fn last_assigned(&self) -> Version {
+        Version(self.sizes.len() as u64 - 1)
+    }
+
+    /// Size in bytes of snapshot `v` (caller validates `v` assigned).
+    pub fn size_of(&self, v: Version) -> u64 {
+        self.sizes[v.raw() as usize]
+    }
+
+    /// Root position of snapshot `v`'s tree.
+    pub fn root_pos_of(&self, v: Version, psize: u64) -> NodePos {
+        NodePos::root_for(div_ceil(self.size_of(v), psize))
+    }
+
+    /// Root reference of snapshot `v`, or `None` when it is empty (the
+    /// empty snapshot 0 — and only it — has no tree).
+    pub fn root_of(&self, v: Version, psize: u64) -> Option<RootRef> {
+        (self.size_of(v) > 0).then(|| RootRef { version: v, pos: self.root_pos_of(v, psize) })
+    }
+
+    /// Advance publication past every completed in-order update.
+    /// Returns how many versions were published.
+    pub fn drain_publishable(&mut self) -> usize {
+        let mut published = 0;
+        loop {
+            let next = self.published.raw() + 1;
+            match self.inflight.get(&next) {
+                Some(inf) if inf.completed => {
+                    self.inflight.remove(&next);
+                    self.published = Version(next);
+                    published += 1;
+                }
+                _ => return published,
+            }
+        }
+    }
+}
+
+/// A blob's state cell: the inner data plus the condition variable on
+/// which `SYNC` callers (and serialized-mode writers) wait for
+/// publications.
+pub(crate) struct BlobState {
+    pub inner: Mutex<BlobInner>,
+    pub publish_cv: Condvar,
+}
+
+impl BlobState {
+    pub fn new(inner: BlobInner) -> Self {
+        BlobState { inner: Mutex::new(inner), publish_cv: Condvar::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::BlobId;
+
+    fn inner() -> BlobInner {
+        BlobInner::new(Lineage::root(BlobId(1)))
+    }
+
+    #[test]
+    fn fresh_blob_is_empty_v0() {
+        let b = inner();
+        assert_eq!(b.last_assigned(), Version::ZERO);
+        assert_eq!(b.published, Version::ZERO);
+        assert_eq!(b.size_of(Version::ZERO), 0);
+        assert!(b.root_of(Version::ZERO, 4).is_none());
+    }
+
+    #[test]
+    fn drain_respects_order_and_completion() {
+        let mut b = inner();
+        b.sizes.extend([8, 16, 24]); // v1..v3 assigned
+        b.inflight.insert(1, Inflight { range: PageRange::new(0, 2), root: NodePos::new(0, 2), completed: false });
+        b.inflight.insert(2, Inflight { range: PageRange::new(2, 2), root: NodePos::new(0, 4), completed: true });
+        b.inflight.insert(3, Inflight { range: PageRange::new(4, 2), root: NodePos::new(0, 8), completed: true });
+        // v1 incomplete: nothing publishes.
+        assert_eq!(b.drain_publishable(), 0);
+        assert_eq!(b.published, Version(0));
+        // Completing v1 releases all three.
+        b.inflight.get_mut(&1).unwrap().completed = true;
+        assert_eq!(b.drain_publishable(), 3);
+        assert_eq!(b.published, Version(3));
+        assert!(b.inflight.is_empty());
+    }
+
+    #[test]
+    fn branched_state_copies_prefix() {
+        let mut parent = inner();
+        parent.sizes.extend([10, 20, 30]);
+        parent.published = Version(3);
+        let lineage = Lineage::branch(&parent.lineage, Version(2), BlobId(2));
+        let child = BlobInner::branched(&parent, Version(2), lineage);
+        assert_eq!(child.sizes, vec![0, 10, 20]);
+        assert_eq!(child.published, Version(2));
+        assert_eq!(child.last_assigned(), Version(2));
+    }
+
+    #[test]
+    fn root_positions_track_size() {
+        let mut b = inner();
+        b.sizes.push(9); // v1: 9 bytes, psize 4 → 3 pages → root (0,4)
+        assert_eq!(b.root_pos_of(Version(1), 4), NodePos::new(0, 4));
+        let r = b.root_of(Version(1), 4).unwrap();
+        assert_eq!(r.version, Version(1));
+        assert_eq!(r.pos, NodePos::new(0, 4));
+    }
+}

@@ -1,0 +1,82 @@
+//! Disjoint-chunk partitioning for concurrent readers.
+
+use blobseer_types::ByteRange;
+
+/// Partitions a snapshot of `total_bytes` into per-worker chunks of
+/// `chunk_bytes` (the Figure 2(b) pattern: "a set of workers READ
+/// disjoint parts of the blob").
+#[derive(Clone, Copy, Debug)]
+pub struct DisjointChunks {
+    total_bytes: u64,
+    chunk_bytes: u64,
+}
+
+impl DisjointChunks {
+    /// Partition `total_bytes` into `chunk_bytes`-sized chunks.
+    pub fn new(total_bytes: u64, chunk_bytes: u64) -> Self {
+        assert!(chunk_bytes > 0);
+        DisjointChunks { total_bytes, chunk_bytes }
+    }
+
+    /// Number of (possibly short-tailed) chunks.
+    pub fn chunk_count(&self) -> u64 {
+        blobseer_types::div_ceil(self.total_bytes, self.chunk_bytes)
+    }
+
+    /// The byte range of chunk `i`, `None` past the end. The final
+    /// chunk may be shorter than `chunk_bytes`.
+    pub fn chunk(&self, i: u64) -> Option<ByteRange> {
+        let offset = i.checked_mul(self.chunk_bytes)?;
+        if offset >= self.total_bytes {
+            return None;
+        }
+        Some(ByteRange::new(offset, self.chunk_bytes.min(self.total_bytes - offset)))
+    }
+
+    /// Iterate all chunks.
+    pub fn iter(&self) -> impl Iterator<Item = ByteRange> + '_ {
+        (0..self.chunk_count()).filter_map(|i| self.chunk(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_partition() {
+        let c = DisjointChunks::new(100, 25);
+        assert_eq!(c.chunk_count(), 4);
+        assert_eq!(c.chunk(0), Some(ByteRange::new(0, 25)));
+        assert_eq!(c.chunk(3), Some(ByteRange::new(75, 25)));
+        assert_eq!(c.chunk(4), None);
+    }
+
+    #[test]
+    fn short_tail() {
+        let c = DisjointChunks::new(100, 30);
+        assert_eq!(c.chunk_count(), 4);
+        assert_eq!(c.chunk(3), Some(ByteRange::new(90, 10)));
+    }
+
+    #[test]
+    fn chunks_tile_exactly() {
+        let c = DisjointChunks::new(12345, 100);
+        let mut expected_offset = 0;
+        let mut total = 0;
+        for r in c.iter() {
+            assert_eq!(r.offset, expected_offset);
+            expected_offset = r.end();
+            total += r.size;
+        }
+        assert_eq!(total, 12345);
+    }
+
+    #[test]
+    fn empty_blob_has_no_chunks() {
+        let c = DisjointChunks::new(0, 10);
+        assert_eq!(c.chunk_count(), 0);
+        assert_eq!(c.chunk(0), None);
+        assert_eq!(c.iter().count(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Workload generators for BlobSeer.
+//!
+//! Three families, mirroring the paper:
+//!
+//! * [`AppendStream`] — continuously growing data (the paper's core
+//!   motivation: "data streams generated and updated by continuously
+//!   running applications"), with deterministic, verifiable content;
+//! * [`DisjointChunks`] — the Figure 2(b) access pattern: a set of
+//!   workers reading disjoint parts of one snapshot;
+//! * [`photo`] — the §2.2 usage scenario: a photo-processing service
+//!   appending pictures to one huge blob from many sites, running
+//!   map-reduce style statistics over snapshots, and overwriting
+//!   pictures in place (producing new versions) after enhancement.
+
+pub mod photo;
+
+mod chunks;
+mod stream;
+
+pub use chunks::DisjointChunks;
+pub use stream::AppendStream;

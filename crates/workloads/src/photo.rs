@@ -1,0 +1,238 @@
+//! The paper's §2.2 usage scenario: a photo-processing service.
+//!
+//! "Pictures are APPEND'ed concurrently to the blob from multiple sites
+//! serving the users, while a recent version of the blob is processed
+//! at regular intervals: a set of workers READ disjoint parts of the
+//! blob, identify the set of pictures contained in their assigned part,
+//! extract from each picture the camera type and compute a contrast
+//! quality coefficient, and finally aggregate the contrast quality for
+//! each camera type."
+//!
+//! Pictures are fixed-size records (a blob-friendly framing: the paper
+//! notes databases are "fine-tuned for fixed-sized records" and blobs
+//! are not — we use fixed records only so that *disjoint worker ranges
+//! align to record boundaries*, as the map-reduce split requires).
+//! Each record carries a camera id, per-pixel data, and a `processed`
+//! flag used by the enhancement pass ("overwriting the picture with its
+//! processed version saves computation time when processing future blob
+//! versions").
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Serialized size of one photo record.
+pub const RECORD_BYTES: usize = 4096;
+const MAGIC: u32 = 0xB10B_F070;
+const HEADER_BYTES: usize = 16;
+
+/// One picture as stored in the blob.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Photo {
+    /// Camera model identifier (the map-reduce key).
+    pub camera: u16,
+    /// Whether the enhancement pass has processed this picture.
+    pub processed: bool,
+    /// Pixel payload (fixed size: `RECORD_BYTES - HEADER_BYTES`).
+    pub pixels: Vec<u8>,
+}
+
+impl Photo {
+    /// Generate a random photo (seeded).
+    pub fn random(rng: &mut StdRng, cameras: u16) -> Photo {
+        let mut pixels = vec![0u8; RECORD_BYTES - HEADER_BYTES];
+        rng.fill(&mut pixels[..]);
+        Photo { camera: rng.gen_range(0..cameras), processed: false, pixels }
+    }
+
+    /// Serialize into a fixed-size record.
+    pub fn encode(&self) -> Vec<u8> {
+        assert_eq!(self.pixels.len(), RECORD_BYTES - HEADER_BYTES);
+        let mut out = Vec::with_capacity(RECORD_BYTES);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.camera.to_le_bytes());
+        out.push(u8::from(self.processed));
+        out.push(0); // reserved
+        out.extend_from_slice(&(self.pixels.len() as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]); // reserved
+        out.extend_from_slice(&self.pixels);
+        debug_assert_eq!(out.len(), RECORD_BYTES);
+        out
+    }
+
+    /// Parse a record; `None` on bad magic or truncation.
+    pub fn decode(buf: &[u8]) -> Option<Photo> {
+        if buf.len() < RECORD_BYTES {
+            return None;
+        }
+        if u32::from_le_bytes(buf[0..4].try_into().ok()?) != MAGIC {
+            return None;
+        }
+        let camera = u16::from_le_bytes(buf[4..6].try_into().ok()?);
+        let processed = buf[6] != 0;
+        let len = u32::from_le_bytes(buf[8..12].try_into().ok()?) as usize;
+        if len != RECORD_BYTES - HEADER_BYTES {
+            return None;
+        }
+        Some(Photo {
+            camera,
+            processed,
+            pixels: buf[HEADER_BYTES..RECORD_BYTES].to_vec(),
+        })
+    }
+
+    /// The "contrast quality coefficient" the paper's map phase
+    /// computes: here, the mean absolute deviation of pixel intensity.
+    pub fn contrast(&self) -> f64 {
+        let mean =
+            self.pixels.iter().map(|&b| f64::from(b)).sum::<f64>() / self.pixels.len() as f64;
+        self.pixels.iter().map(|&b| (f64::from(b) - mean).abs()).sum::<f64>()
+            / self.pixels.len() as f64
+    }
+
+    /// The enhancement pass: a deterministic "sharpen" that stretches
+    /// pixel values and marks the record processed.
+    pub fn enhance(&self) -> Photo {
+        let pixels = self
+            .pixels
+            .iter()
+            .map(|&b| {
+                let v = (f64::from(b) - 128.0) * 1.25 + 128.0;
+                v.clamp(0.0, 255.0) as u8
+            })
+            .collect();
+        Photo { camera: self.camera, processed: true, pixels }
+    }
+}
+
+/// The map phase over one worker's byte range: parse the records in
+/// `chunk` (which must be record-aligned) and accumulate per-camera
+/// statistics.
+pub fn map_chunk(chunk: &[u8]) -> CameraStats {
+    assert_eq!(chunk.len() % RECORD_BYTES, 0, "worker ranges are record-aligned");
+    let mut stats = CameraStats::default();
+    for rec in chunk.chunks_exact(RECORD_BYTES) {
+        if let Some(photo) = Photo::decode(rec) {
+            stats.add(photo.camera, photo.contrast());
+        }
+    }
+    stats
+}
+
+/// Per-camera aggregates: the reduce phase merges these.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CameraStats {
+    sums: BTreeMap<u16, (u64, f64)>,
+}
+
+impl CameraStats {
+    /// Record one photo's contrast.
+    pub fn add(&mut self, camera: u16, contrast: f64) {
+        let e = self.sums.entry(camera).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += contrast;
+    }
+
+    /// The reduce phase: merge another worker's stats in.
+    pub fn merge(&mut self, other: &CameraStats) {
+        for (&camera, &(n, sum)) in &other.sums {
+            let e = self.sums.entry(camera).or_insert((0, 0.0));
+            e.0 += n;
+            e.1 += sum;
+        }
+    }
+
+    /// Photos counted for `camera`.
+    pub fn count(&self, camera: u16) -> u64 {
+        self.sums.get(&camera).map_or(0, |e| e.0)
+    }
+
+    /// Total photos counted.
+    pub fn total(&self) -> u64 {
+        self.sums.values().map(|e| e.0).sum()
+    }
+
+    /// "The average contrast quality for each camera type" (§2.2).
+    pub fn average_contrast(&self, camera: u16) -> Option<f64> {
+        self.sums.get(&camera).map(|&(n, sum)| sum / n as f64)
+    }
+
+    /// Iterate `(camera, count, avg_contrast)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (u16, u64, f64)> + '_ {
+        self.sums.iter().map(|(&c, &(n, sum))| (c, n, sum / n as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let p = Photo::random(&mut r, 5);
+            let enc = p.encode();
+            assert_eq!(enc.len(), RECORD_BYTES);
+            assert_eq!(Photo::decode(&enc), Some(p));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Photo::decode(&[0u8; RECORD_BYTES]), None);
+        assert_eq!(Photo::decode(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn enhance_marks_processed_and_stretches() {
+        let mut r = rng();
+        let p = Photo::random(&mut r, 3);
+        let e = p.enhance();
+        assert!(e.processed);
+        assert_eq!(e.camera, p.camera);
+        assert!(e.contrast() >= p.contrast(), "sharpening must not reduce contrast");
+        // Double enhancement stays within pixel bounds and keeps the
+        // processed flag.
+        let e2 = e.enhance();
+        assert!(e2.processed);
+        assert_eq!(e2.pixels.len(), e.pixels.len());
+    }
+
+    #[test]
+    fn map_reduce_counts_everything() {
+        let mut r = rng();
+        let photos: Vec<Photo> = (0..40).map(|_| Photo::random(&mut r, 4)).collect();
+        let mut blob = Vec::new();
+        for p in &photos {
+            blob.extend(p.encode());
+        }
+        // Two workers on disjoint halves.
+        let half = blob.len() / 2;
+        let mut a = map_chunk(&blob[..half]);
+        let b = map_chunk(&blob[half..]);
+        a.merge(&b);
+        assert_eq!(a.total(), 40);
+        for cam in 0..4 {
+            let expected = photos.iter().filter(|p| p.camera == cam).count() as u64;
+            assert_eq!(a.count(cam), expected, "camera {cam}");
+        }
+    }
+
+    #[test]
+    fn average_contrast_is_a_mean() {
+        let mut s = CameraStats::default();
+        s.add(1, 10.0);
+        s.add(1, 20.0);
+        assert_eq!(s.average_contrast(1), Some(15.0));
+        assert_eq!(s.average_contrast(2), None);
+        let rows: Vec<_> = s.rows().collect();
+        assert_eq!(rows, vec![(1, 2, 15.0)]);
+    }
+}

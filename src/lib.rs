@@ -1,0 +1,1 @@
+//! BlobSeer reproduction workspace root. See the `blobseer` crate for the library.

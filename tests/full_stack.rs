@@ -1,0 +1,262 @@
+//! Cross-crate integration tests: the public API driven by the workload
+//! generators, spanning `blobseer`, `blobseer-workloads` and the
+//! substrate crates.
+
+use blobseer::{BlobSeer, Version};
+use blobseer_workloads::photo::{map_chunk, CameraStats, Photo, RECORD_BYTES};
+use blobseer_workloads::{AppendStream, DisjointChunks};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn append_stream_every_snapshot_verifiable() {
+    let store = BlobSeer::builder()
+        .page_size(4096)
+        .data_providers(6)
+        .metadata_providers(4)
+        .build()
+        .unwrap();
+    let blob = store.create();
+    let seed = 0xfeed;
+    let mut stream = AppendStream::new(seed, 100, 9000);
+    let mut boundaries = vec![0u64];
+    let mut last = Version(0);
+    for _ in 0..40 {
+        let chunk = stream.next_chunk();
+        last = store.append(blob, &chunk).unwrap();
+        boundaries.push(stream.produced());
+    }
+    store.sync(blob, last).unwrap();
+    // Every snapshot's full content matches the deterministic stream.
+    for (v, &size) in boundaries.iter().enumerate() {
+        let v = Version(v as u64);
+        assert_eq!(store.get_size(blob, v).unwrap(), size);
+        let got = store.read(blob, v, 0, size).unwrap();
+        assert_eq!(got, AppendStream::expected(seed, 0, size), "{v}");
+    }
+    // And arbitrary windows of the newest snapshot match too.
+    let total = *boundaries.last().unwrap();
+    for (off, len) in [(0u64, 1u64), (total / 3, 10_000), (total - 1, 1)] {
+        let len = len.min(total - off);
+        assert_eq!(
+            store.read(blob, last, off, len).unwrap(),
+            AppendStream::expected(seed, off, len)
+        );
+    }
+}
+
+#[test]
+fn concurrent_sites_and_analytics_pipeline() {
+    // The §2.2 scenario as a test: concurrent uploads, then map-reduce
+    // over a snapshot while more uploads continue, then verification
+    // that the analyzed snapshot was immutable throughout.
+    let store = BlobSeer::builder()
+        .page_size(RECORD_BYTES as u64)
+        .data_providers(8)
+        .metadata_providers(8)
+        .build()
+        .unwrap();
+    let blob = store.create();
+
+    let upload = |seed: u64, n: usize| {
+        let store = store.clone();
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut last = Version(0);
+            for _ in 0..n {
+                last = store.append(blob, &Photo::random(&mut rng, 3).encode()).unwrap();
+            }
+            last
+        })
+    };
+
+    // Wave 1.
+    let w1: Vec<_> = (0..3).map(|s| upload(s, 20)).collect();
+    let newest = w1.into_iter().map(|h| h.join().unwrap()).max().unwrap();
+    store.sync(blob, newest).unwrap();
+    let snapshot = store.get_recent(blob).unwrap();
+    let snap_size = store.get_size(blob, snapshot).unwrap();
+
+    // Wave 2 runs while we analyze `snapshot`.
+    let w2: Vec<_> = (10..13).map(|s| upload(s, 20)).collect();
+    let chunks = DisjointChunks::new(snap_size, 8 * RECORD_BYTES as u64);
+    let mut stats = CameraStats::default();
+    for range in chunks.iter() {
+        let data = store.read(blob, snapshot, range.offset, range.size).unwrap();
+        stats.merge(&map_chunk(&data));
+    }
+    assert_eq!(stats.total(), 60, "wave-1 photos, exactly");
+    for h in w2 {
+        h.join().unwrap();
+    }
+    // The analyzed snapshot hasn't moved; the blob has.
+    assert_eq!(store.get_size(blob, snapshot).unwrap(), snap_size);
+    let now = store.get_recent(blob).unwrap();
+    assert_eq!(store.get_size(blob, now).unwrap(), 120 * RECORD_BYTES as u64);
+}
+
+#[test]
+fn branches_of_branches_with_streams() {
+    let store = BlobSeer::builder()
+        .page_size(1024)
+        .data_providers(5)
+        .metadata_providers(5)
+        .build()
+        .unwrap();
+    let seed = 1;
+    let blob = store.create();
+    let mut stream = AppendStream::new(seed, 500, 1500);
+    let mut last = Version(0);
+    for _ in 0..10 {
+        last = store.append(blob, &stream.next_chunk()).unwrap();
+    }
+    store.sync(blob, last).unwrap();
+    let base_size = store.get_size(blob, last).unwrap();
+
+    // Chain of 4 branches, each appending its own marker.
+    let mut chain = vec![(blob, last)];
+    for i in 0..4u8 {
+        let (parent, at) = *chain.last().unwrap();
+        let child = store.branch(parent, at).unwrap();
+        let v = store.append(child, &[i; 100]).unwrap();
+        store.sync(child, v).unwrap();
+        chain.push((child, v));
+    }
+    // Every branch: shared prefix identical to the stream, own suffix
+    // stacked markers.
+    for (depth, &(id, v)) in chain.iter().enumerate().skip(1) {
+        let size = store.get_size(id, v).unwrap();
+        assert_eq!(size, base_size + depth as u64 * 100);
+        let prefix = store.read(id, v, 0, base_size).unwrap();
+        assert_eq!(prefix, AppendStream::expected(seed, 0, base_size));
+        for d in 0..depth {
+            let marker =
+                store.read(id, v, base_size + d as u64 * 100, 100).unwrap();
+            assert!(marker.iter().all(|&b| b == d as u8), "branch {depth} marker {d}");
+        }
+    }
+    // The trunk never grew.
+    assert_eq!(store.get_size(blob, store.get_recent(blob).unwrap()).unwrap(), base_size);
+}
+
+#[test]
+fn concurrent_writers_on_sibling_branches() {
+    // Branches are fully independent after the fork: concurrent writers
+    // on N sibling branches must never interfere, while the shared
+    // prefix stays byte-identical through every lineage.
+    let store = BlobSeer::builder()
+        .page_size(512)
+        .data_providers(6)
+        .metadata_providers(4)
+        .build()
+        .unwrap();
+    let trunk = store.create();
+    let seed = 0xabcd;
+    let mut stream = AppendStream::new(seed, 200, 1000);
+    let mut last = Version(0);
+    for _ in 0..8 {
+        last = store.append(trunk, &stream.next_chunk()).unwrap();
+    }
+    store.sync(trunk, last).unwrap();
+    let base_size = store.get_size(trunk, last).unwrap();
+
+    let branches: Vec<_> = (0..4).map(|_| store.branch(trunk, last).unwrap()).collect();
+    let mut handles = Vec::new();
+    for (i, &b) in branches.iter().enumerate() {
+        let store = store.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut v = Version(0);
+            for k in 0..20u8 {
+                v = store.append(b, &[i as u8 * 20 + k; 100]).unwrap();
+            }
+            store.sync(b, v).unwrap();
+            v
+        }));
+    }
+    let finals: Vec<Version> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (i, (&b, &v)) in branches.iter().zip(&finals).enumerate() {
+        assert_eq!(store.get_size(b, v).unwrap(), base_size + 20 * 100);
+        // Shared prefix intact through this branch's lineage.
+        let prefix = store.read(b, v, 0, base_size).unwrap();
+        assert_eq!(prefix, AppendStream::expected(seed, 0, base_size), "branch {i}");
+        // Own suffix: the last appended marker.
+        let tail = store.read(b, v, base_size + 19 * 100, 100).unwrap();
+        assert!(tail.iter().all(|&x| x == i as u8 * 20 + 19));
+    }
+    // The trunk never moved.
+    assert_eq!(store.get_recent(trunk).unwrap(), last);
+}
+
+#[test]
+fn get_recent_is_monotonic_under_load() {
+    let store = BlobSeer::builder()
+        .page_size(2048)
+        .data_providers(4)
+        .metadata_providers(4)
+        .build()
+        .unwrap();
+    let blob = store.create();
+    let v = store.append(blob, &[0u8; 100]).unwrap();
+    store.sync(blob, v).unwrap();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher = {
+        let store = store.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut prev = Version(0);
+            let mut observed = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let v = store.get_recent(blob).unwrap();
+                assert!(v >= prev, "GET_RECENT went backwards: {v} < {prev}");
+                // The spec also promises the size of any returned
+                // version is immediately available.
+                store.get_size(blob, v).unwrap();
+                prev = v;
+                observed += 1;
+            }
+            observed
+        })
+    };
+    let mut writers = Vec::new();
+    for w in 0..4u64 {
+        let store = store.clone();
+        writers.push(std::thread::spawn(move || {
+            let mut stream = AppendStream::new(w, 50, 2000);
+            for _ in 0..50 {
+                store.append(blob, &stream.next_chunk()).unwrap();
+            }
+        }));
+    }
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    assert!(watcher.join().unwrap() > 0);
+    store.sync(blob, Version(201)).unwrap();
+}
+
+#[test]
+fn stats_reconcile_with_logical_state() {
+    let store = BlobSeer::builder()
+        .page_size(4096)
+        .data_providers(7)
+        .metadata_providers(3)
+        .build()
+        .unwrap();
+    let blob = store.create();
+    let v1 = store.append(blob, &vec![1u8; 10 * 4096]).unwrap();
+    let v2 = store.write(blob, &vec![2u8; 4096], 0).unwrap();
+    store.sync(blob, v2).unwrap();
+    let _ = v1;
+    let stats = store.stats();
+    assert_eq!(stats.physical_pages, 11);
+    assert_eq!(stats.physical_bytes, 11 * 4096);
+    assert_eq!(stats.vm.blobs, 1);
+    assert_eq!(stats.vm.assigned, 2);
+    assert_eq!(stats.vm.published, 2);
+    // 10-page tree (10+5+3+2+1+1 nodes... exactly what the planner says)
+    // plus the single-page overwrite's spine.
+    assert_eq!(stats.metadata_nodes, stats.metadata.total_entries);
+    assert!(stats.providers.iter().map(|p| p.pages).sum::<usize>() == 11);
+}

@@ -1,0 +1,283 @@
+//! Integration tests for the two extensions beyond the paper's core
+//! protocol: page replication with provider-failure tolerance (the
+//! paper's §3.2/§6 future work) and version garbage collection.
+
+use blobseer::{BlobError, BlobSeer, ProviderId, Version};
+
+const PSIZE: u64 = 256;
+
+fn patterned(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(29).wrapping_add(seed)).collect()
+}
+
+fn replicated_store(replication: usize) -> BlobSeer {
+    BlobSeer::builder()
+        .page_size(PSIZE)
+        .data_providers(6)
+        .metadata_providers(4)
+        .replication(replication)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn reads_survive_single_provider_failure_with_replication() {
+    let s = replicated_store(2);
+    let b = s.create();
+    let data = patterned(PSIZE as usize * 12, 1);
+    let v = s.append(b, &data).unwrap();
+    s.sync(b, v).unwrap();
+
+    // Kill each provider in turn: every byte stays readable via the
+    // replica chain.
+    for p in 0..6u32 {
+        s.fail_provider(ProviderId(p)).unwrap();
+        let got = s.read(b, v, 0, data.len() as u64).unwrap();
+        assert_eq!(got, data, "with provider {p} down");
+        s.recover_provider(ProviderId(p)).unwrap();
+    }
+}
+
+#[test]
+fn reads_fail_cleanly_without_replication() {
+    let s = replicated_store(1);
+    let b = s.create();
+    let data = patterned(PSIZE as usize * 12, 2);
+    let v = s.append(b, &data).unwrap();
+    s.sync(b, v).unwrap();
+    s.fail_provider(ProviderId(0)).unwrap();
+    // Pages striped round-robin over 6 providers: provider 0 holds
+    // pages 0, 6 — a full read must hit it and fail.
+    let err = s.read(b, v, 0, data.len() as u64).unwrap_err();
+    assert!(
+        matches!(err, BlobError::ProviderUnavailable(_)),
+        "expected unavailable, got {err:?}"
+    );
+    // Ranges not touching provider 0 still work.
+    assert_eq!(s.read(b, v, PSIZE, PSIZE).unwrap(), data[PSIZE as usize..2 * PSIZE as usize]);
+    s.recover_provider(ProviderId(0)).unwrap();
+    assert_eq!(s.read(b, v, 0, data.len() as u64).unwrap(), data);
+}
+
+#[test]
+fn writes_survive_provider_failure_with_replication() {
+    let s = replicated_store(3);
+    let b = s.create();
+    // Fail two providers before writing: allocation skips them for
+    // primaries; replica chains may still name them (tolerated).
+    s.fail_provider(ProviderId(2)).unwrap();
+    s.fail_provider(ProviderId(3)).unwrap();
+    let data = patterned(PSIZE as usize * 8, 3);
+    let v = s.append(b, &data).unwrap();
+    s.sync(b, v).unwrap();
+    assert_eq!(s.read(b, v, 0, data.len() as u64).unwrap(), data);
+    // After recovery everything still reads.
+    s.recover_provider(ProviderId(2)).unwrap();
+    s.recover_provider(ProviderId(3)).unwrap();
+    assert_eq!(s.read(b, v, 0, data.len() as u64).unwrap(), data);
+}
+
+#[test]
+fn replication_doubles_physical_footprint() {
+    let s1 = replicated_store(1);
+    let s2 = replicated_store(2);
+    for s in [&s1, &s2] {
+        let b = s.create();
+        let v = s.append(b, &patterned(PSIZE as usize * 10, 4)).unwrap();
+        s.sync(b, v).unwrap();
+    }
+    assert_eq!(s1.stats().physical_pages, 10);
+    assert_eq!(s2.stats().physical_pages, 20);
+}
+
+#[test]
+fn gc_reclaims_space_and_preserves_retained_versions() {
+    let s = BlobSeer::builder()
+        .page_size(PSIZE)
+        .data_providers(4)
+        .metadata_providers(4)
+        .build()
+        .unwrap();
+    let b = s.create();
+    // v1: 16-page base; v2..v11: single-page overwrites.
+    let base = patterned(PSIZE as usize * 16, 0);
+    let mut model = base.clone();
+    let mut snapshots = vec![Vec::new(), base.clone()];
+    let mut last = s.append(b, &base).unwrap();
+    for i in 0..10u64 {
+        let patch = patterned(PSIZE as usize, 10 + i as u8);
+        let off = (i % 16) * PSIZE;
+        last = s.write(b, &patch, off).unwrap();
+        model[off as usize..(off + PSIZE) as usize].copy_from_slice(&patch);
+        snapshots.push(model.clone());
+    }
+    s.sync(b, last).unwrap();
+    let before = s.stats();
+    assert_eq!(before.physical_pages, 16 + 10);
+
+    // Retire everything below v8.
+    let report = s.retire_versions(b, Version(8)).unwrap();
+    assert!(report.nodes_removed > 0, "{report:?}");
+    assert!(report.pages_removed > 0, "{report:?}");
+    assert_eq!(report.bytes_reclaimed, report.pages_removed as u64 * PSIZE);
+
+    let after = s.stats();
+    assert_eq!(
+        after.physical_pages,
+        before.physical_pages - report.pages_removed
+    );
+    assert_eq!(
+        after.metadata_nodes,
+        before.metadata_nodes - report.nodes_removed
+    );
+
+    // Retained snapshots are byte-identical to the model.
+    for v in 8..=11u64 {
+        let got = s.read(b, Version(v), 0, PSIZE * 16).unwrap();
+        assert_eq!(got, snapshots[v as usize], "v{v}");
+    }
+    // Retired versions are cleanly rejected.
+    for v in 1..8u64 {
+        assert!(matches!(
+            s.read(b, Version(v), 0, 1),
+            Err(BlobError::VersionRetired { .. })
+        ));
+        assert!(matches!(
+            s.get_size(b, Version(v)),
+            Err(BlobError::VersionRetired { .. })
+        ));
+    }
+    // The blob remains fully usable for new updates.
+    let v12 = s.append(b, &patterned(100, 99)).unwrap();
+    s.sync(b, v12).unwrap();
+    assert_eq!(s.get_size(b, v12).unwrap(), PSIZE * 16 + 100);
+}
+
+#[test]
+fn gc_keeps_pages_shared_into_retained_versions() {
+    // Pages written by v1 but still visible in v3 must survive a GC
+    // that retires v1 — reachability, not age, decides.
+    let s = BlobSeer::builder()
+        .page_size(PSIZE)
+        .data_providers(3)
+        .metadata_providers(2)
+        .build()
+        .unwrap();
+    let b = s.create();
+    let base = patterned(PSIZE as usize * 8, 0);
+    s.append(b, &base).unwrap(); // v1
+    s.write(b, &patterned(PSIZE as usize, 1), 0).unwrap(); // v2
+    let v3 = s.write(b, &patterned(PSIZE as usize, 2), PSIZE).unwrap(); // v3
+    s.sync(b, v3).unwrap();
+
+    let report = s.retire_versions(b, Version(3)).unwrap();
+    // Only the two pages *replaced before v3* are unreachable: v1's
+    // page 0 (replaced in v2, re-replaced in v3? no — page 0 replaced in
+    // v2 survives into v3) — actually: v1 page0 (shadowed by v2) and
+    // v1 page1 (shadowed by v3) are gone; v2's page 0 lives on in v3.
+    assert_eq!(report.pages_removed, 2, "{report:?}");
+    let expect: Vec<u8> = {
+        let mut m = base;
+        m[..PSIZE as usize].copy_from_slice(&patterned(PSIZE as usize, 1));
+        m[PSIZE as usize..2 * PSIZE as usize]
+            .copy_from_slice(&patterned(PSIZE as usize, 2));
+        m
+    };
+    assert_eq!(s.read(b, v3, 0, PSIZE * 8).unwrap(), expect);
+}
+
+#[test]
+fn gc_blocked_by_branch_and_inflight() {
+    let s = BlobSeer::builder()
+        .page_size(PSIZE)
+        .data_providers(3)
+        .metadata_providers(2)
+        .build()
+        .unwrap();
+    let b = s.create();
+    let v1 = s.append(b, &patterned(100, 0)).unwrap();
+    let v2 = s.append(b, &patterned(100, 1)).unwrap();
+    s.sync(b, v2).unwrap();
+    let fork = s.branch(b, v1).unwrap();
+    assert!(matches!(
+        s.retire_versions(b, Version(2)),
+        Err(BlobError::GcConflict(_))
+    ));
+    // Retiring below the pin works; the branch still reads everything.
+    s.retire_versions(b, Version(1)).unwrap();
+    assert_eq!(s.get_size(fork, v1).unwrap(), 100);
+    let fv = s.append(fork, &patterned(50, 2)).unwrap();
+    s.sync(fork, fv).unwrap();
+    assert_eq!(s.get_size(fork, fv).unwrap(), 150);
+}
+
+#[test]
+fn gc_removes_replicas_too() {
+    let s = replicated_store(2);
+    let b = s.create();
+    s.append(b, &patterned(PSIZE as usize * 4, 0)).unwrap(); // v1
+    let v2 = s.write(b, &patterned(PSIZE as usize * 4, 1), 0).unwrap(); // v2 replaces all
+    s.sync(b, v2).unwrap();
+    assert_eq!(s.stats().physical_pages, 16, "8 logical pages x 2 copies");
+    let report = s.retire_versions(b, Version(2)).unwrap();
+    assert_eq!(report.pages_removed, 4, "v1's four pages");
+    assert_eq!(report.bytes_reclaimed, 4 * 2 * PSIZE, "both copies counted");
+    assert_eq!(s.stats().physical_pages, 8);
+    assert_eq!(s.read(b, v2, 0, PSIZE * 4).unwrap(), patterned(PSIZE as usize * 4, 1));
+}
+
+#[test]
+fn metadata_cache_preserves_correctness_and_hits() {
+    let cached = BlobSeer::builder()
+        .page_size(PSIZE)
+        .data_providers(4)
+        .metadata_providers(4)
+        .metadata_cache(10_000)
+        .build()
+        .unwrap();
+    let b = cached.create();
+    let data = patterned(PSIZE as usize * 32, 7);
+    let v1 = cached.append(b, &data).unwrap();
+    let v2 = cached.write(b, &patterned(PSIZE as usize, 8), 0).unwrap();
+    cached.sync(b, v2).unwrap();
+    // Repeated reads of both versions: all correct.
+    for _ in 0..5 {
+        assert_eq!(cached.read(b, v1, 0, data.len() as u64).unwrap(), data);
+        assert_eq!(
+            cached.read(b, v2, 0, PSIZE).unwrap(),
+            patterned(PSIZE as usize, 8)
+        );
+    }
+    // The cache is actually being hit (writers warm it; readers reuse).
+    let dht_gets = cached.stats().metadata.total_gets;
+    // 6 full reads of a 32-page tree would need ~6*63 node fetches
+    // uncached; with the cache the DHT sees far fewer.
+    assert!(
+        dht_gets < 100,
+        "cache should absorb most node fetches, DHT saw {dht_gets}"
+    );
+}
+
+#[test]
+fn gc_then_cache_cannot_resurrect_nodes() {
+    // A cached node of a retired version must not make a retired
+    // version readable again.
+    let s = BlobSeer::builder()
+        .page_size(PSIZE)
+        .data_providers(3)
+        .metadata_providers(2)
+        .metadata_cache(1000)
+        .build()
+        .unwrap();
+    let b = s.create();
+    let v1 = s.append(b, &patterned(PSIZE as usize * 4, 0)).unwrap();
+    let v2 = s.write(b, &patterned(PSIZE as usize * 4, 1), 0).unwrap();
+    s.sync(b, v2).unwrap();
+    // Warm the cache with v1's tree.
+    assert!(s.read(b, v1, 0, PSIZE * 4).is_ok());
+    s.retire_versions(b, Version(2)).unwrap();
+    assert!(matches!(
+        s.read(b, v1, 0, 1),
+        Err(BlobError::VersionRetired { .. })
+    ));
+}
