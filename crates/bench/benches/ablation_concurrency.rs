@@ -68,9 +68,6 @@ fn main() {
             speedup_at_max = speedup;
         }
     }
-    assert!(
-        speedup_at_max > 1.0,
-        "the border-set protocol must beat serialization at 16 writers"
-    );
+    assert!(speedup_at_max > 1.0, "the border-set protocol must beat serialization at 16 writers");
     println!("# OK: partial border sets let writers overlap ({speedup_at_max:.2}x at 16 writers)");
 }

@@ -24,10 +24,7 @@ fn main() {
         let d = read_experiment(decentralized, 173, readers, 1 << 20, 64 * 1024, 1024);
         let c = read_experiment(centralized, 173, readers, 1 << 20, 64 * 1024, 1024);
         let ratio = d.avg_mbps / c.avg_mbps;
-        println!(
-            "{readers:>8} {:>18.1} {:>18.1} {ratio:>7.2}x",
-            d.avg_mbps, c.avg_mbps
-        );
+        println!("{readers:>8} {:>18.1} {:>18.1} {ratio:>7.2}x", d.avg_mbps, c.avg_mbps);
         if readers == 175 {
             ratio_at_max = ratio;
         }

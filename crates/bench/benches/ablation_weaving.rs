@@ -19,10 +19,7 @@ fn main() {
     let appends = 64u64;
     let mut woven_total = 0u64;
     let mut rebuild_total = 0u64;
-    println!(
-        "\n{:>8} {:>16} {:>16} {:>10}",
-        "pages", "woven nodes", "rebuilt nodes", "ratio"
-    );
+    println!("\n{:>8} {:>16} {:>16} {:>10}", "pages", "woven nodes", "rebuilt nodes", "ratio");
     for k in 1..=appends {
         let total = k * append_pages;
         let plan = update_plan(

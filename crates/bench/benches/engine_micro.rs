@@ -125,9 +125,7 @@ fn bench_version_ops(c: &mut Criterion) {
     let v = s.append(b, &vec![0u8; PSIZE as usize]).unwrap();
     s.sync(b, v).unwrap();
     g.bench_function("get_recent", |bench| bench.iter(|| s.get_recent(black_box(b)).unwrap()));
-    g.bench_function("get_size", |bench| {
-        bench.iter(|| s.get_size(black_box(b), v).unwrap())
-    });
+    g.bench_function("get_size", |bench| bench.iter(|| s.get_size(black_box(b), v).unwrap()));
     g.bench_function("branch", |bench| bench.iter(|| s.branch(black_box(b), v).unwrap()));
     g.finish();
 }

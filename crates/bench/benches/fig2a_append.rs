@@ -19,12 +19,7 @@ const MIB: u64 = 1 << 20;
 fn main() {
     println!("# Figure 2(a) — append throughput as the blob grows");
     println!("# single client, 1 MiB appends, Grid'5000 constants (117.5 MB/s, 0.1 ms)");
-    let series = [
-        (64 * 1024u64, 175usize),
-        (256 * 1024, 175),
-        (64 * 1024, 50),
-        (256 * 1024, 50),
-    ];
+    let series = [(64 * 1024u64, 175usize), (256 * 1024, 175), (64 * 1024, 50), (256 * 1024, 50)];
     let mut results: Vec<(String, Vec<AppendPoint>)> = Vec::new();
     for (psize, providers) in series {
         let total_pages = 1280 * 64 * 1024 / psize; // ≈ 80 MiB of data
@@ -71,8 +66,7 @@ fn main() {
     println!("# power-of-two step-downs (64K, 175 providers):");
     for window in pts.windows(2) {
         let (a, b) = (window[0], window[1]);
-        let crossed =
-            a.pages_after.next_power_of_two() < b.pages_after.next_power_of_two();
+        let crossed = a.pages_after.next_power_of_two() < b.pages_after.next_power_of_two();
         if crossed && b.mbps < a.mbps {
             println!(
                 "#   {:>5} -> {:>5} pages: {:.2} -> {:.2} MB/s (new tree level)",

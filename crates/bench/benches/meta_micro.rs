@@ -7,7 +7,9 @@
 use std::time::Duration;
 
 use blobseer_meta::plan::{border_positions, read_plan, update_plan};
-use blobseer_meta::{build_meta, read_meta, Lineage, MetaStore, RootRef, TreeReader, UpdateContext};
+use blobseer_meta::{
+    build_meta, read_meta, Lineage, MetaStore, RootRef, TreeReader, UpdateContext,
+};
 use blobseer_types::{
     BlobId, ByteRange, NodePos, PageDescriptor, PageId, PageRange, ProviderId, Version,
 };
@@ -86,9 +88,7 @@ fn bench_read_meta(c: &mut Criterion) {
         let request = ByteRange::new(13 * 4096, read_pages * 4096);
         g.bench_function(format!("{read_pages}p_of_{blob_pages}p"), |b| {
             let reader = TreeReader::new(&store, &lineage);
-            b.iter(|| {
-                black_box(read_meta(&reader, root, black_box(request), 4096).unwrap())
-            })
+            b.iter(|| black_box(read_meta(&reader, root, black_box(request), 4096).unwrap()))
         });
     }
     g.finish();

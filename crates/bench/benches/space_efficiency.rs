@@ -63,8 +63,8 @@ fn main() {
         "metadata nodes:            {} (base tree {})",
         stats.metadata_nodes, after_base.metadata_nodes
     );
-    let nodes_per_update = (stats.metadata_nodes - after_base.metadata_nodes) as f64
-        / OVERWRITES as f64;
+    let nodes_per_update =
+        (stats.metadata_nodes - after_base.metadata_nodes) as f64 / OVERWRITES as f64;
     println!("metadata nodes per update: {nodes_per_update:.1}");
 
     // The paper's claim, quantified: physical pages = base + exactly the

@@ -69,9 +69,7 @@ pub use stats::StoreStats;
 
 // Re-export the vocabulary a user needs to drive the API.
 pub use blobseer_provider::AllocationStrategy;
-pub use blobseer_types::{
-    BlobError, BlobId, ByteRange, ProviderId, Result, StoreConfig, Version,
-};
+pub use blobseer_types::{BlobError, BlobId, ByteRange, ProviderId, Result, StoreConfig, Version};
 pub use blobseer_version::ConcurrencyMode;
 
 use std::sync::Arc;
@@ -197,8 +195,6 @@ impl BlobSeer {
 
 impl std::fmt::Debug for BlobSeer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BlobSeer")
-            .field("config", &self.engine.config)
-            .finish()
+        f.debug_struct("BlobSeer").field("config", &self.engine.config).finish()
     }
 }

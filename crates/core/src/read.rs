@@ -6,8 +6,8 @@
 
 use std::sync::Arc;
 
-use blobseer_meta::{read_meta, RootRef, TreeReader};
 use blobseer_meta::Lineage;
+use blobseer_meta::{read_meta, RootRef, TreeReader};
 use blobseer_rt::try_parallel;
 use blobseer_types::{BlobError, BlobId, ByteRange, PageSlice, Result, Version};
 use bytes::Bytes;
@@ -36,9 +36,8 @@ pub(crate) fn read(
     if size == 0 {
         return Ok(());
     }
-    let root = root.ok_or_else(|| {
-        BlobError::Internal("non-empty snapshot without a tree root".into())
-    })?;
+    let root =
+        root.ok_or_else(|| BlobError::Internal("non-empty snapshot without a tree root".into()))?;
     let lineage = engine.vm.lineage(blob)?;
     read_at_root_into(engine, &lineage, root, ByteRange::new(offset, size), buf)
 }
@@ -114,10 +113,7 @@ fn fetch_with_fallback(
         Ok(data) => return Ok(data),
         Err(e) => e,
     };
-    for replica in engine
-        .providers
-        .replicas_of(descriptor.provider, engine.config.replication)?
-    {
+    for replica in engine.providers.replicas_of(descriptor.provider, engine.config.replication)? {
         match fetch(replica) {
             Ok(data) => return Ok(data),
             Err(e) => last = e,

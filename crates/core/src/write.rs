@@ -27,9 +27,7 @@ use std::sync::Arc;
 
 use blobseer_meta::{build_meta, TreeReader, UpdateContext};
 use blobseer_rt::try_parallel;
-use blobseer_types::{
-    BlobError, BlobId, ByteRange, PageDescriptor, ProviderId, Result, Version,
-};
+use blobseer_types::{BlobError, BlobId, ByteRange, PageDescriptor, ProviderId, Result, Version};
 use blobseer_version::{AssignedUpdate, UpdateKind};
 use bytes::Bytes;
 
@@ -222,11 +220,7 @@ fn store_one_replicated(
     let mut stored = 0;
     let mut last_err = None;
     for target in targets {
-        match engine
-            .providers
-            .provider(target)
-            .and_then(|p| p.store_page(pid, payload.clone()))
-        {
+        match engine.providers.provider(target).and_then(|p| p.store_page(pid, payload.clone())) {
             Ok(()) => stored += 1,
             Err(e) => last_err = Some(e),
         }
@@ -251,9 +245,9 @@ fn read_old(
         "old bytes {range:?} must lie within snapshot vw-1 ({} B)",
         assigned.prev_size
     );
-    let prev_root = assigned.prev_root.ok_or_else(|| {
-        BlobError::Internal("boundary merge against an empty predecessor".into())
-    })?;
+    let prev_root = assigned
+        .prev_root
+        .ok_or_else(|| BlobError::Internal("boundary merge against an empty predecessor".into()))?;
     read_at_root(engine, lineage, prev_root, range)
 }
 

@@ -72,10 +72,7 @@ fn empty_blob_semantics() {
     assert_eq!(s.get_recent(b).unwrap(), Version(0));
     assert_eq!(s.get_size(b, Version(0)).unwrap(), 0);
     assert_eq!(s.read(b, Version(0), 0, 0).unwrap(), Vec::<u8>::new());
-    assert!(matches!(
-        s.read(b, Version(0), 0, 1),
-        Err(BlobError::ReadBeyondEnd { .. })
-    ));
+    assert!(matches!(s.read(b, Version(0), 0, 1), Err(BlobError::ReadBeyondEnd { .. })));
 }
 
 #[test]
@@ -137,9 +134,7 @@ fn unaligned_overwrites_merge_correctly() {
     model.apply_append(v1, &base);
     // Overwrites at awkward offsets/lengths.
     for (i, (offset, len)) in
-        [(1u64, 5usize), (63, 2), (100, 64), (0, 1), (319, 1), (30, 300)]
-            .into_iter()
-            .enumerate()
+        [(1u64, 5usize), (63, 2), (100, 64), (0, 1), (319, 1), (30, 300)].into_iter().enumerate()
     {
         let data = patterned(len, 100 + i as u8);
         let v = s.write(b, &data, offset).unwrap();
@@ -175,10 +170,7 @@ fn write_beyond_end_rejected() {
     let b = s.create();
     let v1 = s.append(b, b"x").unwrap();
     s.sync(b, v1).unwrap();
-    assert!(matches!(
-        s.write(b, b"y", 2),
-        Err(BlobError::WriteBeyondEnd { .. })
-    ));
+    assert!(matches!(s.write(b, b"y", 2), Err(BlobError::WriteBeyondEnd { .. })));
     assert!(matches!(s.append(b, b""), Err(BlobError::EmptyUpdate)));
 }
 
@@ -186,14 +178,8 @@ fn write_beyond_end_rejected() {
 fn read_unpublished_version_fails() {
     let s = store();
     let b = s.create();
-    assert!(matches!(
-        s.read(b, Version(1), 0, 1),
-        Err(BlobError::VersionNotPublished { .. })
-    ));
-    assert!(matches!(
-        s.get_size(b, Version(3)),
-        Err(BlobError::VersionNotPublished { .. })
-    ));
+    assert!(matches!(s.read(b, Version(1), 0, 1), Err(BlobError::VersionNotPublished { .. })));
+    assert!(matches!(s.get_size(b, Version(3)), Err(BlobError::VersionNotPublished { .. })));
 }
 
 #[test]
@@ -244,10 +230,7 @@ fn branching_diverges_and_shares() {
 fn branch_from_unpublished_fails() {
     let s = store();
     let b = s.create();
-    assert!(matches!(
-        s.branch(b, Version(1)),
-        Err(BlobError::VersionNotPublished { .. })
-    ));
+    assert!(matches!(s.branch(b, Version(1)), Err(BlobError::VersionNotPublished { .. })));
 }
 
 #[test]
@@ -429,11 +412,7 @@ fn allocation_strategies_all_work() {
         let data = patterned(PSIZE as usize * 10 + 17, 7);
         let v = s.append(b, &data).unwrap();
         s.sync(b, v).unwrap();
-        assert_eq!(
-            s.read(b, v, 0, data.len() as u64).unwrap(),
-            data,
-            "strategy {strategy:?}"
-        );
+        assert_eq!(s.read(b, v, 0, data.len() as u64).unwrap(), data, "strategy {strategy:?}");
     }
 }
 

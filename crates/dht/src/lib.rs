@@ -80,9 +80,7 @@ where
     /// Create a DHT spread over `buckets` metadata providers.
     pub fn new(buckets: usize) -> Self {
         assert!(buckets > 0, "DHT needs at least one bucket");
-        Dht {
-            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
-        }
+        Dht { buckets: (0..buckets).map(|_| Bucket::new()).collect() }
     }
 
     /// Number of buckets (metadata providers).
@@ -187,9 +185,7 @@ where
 
 impl<K, V> std::fmt::Debug for Dht<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Dht")
-            .field("buckets", &self.buckets.len())
-            .finish()
+        f.debug_struct("Dht").field("buckets", &self.buckets.len()).finish()
     }
 }
 
@@ -249,10 +245,7 @@ mod tests {
     fn get_wait_times_out() {
         let dht: Dht<u64, u64> = Dht::new(4);
         let t0 = Instant::now();
-        assert_eq!(
-            dht.get_wait(&42, Duration::from_millis(30)),
-            Err(DhtError::WaitTimeout)
-        );
+        assert_eq!(dht.get_wait(&42, Duration::from_millis(30)), Err(DhtError::WaitTimeout));
         assert!(t0.elapsed() >= Duration::from_millis(30));
     }
 
@@ -262,9 +255,7 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..16 {
             let d = Arc::clone(&dht);
-            handles.push(std::thread::spawn(move || {
-                d.get_wait(&5, Duration::from_secs(5))
-            }));
+            handles.push(std::thread::spawn(move || d.get_wait(&5, Duration::from_secs(5))));
         }
         std::thread::sleep(Duration::from_millis(20));
         dht.put(5, 55);

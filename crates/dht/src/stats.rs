@@ -121,10 +121,12 @@ mod tests {
 
     #[test]
     fn skew_of_even_load_is_one() {
-        let s = DhtStats::collect(
-            (0..4)
-                .map(|_| BucketStats { entries: 0, gets: 25, puts: 0, waits: 0 }),
-        );
+        let s = DhtStats::collect((0..4).map(|_| BucketStats {
+            entries: 0,
+            gets: 25,
+            puts: 0,
+            waits: 0,
+        }));
         assert!((s.get_skew() - 1.0).abs() < 1e-9);
     }
 

@@ -24,9 +24,10 @@ impl BorderSet {
     /// Errors when `pos` was never resolved — that would mean the build
     /// walked a child position the planner did not classify, i.e. a bug.
     pub fn lookup(&self, pos: NodePos) -> Result<Option<Version>> {
-        self.map.get(&pos).copied().ok_or_else(|| {
-            BlobError::Internal(format!("border position {pos:?} was not resolved"))
-        })
+        self.map
+            .get(&pos)
+            .copied()
+            .ok_or_else(|| BlobError::Internal(format!("border position {pos:?} was not resolved")))
     }
 
     /// Number of resolved border positions.
@@ -231,8 +232,7 @@ mod tests {
             ]
         );
         // Weaving: (0,2).left → white v1, (2,2).right → white v1.
-        let by_pos: HashMap<NodePos, TreeNode> =
-            nodes2.iter().map(|(k, n)| (k.pos, *n)).collect();
+        let by_pos: HashMap<NodePos, TreeNode> = nodes2.iter().map(|(k, n)| (k.pos, *n)).collect();
         assert_eq!(
             by_pos[&NodePos::new(0, 2)],
             TreeNode::Inner { left: Some(Version(1)), right: Some(Version(2)) }
@@ -257,8 +257,7 @@ mod tests {
             ref_root: Some(root2),
         };
         let nodes3 = build_meta(&reader, &ctx3, &[pd(4, 304)]).unwrap();
-        let by_pos: HashMap<NodePos, TreeNode> =
-            nodes3.iter().map(|(k, n)| (k.pos, *n)).collect();
+        let by_pos: HashMap<NodePos, TreeNode> = nodes3.iter().map(|(k, n)| (k.pos, *n)).collect();
         // New black root: left = old grey root (v2), right = own subtree.
         assert_eq!(
             by_pos[&NodePos::new(0, 8)],
@@ -330,10 +329,8 @@ mod tests {
             overrides: vec![(NodePos::new(4, 2), Version(2))],
             ref_root: Some(root1),
         };
-        let nodes3 =
-            build_meta(&reader, &ctx3, &[pd(6, 306), pd(7, 307)]).unwrap();
-        let by_pos: HashMap<NodePos, TreeNode> =
-            nodes3.iter().map(|(k, n)| (k.pos, *n)).collect();
+        let nodes3 = build_meta(&reader, &ctx3, &[pd(6, 306), pd(7, 307)]).unwrap();
+        let by_pos: HashMap<NodePos, TreeNode> = nodes3.iter().map(|(k, n)| (k.pos, *n)).collect();
         assert_eq!(
             by_pos[&NodePos::new(4, 4)],
             TreeNode::Inner { left: Some(Version(2)), right: Some(Version(3)) },
@@ -353,10 +350,7 @@ mod tests {
             overrides: vec![],
             ref_root: Some(root1),
         };
-        commit(
-            &store,
-            build_meta(&reader, &ctx2, &[pd(4, 204), pd(5, 205)]).unwrap(),
-        );
+        commit(&store, build_meta(&reader, &ctx2, &[pd(4, 204), pd(5, 205)]).unwrap());
 
         // Snapshot v3 = v1 pages + C1's pages + C2's pages.
         let root3 = RootRef { version: Version(3), pos: NodePos::new(0, 8) };
@@ -430,10 +424,7 @@ mod tests {
             ref_root: None,
         };
         assert!(build_meta(&reader, &ctx, &[pd(0, 1)]).is_err(), "wrong count");
-        assert!(
-            build_meta(&reader, &ctx, &[pd(1, 1), pd(2, 2)]).is_err(),
-            "wrong indices"
-        );
+        assert!(build_meta(&reader, &ctx, &[pd(1, 1), pd(2, 2)]).is_err(), "wrong indices");
     }
 
     #[test]

@@ -44,12 +44,9 @@ impl NodeCache {
         assert!(capacity > 0, "use Option<NodeCache> to disable caching");
         NodeCache {
             shards: (0..SHARDS)
-                .map(|_| {
-                    Mutex::new(Shard { map: HashMap::new(), fifo: VecDeque::new() })
-                })
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), fifo: VecDeque::new() }))
                 .collect(),
-            capacity_per_shard: blobseer_types::div_ceil(capacity as u64, SHARDS as u64)
-                as usize,
+            capacity_per_shard: blobseer_types::div_ceil(capacity as u64, SHARDS as u64) as usize,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -90,8 +87,7 @@ impl NodeCache {
         for shard in &self.shards {
             let mut s = shard.lock();
             s.map.retain(|k, _| !(k.blob == blob && k.version < before));
-            let remaining: std::collections::HashSet<NodeKey> =
-                s.map.keys().copied().collect();
+            let remaining: std::collections::HashSet<NodeKey> = s.map.keys().copied().collect();
             s.fifo.retain(|k| remaining.contains(k));
         }
     }

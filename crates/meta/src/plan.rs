@@ -199,11 +199,7 @@ mod tests {
         let all: Vec<NodePos> = plan.positions().collect();
         assert_eq!(
             all,
-            vec![
-                pos(0, 1), pos(1, 1), pos(2, 1), pos(3, 1),
-                pos(0, 2), pos(2, 2),
-                pos(0, 4),
-            ]
+            vec![pos(0, 1), pos(1, 1), pos(2, 1), pos(3, 1), pos(0, 2), pos(2, 2), pos(0, 4),]
         );
         assert!(border_positions(PageRange::new(0, 4), pos(0, 4)).is_empty());
     }
@@ -215,15 +211,9 @@ mod tests {
         let range = PageRange::new(1, 2);
         let plan = update_plan(range, pos(0, 4));
         let all: Vec<NodePos> = plan.positions().collect();
-        assert_eq!(
-            all,
-            vec![pos(1, 1), pos(2, 1), pos(0, 2), pos(2, 2), pos(0, 4)]
-        );
+        assert_eq!(all, vec![pos(1, 1), pos(2, 1), pos(0, 2), pos(2, 2), pos(0, 4)]);
         // Borders: the white leaves (0,1) and (3,1) get weaved in.
-        assert_eq!(
-            border_positions(range, pos(0, 4)),
-            vec![pos(0, 1), pos(3, 1)]
-        );
+        assert_eq!(border_positions(range, pos(0, 4)), vec![pos(0, 1), pos(3, 1)]);
     }
 
     #[test]
@@ -235,10 +225,7 @@ mod tests {
         let all: Vec<NodePos> = plan.positions().collect();
         assert_eq!(all, vec![pos(4, 1), pos(4, 2), pos(4, 4), pos(0, 8)]);
         // Borders: old root (0,4), then the empty right siblings.
-        assert_eq!(
-            border_positions(range, pos(0, 8)),
-            vec![pos(0, 4), pos(6, 2), pos(5, 1)]
-        );
+        assert_eq!(border_positions(range, pos(0, 8)), vec![pos(0, 4), pos(6, 2), pos(5, 1)]);
     }
 
     #[test]

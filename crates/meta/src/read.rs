@@ -1,8 +1,6 @@
 //! Tree traversal: `READ_META` (paper Algorithm 3) and point lookups.
 
-use blobseer_types::{
-    BlobError, ByteRange, NodePos, PageDescriptor, Result, Version,
-};
+use blobseer_types::{BlobError, ByteRange, NodePos, PageDescriptor, Result, Version};
 
 use crate::lineage::Lineage;
 use crate::node::{NodeKey, RootRef, TreeNode};
@@ -28,11 +26,7 @@ impl<'a> TreeReader<'a> {
 
     /// DHT key of the node created by `version` at `pos`.
     pub fn key_for(&self, version: Version, pos: NodePos) -> NodeKey {
-        NodeKey {
-            blob: self.lineage.owner_of(version),
-            version,
-            pos,
-        }
+        NodeKey { blob: self.lineage.owner_of(version), version, pos }
     }
 
     /// Fetch a node; `wait` selects blocking vs. immediate semantics.
@@ -118,9 +112,7 @@ pub fn read_meta(
     }
     out.sort_by_key(|pd| pd.page_index);
     // Exactly one leaf per requested page.
-    if out.len() as u64 != pages.count
-        || out.first().map(|p| p.page_index) != Some(pages.first)
-    {
+    if out.len() as u64 != pages.count || out.first().map(|p| p.page_index) != Some(pages.first) {
         return Err(BlobError::Internal(format!(
             "read_meta assembled {} descriptors for {} pages",
             out.len(),
@@ -199,23 +191,11 @@ mod tests {
         let (store, lineage) = fig1a_store();
         let reader = TreeReader::new(&store, &lineage);
         let root = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
-        assert_eq!(
-            reader.version_at(root, NodePos::new(0, 4), false).unwrap(),
-            Some(Version(1))
-        );
-        assert_eq!(
-            reader.version_at(root, NodePos::new(2, 2), false).unwrap(),
-            Some(Version(1))
-        );
-        assert_eq!(
-            reader.version_at(root, NodePos::new(3, 1), false).unwrap(),
-            Some(Version(1))
-        );
+        assert_eq!(reader.version_at(root, NodePos::new(0, 4), false).unwrap(), Some(Version(1)));
+        assert_eq!(reader.version_at(root, NodePos::new(2, 2), false).unwrap(), Some(Version(1)));
+        assert_eq!(reader.version_at(root, NodePos::new(3, 1), false).unwrap(), Some(Version(1)));
         // Outside the root span.
-        assert_eq!(
-            reader.version_at(root, NodePos::new(4, 4), false).unwrap(),
-            None
-        );
+        assert_eq!(reader.version_at(root, NodePos::new(4, 4), false).unwrap(), None);
     }
 
     #[test]

@@ -26,11 +26,7 @@ pub struct MetaStore {
 impl MetaStore {
     /// Fresh store over `metadata_providers` DHT buckets.
     pub fn new(metadata_providers: usize, wait_timeout: Duration) -> Self {
-        MetaStore {
-            dht: Arc::new(Dht::new(metadata_providers)),
-            wait_timeout,
-            cache: None,
-        }
+        MetaStore { dht: Arc::new(Dht::new(metadata_providers)), wait_timeout, cache: None }
     }
 
     /// Wrap an existing DHT (lets tests share one DHT across stores).
@@ -73,10 +69,10 @@ impl MetaStore {
                 return Ok(node);
             }
         }
-        let node = self.dht.get(key).ok_or(BlobError::MetadataMissing {
-            blob: key.blob,
-            version: key.version,
-        })?;
+        let node = self
+            .dht
+            .get(key)
+            .ok_or(BlobError::MetadataMissing { blob: key.blob, version: key.version })?;
         if let Some(cache) = &self.cache {
             cache.insert(*key, node);
         }
@@ -112,8 +108,7 @@ impl MetaStore {
     ) -> (usize, Vec<(blobseer_types::PageId, blobseer_types::ProviderId)>) {
         let mut orphaned_pages = Vec::new();
         let removed = self.dht.retain(|key, node| {
-            let sweep =
-                key.blob == blob && key.version < before && !reachable.contains(key);
+            let sweep = key.blob == blob && key.version < before && !reachable.contains(key);
             if sweep {
                 if let TreeNode::Leaf { pid, provider, .. } = node {
                     orphaned_pages.push((*pid, *provider));
@@ -164,11 +159,7 @@ mod tests {
     use blobseer_types::{BlobId, NodePos, PageId, ProviderId, Version};
 
     fn key(v: u64, off: u64, size: u64) -> NodeKey {
-        NodeKey {
-            blob: BlobId(1),
-            version: Version(v),
-            pos: NodePos::new(off, size),
-        }
+        NodeKey { blob: BlobId(1), version: Version(v), pos: NodePos::new(off, size) }
     }
 
     #[test]
@@ -184,14 +175,8 @@ mod tests {
     #[test]
     fn missing_node_is_typed() {
         let store = MetaStore::new(4, Duration::from_millis(20));
-        assert!(matches!(
-            store.get(&key(1, 0, 1)),
-            Err(BlobError::MetadataMissing { .. })
-        ));
-        assert_eq!(
-            store.get_wait(&key(1, 0, 1)),
-            Err(BlobError::Timeout("metadata tree node"))
-        );
+        assert!(matches!(store.get(&key(1, 0, 1)), Err(BlobError::MetadataMissing { .. })));
+        assert_eq!(store.get_wait(&key(1, 0, 1)), Err(BlobError::Timeout("metadata tree node")));
     }
 
     #[test]
@@ -215,8 +200,7 @@ mod tests {
         let n = TreeNode::Inner { left: Some(Version(1)), right: None };
         warm.put(key(3, 0, 2), n);
         // A second store (separate cache) over the same DHT.
-        let store =
-            MetaStore::with_dht(dht, Duration::from_millis(50)).with_cache(10);
+        let store = MetaStore::with_dht(dht, Duration::from_millis(50)).with_cache(10);
         assert_eq!(store.get(&key(3, 0, 2)).unwrap(), n);
         let (hits, misses) = store.cache_stats().unwrap();
         assert_eq!((hits, misses), (0, 1));
@@ -227,18 +211,13 @@ mod tests {
     #[test]
     fn sweep_removes_unreachable_and_reports_pages() {
         let store = MetaStore::new(4, Duration::from_millis(50));
-        let leaf = |pid: u128| TreeNode::Leaf {
-            pid: PageId(pid),
-            provider: ProviderId(1),
-            valid_len: 4,
-        };
+        let leaf =
+            |pid: u128| TreeNode::Leaf { pid: PageId(pid), provider: ProviderId(1), valid_len: 4 };
         store.put(key(1, 0, 1), leaf(10)); // v1 leaf, unreachable
         store.put(key(2, 0, 1), leaf(20)); // v2 leaf, reachable
         store.put(key(2, 1, 1), leaf(21)); // v2 leaf, unreachable
-        let reachable: std::collections::HashSet<NodeKey> =
-            [key(2, 0, 1)].into_iter().collect();
-        let (removed, pages) =
-            store.sweep_retired(BlobId(1), Version(3), &reachable);
+        let reachable: std::collections::HashSet<NodeKey> = [key(2, 0, 1)].into_iter().collect();
+        let (removed, pages) = store.sweep_retired(BlobId(1), Version(3), &reachable);
         assert_eq!(removed, 2);
         let mut pids: Vec<u128> = pages.iter().map(|(p, _)| p.raw()).collect();
         pids.sort_unstable();

@@ -45,10 +45,7 @@ impl ProviderManager {
     pub fn with_memory_providers(n: usize, strategy: AllocationStrategy) -> Self {
         let providers = (0..n)
             .map(|i| {
-                Arc::new(DataProvider::new(
-                    ProviderId(i as u32),
-                    Arc::new(MemoryPageStore::new()),
-                ))
+                Arc::new(DataProvider::new(ProviderId(i as u32), Arc::new(MemoryPageStore::new())))
             })
             .collect();
         Self::new(providers, strategy)
@@ -96,8 +93,7 @@ impl ProviderManager {
     /// skipped; errors when every provider is offline.
     pub fn allocate(&self, n: usize) -> Result<Vec<ProviderId>> {
         let all = self.providers.read();
-        let providers: Vec<&Arc<DataProvider>> =
-            all.iter().filter(|p| p.is_available()).collect();
+        let providers: Vec<&Arc<DataProvider>> = all.iter().filter(|p| p.is_available()).collect();
         if providers.is_empty() {
             return Err(BlobError::NoAvailableProvider);
         }
@@ -128,7 +124,11 @@ impl ProviderManager {
                     .map(|_| {
                         let a = &providers[rng.gen_range(0..count)];
                         let b = &providers[rng.gen_range(0..count)];
-                        if a.stored_bytes() <= b.stored_bytes() { a.id() } else { b.id() }
+                        if a.stored_bytes() <= b.stored_bytes() {
+                            a.id()
+                        } else {
+                            b.id()
+                        }
                     })
                     .collect()
             }
@@ -151,9 +151,7 @@ impl ProviderManager {
             .iter()
             .position(|p| p.id() == primary)
             .ok_or(BlobError::ProviderNotFound(primary))?;
-        Ok((1..replicas)
-            .map(|i| providers[(idx + i) % providers.len()].id())
-            .collect())
+        Ok((1..replicas).map(|i| providers[(idx + i) % providers.len()].id()).collect())
     }
 
     /// Stats snapshot for every provider.
@@ -243,17 +241,13 @@ mod tests {
 
     #[test]
     fn power_of_two_choices_balances() {
-        let mgr =
-            ProviderManager::with_memory_providers(10, AllocationStrategy::PowerOfTwoChoices);
+        let mgr = ProviderManager::with_memory_providers(10, AllocationStrategy::PowerOfTwoChoices);
         for round in 0..100 {
             let ids = mgr.allocate(10).unwrap();
             for (i, id) in ids.iter().enumerate() {
                 mgr.provider(*id)
                     .unwrap()
-                    .store_page(
-                        PageId((round * 100 + i) as u128),
-                        Bytes::from(vec![0u8; 100]),
-                    )
+                    .store_page(PageId((round * 100 + i) as u128), Bytes::from(vec![0u8; 100]))
                     .unwrap();
             }
         }
@@ -275,10 +269,7 @@ mod tests {
     fn register_grows_deployment() {
         let mgr = ProviderManager::with_memory_providers(2, AllocationStrategy::RoundRobin);
         assert_eq!(mgr.provider_count(), 2);
-        mgr.register(Arc::new(DataProvider::new(
-            ProviderId(2),
-            Arc::new(MemoryPageStore::new()),
-        )));
+        mgr.register(Arc::new(DataProvider::new(ProviderId(2), Arc::new(MemoryPageStore::new()))));
         assert_eq!(mgr.provider_count(), 3);
         assert!(mgr.provider(ProviderId(2)).is_ok());
     }
@@ -314,18 +305,12 @@ mod tests {
     #[test]
     fn replica_chain_is_successors_in_registry_order() {
         let mgr = ProviderManager::with_memory_providers(5, AllocationStrategy::RoundRobin);
-        assert_eq!(
-            mgr.replicas_of(ProviderId(3), 3).unwrap(),
-            vec![ProviderId(4), ProviderId(0)]
-        );
+        assert_eq!(mgr.replicas_of(ProviderId(3), 3).unwrap(), vec![ProviderId(4), ProviderId(0)]);
         assert!(mgr.replicas_of(ProviderId(0), 1).unwrap().is_empty());
         assert!(mgr.replicas_of(ProviderId(9), 2).is_err());
         // Stable across failures: the chain ignores availability.
         mgr.provider(ProviderId(4)).unwrap().fail();
-        assert_eq!(
-            mgr.replicas_of(ProviderId(3), 2).unwrap(),
-            vec![ProviderId(4)]
-        );
+        assert_eq!(mgr.replicas_of(ProviderId(3), 2).unwrap(), vec![ProviderId(4)]);
     }
 
     #[test]

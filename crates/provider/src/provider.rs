@@ -81,10 +81,8 @@ impl DataProvider {
     pub fn fetch_page(&self, pid: PageId) -> Result<Bytes> {
         self.check_available()?;
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let out = self
-            .store
-            .fetch(pid)
-            .map_err(|_| BlobError::PageMissing { pid, provider: self.id })?;
+        let out =
+            self.store.fetch(pid).map_err(|_| BlobError::PageMissing { pid, provider: self.id })?;
         self.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(out)
     }
@@ -93,15 +91,12 @@ impl DataProvider {
     pub fn fetch_page_range(&self, pid: PageId, offset: u64, len: u64) -> Result<Bytes> {
         self.check_available()?;
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let out = self
-            .store
-            .fetch_range(pid, offset, len)
-            .map_err(|e| match e {
-                BlobError::Storage(msg) if msg.contains("not stored") => {
-                    BlobError::PageMissing { pid, provider: self.id }
-                }
-                other => other,
-            })?;
+        let out = self.store.fetch_range(pid, offset, len).map_err(|e| match e {
+            BlobError::Storage(msg) if msg.contains("not stored") => {
+                BlobError::PageMissing { pid, provider: self.id }
+            }
+            other => other,
+        })?;
         self.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(out)
     }
@@ -204,10 +199,7 @@ mod tests {
             }
             other => panic!("expected PageMissing, got {other:?}"),
         }
-        assert!(matches!(
-            p.fetch_page_range(PageId(99), 0, 1),
-            Err(BlobError::PageMissing { .. })
-        ));
+        assert!(matches!(p.fetch_page_range(PageId(99), 0, 1), Err(BlobError::PageMissing { .. })));
     }
 
     #[test]
@@ -228,10 +220,7 @@ mod tests {
             p.store_page(PageId(2), Bytes::from_static(b"no")),
             Err(BlobError::ProviderUnavailable(ProviderId(7)))
         ));
-        assert!(matches!(
-            p.fetch_page(PageId(1)),
-            Err(BlobError::ProviderUnavailable(_))
-        ));
+        assert!(matches!(p.fetch_page(PageId(1)), Err(BlobError::ProviderUnavailable(_))));
         assert!(matches!(
             p.fetch_page_range(PageId(1), 0, 1),
             Err(BlobError::ProviderUnavailable(_))

@@ -241,10 +241,7 @@ mod tests {
         assert_eq!(store.page_count(), 2);
         assert_eq!(store.stored_bytes(), 16);
         assert_eq!(store.fetch(pid(1)).unwrap(), Bytes::from_static(b"hello world!"));
-        assert_eq!(
-            store.fetch_range(pid(1), 6, 5).unwrap(),
-            Bytes::from_static(b"world")
-        );
+        assert_eq!(store.fetch_range(pid(1), 6, 5).unwrap(), Bytes::from_static(b"world"));
         assert!(store.contains(pid(2)));
         assert!(!store.contains(pid(3)));
         assert!(store.fetch(pid(3)).is_err());

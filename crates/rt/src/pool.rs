@@ -43,11 +43,7 @@ impl ThreadPool {
 
     /// Submit a job; never blocks.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
-        self.tx
-            .as_ref()
-            .expect("pool alive")
-            .send(Box::new(job))
-            .expect("pool workers alive");
+        self.tx.as_ref().expect("pool alive").send(Box::new(job)).expect("pool workers alive");
     }
 }
 
@@ -64,9 +60,7 @@ impl Drop for ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool")
-            .field("threads", &self.workers.len())
-            .finish()
+        f.debug_struct("ThreadPool").field("threads", &self.workers.len()).finish()
     }
 }
 

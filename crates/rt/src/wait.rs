@@ -23,9 +23,7 @@ struct Inner {
 impl WaitGroup {
     /// New group with a zero count.
     pub fn new() -> Self {
-        WaitGroup {
-            inner: Arc::new(Inner { count: Mutex::new(0), cv: Condvar::new() }),
-        }
+        WaitGroup { inner: Arc::new(Inner { count: Mutex::new(0), cv: Condvar::new() }) }
     }
 
     /// Register `n` outstanding jobs.
@@ -78,9 +76,7 @@ impl Default for WaitGroup {
 
 impl std::fmt::Debug for WaitGroup {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WaitGroup")
-            .field("pending", &self.pending())
-            .finish()
+        f.debug_struct("WaitGroup").field("pending", &self.pending()).finish()
     }
 }
 

@@ -14,8 +14,7 @@ use std::sync::{Arc, Mutex};
 
 use blobseer_meta::plan::{border_positions, update_plan, UpdatePlan};
 use blobseer_simnet::{
-    millis, to_secs, Activity, Engine, Nanos, Network, NodeId, Process, Stage, Step,
-    TransferSpec,
+    millis, to_secs, Activity, Engine, Nanos, Network, NodeId, Process, Stage, Step, TransferSpec,
 };
 use blobseer_types::{NodePos, PageRange};
 
@@ -84,11 +83,7 @@ enum Phase {
     /// Nodes durable; notify the version manager.
     Notify,
     /// Notify acknowledged; record the measurement.
-    Record {
-        start: Nanos,
-        pages_after: u64,
-        bytes: u64,
-    },
+    Record { start: Nanos, pages_after: u64, bytes: u64 },
 }
 
 struct AppendClient {

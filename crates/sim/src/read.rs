@@ -73,10 +73,8 @@ pub fn read_experiment(
     }
     let end = engine.run();
     drop(engine); // releases the readers' clones of `results`
-    let durations = Arc::try_unwrap(results)
-        .expect("engine dropped")
-        .into_inner()
-        .expect("no poison");
+    let durations =
+        Arc::try_unwrap(results).expect("engine dropped").into_inner().expect("no poison");
     let bytes = (chunk_pages * page_size) as f64;
     let mbps: Vec<f64> = durations.iter().map(|&d| bytes / 1e6 / to_secs(d)).collect();
     ReadSummary {

@@ -121,11 +121,7 @@ impl Engine {
     fn start_activity(&mut self, owner: ProcessId, activity: Activity) {
         assert!(!activity.stages.is_empty(), "activity must have stages");
         let id = self.activities.len();
-        self.activities.push(ActivityState {
-            stages: activity.stages,
-            next_stage: 0,
-            owner,
-        });
+        self.activities.push(ActivityState { stages: activity.stages, next_stage: 0, owner });
         self.advance_activity(id);
     }
 
@@ -240,10 +236,7 @@ mod tests {
         let mut engine = Engine::new(net);
         let log = Arc::new(Mutex::new(Vec::new()));
         engine.spawn(Box::new(Phased {
-            phases: vec![
-                vec![Activity::delay(millis(3.0))],
-                vec![Activity::delay(millis(4.0))],
-            ],
+            phases: vec![vec![Activity::delay(millis(3.0))], vec![Activity::delay(millis(4.0))]],
             next: 0,
             log: Arc::clone(&log),
         }));
@@ -275,11 +268,7 @@ mod tests {
                 dst_overhead: 0,
             }),
         ]);
-        engine.spawn(Box::new(Phased {
-            phases: vec![vec![rpc]],
-            next: 0,
-            log: Arc::clone(&log),
-        }));
+        engine.spawn(Box::new(Phased { phases: vec![vec![rpc]], next: 0, log: Arc::clone(&log) }));
         let end = engine.run();
         // 0.1 latency + 1.0 service + 0.1 latency.
         assert_eq!(end, millis(1.2));

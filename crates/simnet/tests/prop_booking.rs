@@ -5,8 +5,7 @@
 //! curves would be artifacts.
 
 use blobseer_simnet::{
-    millis, Activity, Engine, Nanos, Network, NodeId, NodeSpec, Process, Stage, Step,
-    TransferSpec,
+    millis, Activity, Engine, Nanos, Network, NodeId, NodeSpec, Process, Stage, Step, TransferSpec,
 };
 use proptest::prelude::*;
 
@@ -19,11 +18,7 @@ struct Xfer {
 
 fn xfers(nodes: usize) -> impl Strategy<Value = Vec<Xfer>> {
     proptest::collection::vec(
-        (0..nodes, 0..nodes, 1u32..2000).prop_map(|(src, dst, kbytes)| Xfer {
-            src,
-            dst,
-            kbytes,
-        }),
+        (0..nodes, 0..nodes, 1u32..2000).prop_map(|(src, dst, kbytes)| Xfer { src, dst, kbytes }),
         1..40,
     )
 }

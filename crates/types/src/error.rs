@@ -29,12 +29,7 @@ pub enum BlobError {
     WriteBeyondEnd { blob: BlobId, offset: u64, snapshot_size: u64 },
     /// READ range exceeds the snapshot size (§2.1: "a read fails also if
     /// the total size of the snapshot v is smaller than offset + size").
-    ReadBeyondEnd {
-        blob: BlobId,
-        version: Version,
-        requested_end: u64,
-        snapshot_size: u64,
-    },
+    ReadBeyondEnd { blob: BlobId, version: Version, requested_end: u64, snapshot_size: u64 },
     /// Zero-byte updates are rejected: they would publish a snapshot
     /// indistinguishable from its predecessor.
     EmptyUpdate,
@@ -137,13 +132,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            BlobError::Timeout("publication"),
-            BlobError::Timeout("publication")
-        );
-        assert_ne!(
-            BlobError::BlobNotFound(BlobId(1)),
-            BlobError::BlobNotFound(BlobId(2))
-        );
+        assert_eq!(BlobError::Timeout("publication"), BlobError::Timeout("publication"));
+        assert_ne!(BlobError::BlobNotFound(BlobId(1)), BlobError::BlobNotFound(BlobId(2)));
     }
 }

@@ -323,10 +323,7 @@ mod tests {
         assert!(!r.intersects(ByteRange::new(30, 1)));
         assert!(!r.intersects(ByteRange::new(0, 10)));
         assert!(!r.intersects(ByteRange::new(15, 0)), "empty never intersects");
-        assert_eq!(
-            r.intersect(ByteRange::new(25, 100)),
-            Some(ByteRange::new(25, 5))
-        );
+        assert_eq!(r.intersect(ByteRange::new(25, 100)), Some(ByteRange::new(25, 5)));
         assert_eq!(r.intersect(ByteRange::new(30, 5)), None);
         assert!(r.contains(ByteRange::new(10, 20)));
         assert!(r.contains(ByteRange::new(15, 5)));
@@ -363,10 +360,7 @@ mod tests {
         assert!(r.contains_page(4));
         assert!(!r.contains_page(5));
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![2, 3, 4]);
-        assert_eq!(
-            r.intersect(PageRange::new(4, 10)),
-            Some(PageRange::new(4, 1))
-        );
+        assert_eq!(r.intersect(PageRange::new(4, 10)), Some(PageRange::new(4, 1)));
         assert_eq!(r.bytes(4), ByteRange::new(8, 12));
     }
 

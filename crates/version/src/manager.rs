@@ -7,9 +7,7 @@ use std::time::{Duration, Instant};
 
 use blobseer_meta::plan::{border_positions, creates_position};
 use blobseer_meta::{Lineage, RootRef};
-use blobseer_types::{
-    div_ceil, BlobError, BlobId, ByteRange, NodePos, PageRange, Result, Version,
-};
+use blobseer_types::{div_ceil, BlobError, BlobId, ByteRange, NodePos, PageRange, Result, Version};
 use parking_lot::RwLock;
 
 use crate::state::{BlobInner, BlobState, Inflight};
@@ -127,11 +125,7 @@ impl VersionManager {
     }
 
     fn blob_state(&self, blob: BlobId) -> Result<Arc<BlobState>> {
-        self.blobs
-            .read()
-            .get(&blob)
-            .cloned()
-            .ok_or(BlobError::BlobNotFound(blob))
+        self.blobs.read().get(&blob).cloned().ok_or(BlobError::BlobNotFound(blob))
     }
 
     /// `CREATE`: register a new blob with the empty snapshot 0.
@@ -173,7 +167,11 @@ impl VersionManager {
         let (offset, size) = match kind {
             UpdateKind::Write { offset, size } => {
                 if offset > prev_size {
-                    return Err(BlobError::WriteBeyondEnd { blob, offset, snapshot_size: prev_size });
+                    return Err(BlobError::WriteBeyondEnd {
+                        blob,
+                        offset,
+                        snapshot_size: prev_size,
+                    });
                 }
                 (offset, size)
             }
@@ -208,9 +206,7 @@ impl VersionManager {
         }
 
         inner.sizes.push(new_size);
-        inner
-            .inflight
-            .insert(vw.raw(), Inflight { range, root: new_root, completed: false });
+        inner.inflight.insert(vw.raw(), Inflight { range, root: new_root, completed: false });
         self.assigned.fetch_add(1, Ordering::Relaxed);
 
         if self.mode == ConcurrencyMode::SerializedMetadata {
@@ -487,10 +483,7 @@ mod tests {
         let vm = vm();
         let b = vm.create();
         let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
-        assert!(matches!(
-            vm.get_size(b, a1.vw),
-            Err(BlobError::VersionNotPublished { .. })
-        ));
+        assert!(matches!(vm.get_size(b, a1.vw), Err(BlobError::VersionNotPublished { .. })));
         vm.complete(b, a1.vw).unwrap();
         assert_eq!(vm.get_size(b, a1.vw).unwrap(), 4);
     }
@@ -499,10 +492,7 @@ mod tests {
     fn complete_validation() {
         let vm = vm();
         let b = vm.create();
-        assert!(matches!(
-            vm.complete(b, Version(1)),
-            Err(BlobError::VersionUnknown { .. })
-        ));
+        assert!(matches!(vm.complete(b, Version(1)), Err(BlobError::VersionUnknown { .. })));
         let a = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
         vm.complete(b, a.vw).unwrap();
         assert!(vm.complete(b, a.vw).is_err(), "double complete");
@@ -514,9 +504,7 @@ mod tests {
         let b = vm.create();
         let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
         let vm2 = Arc::clone(&vm);
-        let waiter = std::thread::spawn(move || {
-            vm2.sync(b, Version(1), Duration::from_secs(5))
-        });
+        let waiter = std::thread::spawn(move || vm2.sync(b, Version(1), Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(20));
         vm.complete(b, a1.vw).unwrap();
         waiter.join().unwrap().unwrap();
@@ -576,10 +564,7 @@ mod tests {
         let vm = vm();
         let b = vm.create();
         let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
-        assert!(matches!(
-            vm.branch(b, Version(1)),
-            Err(BlobError::VersionNotPublished { .. })
-        ));
+        assert!(matches!(vm.branch(b, Version(1)), Err(BlobError::VersionNotPublished { .. })));
         vm.complete(b, a1.vw).unwrap();
         let c = vm.branch(b, Version(1)).unwrap();
         assert_ne!(c, b);
@@ -638,11 +623,8 @@ mod tests {
                 versions
             }));
         }
-        let mut all: Vec<u64> = handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .map(|v| v.raw())
-            .collect();
+        let mut all: Vec<u64> =
+            handles.into_iter().flat_map(|h| h.join().unwrap()).map(|v| v.raw()).collect();
         all.sort_unstable();
         assert_eq!(all, (1..=400).collect::<Vec<u64>>(), "dense, unique versions");
         assert_eq!(vm.get_recent(b).unwrap(), Version(400));
@@ -674,22 +656,13 @@ mod tests {
         assert_eq!(roots.len(), 4);
         assert_eq!(roots[0].version, Version(3));
         assert_eq!(vm.retired_before(b).unwrap(), Version(3));
-        assert!(matches!(
-            vm.get_size(b, Version(2)),
-            Err(BlobError::VersionRetired { .. })
-        ));
-        assert!(matches!(
-            vm.read_view(b, Version(1)),
-            Err(BlobError::VersionRetired { .. })
-        ));
+        assert!(matches!(vm.get_size(b, Version(2)), Err(BlobError::VersionRetired { .. })));
+        assert!(matches!(vm.read_view(b, Version(1)), Err(BlobError::VersionRetired { .. })));
         assert!(vm.get_size(b, Version(3)).is_ok());
         // Re-retiring below the watermark is a no-op.
         assert!(vm.begin_retire(b, Version(2)).unwrap().is_empty());
         // Branching at a retired version is rejected.
-        assert!(matches!(
-            vm.branch(b, Version(1)),
-            Err(BlobError::VersionRetired { .. })
-        ));
+        assert!(matches!(vm.branch(b, Version(1)), Err(BlobError::VersionRetired { .. })));
     }
 
     #[test]

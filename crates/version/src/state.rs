@@ -144,9 +144,18 @@ mod tests {
     fn drain_respects_order_and_completion() {
         let mut b = inner();
         b.sizes.extend([8, 16, 24]); // v1..v3 assigned
-        b.inflight.insert(1, Inflight { range: PageRange::new(0, 2), root: NodePos::new(0, 2), completed: false });
-        b.inflight.insert(2, Inflight { range: PageRange::new(2, 2), root: NodePos::new(0, 4), completed: true });
-        b.inflight.insert(3, Inflight { range: PageRange::new(4, 2), root: NodePos::new(0, 8), completed: true });
+        b.inflight.insert(
+            1,
+            Inflight { range: PageRange::new(0, 2), root: NodePos::new(0, 2), completed: false },
+        );
+        b.inflight.insert(
+            2,
+            Inflight { range: PageRange::new(2, 2), root: NodePos::new(0, 4), completed: true },
+        );
+        b.inflight.insert(
+            3,
+            Inflight { range: PageRange::new(4, 2), root: NodePos::new(0, 8), completed: true },
+        );
         // v1 incomplete: nothing publishes.
         assert_eq!(b.drain_publishable(), 0);
         assert_eq!(b.published, Version(0));

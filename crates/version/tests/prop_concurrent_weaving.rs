@@ -10,9 +10,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use blobseer_meta::{build_meta, read_meta, MetaStore, TreeReader, UpdateContext};
-use blobseer_types::{
-    ByteRange, PageDescriptor, PageId, ProviderId, Version,
-};
+use blobseer_types::{ByteRange, PageDescriptor, PageId, ProviderId, Version};
 use blobseer_version::{AssignedUpdate, ConcurrencyMode, UpdateKind, VersionManager};
 use proptest::prelude::*;
 
@@ -29,10 +27,8 @@ enum Upd {
 fn upd() -> impl Strategy<Value = Upd> {
     prop_oneof![
         (1u64..6).prop_map(|pages| Upd::Append { pages }),
-        (0u16..1000, 1u64..6).prop_map(|(start_permille, pages)| Upd::Write {
-            start_permille,
-            pages
-        }),
+        (0u16..1000, 1u64..6)
+            .prop_map(|(start_permille, pages)| Upd::Write { start_permille, pages }),
     ]
 }
 
@@ -64,11 +60,8 @@ fn apply_assigned(
         overrides: assigned.overrides.clone(),
         ref_root: assigned.ref_root,
     };
-    let leaves: Vec<PageDescriptor> = assigned
-        .range
-        .iter()
-        .map(|p| pd(p, marker_base + p as u128))
-        .collect();
+    let leaves: Vec<PageDescriptor> =
+        assigned.range.iter().map(|p| pd(p, marker_base + p as u128)).collect();
     for (k, n) in build_meta(&reader, &ctx, &leaves).unwrap() {
         meta.put(k, n);
     }
@@ -201,15 +194,13 @@ fn all_writers_target_the_same_page() {
     let (_, root) = vm.read_view(blob, newest).unwrap();
     let lineage = vm.lineage(blob).unwrap();
     let reader = TreeReader::new(&meta, &lineage);
-    let pds =
-        read_meta(&reader, root.unwrap(), ByteRange::new(0, PSIZE), PSIZE).unwrap();
+    let pds = read_meta(&reader, root.unwrap(), ByteRange::new(0, PSIZE), PSIZE).unwrap();
     // The LAST version's page wins (its index in `assigned` is 5).
     assert_eq!(pds[0].pid.raw(), 6000);
     // Every intermediate version sees its own writer's page.
     for (i, a) in assigned.iter().enumerate() {
         let (_, root) = vm.read_view(blob, a.vw).unwrap();
-        let pds =
-            read_meta(&reader, root.unwrap(), ByteRange::new(0, PSIZE), PSIZE).unwrap();
+        let pds = read_meta(&reader, root.unwrap(), ByteRange::new(0, PSIZE), PSIZE).unwrap();
         assert_eq!(pds[0].pid.raw(), (i as u128 + 1) * 1000, "{}", a.vw);
     }
 }
@@ -238,8 +229,7 @@ fn cascading_root_growth_built_in_reverse() {
     assert_eq!(size, 32 * PSIZE);
     let lineage = vm.lineage(blob).unwrap();
     let reader = TreeReader::new(&meta, &lineage);
-    let pds =
-        read_meta(&reader, root.unwrap(), ByteRange::new(0, size), PSIZE).unwrap();
+    let pds = read_meta(&reader, root.unwrap(), ByteRange::new(0, size), PSIZE).unwrap();
     assert_eq!(pds.len(), 32);
     // Page 0 from the base; pages of each append carry its marker.
     assert_eq!(pds[0].pid.raw(), 0);

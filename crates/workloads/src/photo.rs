@@ -75,11 +75,7 @@ impl Photo {
         if len != RECORD_BYTES - HEADER_BYTES {
             return None;
         }
-        Some(Photo {
-            camera,
-            processed,
-            pixels: buf[HEADER_BYTES..RECORD_BYTES].to_vec(),
-        })
+        Some(Photo { camera, processed, pixels: buf[HEADER_BYTES..RECORD_BYTES].to_vec() })
     }
 
     /// The "contrast quality coefficient" the paper's map phase

@@ -20,13 +20,7 @@ impl AppendStream {
     /// Stream with chunk sizes uniform in `[min_len, max_len]`.
     pub fn new(seed: u64, min_len: usize, max_len: usize) -> Self {
         assert!(min_len >= 1 && min_len <= max_len);
-        AppendStream {
-            seed,
-            min_len,
-            max_len,
-            rng: StdRng::seed_from_u64(seed),
-            produced: 0,
-        }
+        AppendStream { seed, min_len, max_len, rng: StdRng::seed_from_u64(seed), produced: 0 }
     }
 
     /// Total bytes produced so far.

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example branching_lab`
 
-use blobseer::{BlobSeer, BlobId, Version};
+use blobseer::{BlobId, BlobSeer, Version};
 use blobseer_workloads::AppendStream;
 
 const PAGE: u64 = 4096;
@@ -66,10 +66,7 @@ fn main() {
         2 * pages_before
     );
     assert!(added <= 2 * 32 + 4, "branching must not copy the blob");
-    println!(
-        "metadata: {} nodes across trunk + 2 branches",
-        stats.metadata_nodes
-    );
+    println!("metadata: {} nodes across trunk + 2 branches", stats.metadata_nodes);
 }
 
 /// Page-aligned start of the 128 KiB window the branches rewrite.

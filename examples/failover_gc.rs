@@ -29,14 +29,16 @@ fn main() {
         last = store.append(blob, &vec![i; PAGE as usize * 2]).unwrap();
     }
     for i in 0..10u8 {
-        last = store
-            .write(blob, &vec![100 + i; PAGE as usize], u64::from(i) * 2 * PAGE)
-            .unwrap();
+        last = store.write(blob, &vec![100 + i; PAGE as usize], u64::from(i) * 2 * PAGE).unwrap();
     }
     store.sync(blob, last).unwrap();
     let size = store.get_size(blob, last).unwrap();
-    println!("ingested: {} versions, {} bytes, {} physical pages (x2 replication)",
-        last, size, store.stats().physical_pages);
+    println!(
+        "ingested: {} versions, {} bytes, {} physical pages (x2 replication)",
+        last,
+        size,
+        store.stats().physical_pages
+    );
 
     // --- Failure: take a provider down mid-flight. ---
     store.fail_provider(ProviderId(3)).unwrap();
@@ -59,8 +61,7 @@ fn main() {
     );
     println!(
         "    physical pages {} -> {}, metadata nodes {} -> {}",
-        before.physical_pages, after.physical_pages,
-        before.metadata_nodes, after.metadata_nodes
+        before.physical_pages, after.physical_pages, before.metadata_nodes, after.metadata_nodes
     );
 
     // Retired versions answer with a clean, typed error...
@@ -80,5 +81,8 @@ fn main() {
 
     // The metadata cache quietly absorbed most node fetches.
     let meta = store.stats().metadata;
-    println!("metadata DHT saw {} gets / {} puts (cache in front)", meta.total_gets, meta.total_puts);
+    println!(
+        "metadata DHT saw {} gets / {} puts (cache in front)",
+        meta.total_gets, meta.total_puts
+    );
 }

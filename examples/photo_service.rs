@@ -50,7 +50,9 @@ fn main() {
     let snapshot = store.get_recent(blob).unwrap();
     let size = store.get_size(blob, snapshot).unwrap();
     let total_photos = size / RECORD_BYTES as u64;
-    println!("ingested {total_photos} photos ({size} bytes) across {SITES} sites -> snapshot {snapshot}");
+    println!(
+        "ingested {total_photos} photos ({size} bytes) across {SITES} sites -> snapshot {snapshot}"
+    );
     assert_eq!(total_photos as usize, SITES * PHOTOS_PER_SITE);
 
     // ---- Analytics: workers read disjoint record-aligned chunks of the

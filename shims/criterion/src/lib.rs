@@ -1,0 +1,220 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A tiny timing harness with criterion's calling shape — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! `black_box` — so the workspace's micro-benches compile and run
+//! without crates.io access. It reports mean wall-clock time per
+//! iteration (and MB/s when a byte throughput is set); it does **not**
+//! do statistical analysis, outlier rejection, or HTML reports.
+//!
+//! `--bench`/`--test` CLI flags passed by `cargo bench`/`cargo test`
+//! are accepted and ignored; `configure_from_args` additionally honours
+//! a positional substring filter like real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to derive throughput rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing loop handle passed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then measuring `iters` runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters.div_ceil(10).min(10) {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+            filter: None,
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    settings: &Settings,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if let Some(filter) = &settings.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Warm up for the configured window (also calibrates: how long does
+    // one iteration take?), then size samples to fit the measurement
+    // window.
+    let warm_deadline = Instant::now() + settings.warm_up_time;
+    let once = loop {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        if Instant::now() >= warm_deadline {
+            break b.elapsed.max(Duration::from_nanos(1));
+        }
+    };
+
+    let budget = settings.measurement_time.max(Duration::from_millis(10));
+    let per_sample = (budget.as_nanos() / settings.sample_size.max(1) as u128).max(1) as u64;
+    let iters = (per_sample / once.as_nanos().max(1) as u64).clamp(1, 1_000_000);
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut best = Duration::MAX;
+    let deadline = Instant::now() + budget;
+    for _ in 0..settings.sample_size.max(1) {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed / (iters.max(1) as u32);
+        best = best.min(per_iter);
+        total += b.elapsed;
+        total_iters += iters;
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mbps = bytes as f64 / (mean_ns / 1e9) / 1e6;
+            format!("  {mbps:10.1} MB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (mean_ns / 1e9);
+            format!("  {eps:10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("bench: {name:<50} {mean_ns:>12.1} ns/iter (best {:.1} ns){rate}", best.as_nanos());
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        run_one(&name, &self.settings, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Parse CLI args: flags are ignored, a positional arg filters by
+    /// substring (same convention as real criterion).
+    pub fn configure_from_args(mut self) -> Self {
+        for a in std::env::args().skip(1) {
+            if a == "--bench" || a == "--test" || a.starts_with('-') {
+                continue;
+            }
+            self.settings.filter = Some(a);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup { name: name.into(), criterion: self, settings, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings.clone();
+        run_one(&id.into(), &settings, None, &mut f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {
+        println!("bench: done");
+    }
+}

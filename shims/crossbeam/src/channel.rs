@@ -1,0 +1,215 @@
+//! MPMC channel with crossbeam-compatible surface (subset).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Capacity bound; `None` for unbounded channels.
+    cap: Option<usize>,
+    /// Signalled when an item is pushed or the last sender leaves.
+    not_empty: Condvar,
+    /// Signalled when an item is popped or the last receiver leaves.
+    not_full: Condvar,
+}
+
+/// Sending half of a channel; cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Receiving half of a channel; cloneable (MPMC).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+}
+
+/// Create an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_channel(None)
+}
+
+/// Create a bounded MPMC channel with capacity `cap`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    new_channel(Some(cap.max(1)))
+}
+
+impl<T> Sender<T> {
+    /// Block until the value is enqueued (or fail if all receivers left).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.chan.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self.chan.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).senders += 1;
+        Sender { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake blocked receivers so they observe disconnection.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value is available (or fail on empty + disconnected).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.chan.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive; `None` when the queue is currently empty.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let v = st.queue.pop_front();
+        drop(st);
+        if v.is_some() {
+            self.chan.not_full.notify_one();
+        }
+        v
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).receivers += 1;
+        Receiver { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.receivers -= 1;
+        let last = st.receivers == 0;
+        drop(st);
+        if last {
+            // Wake blocked senders so they observe disconnection.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_across_threads() {
+        let (tx, rx) = bounded(4);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                while let Ok(v) = rx.recv() {
+                    sum += v;
+                }
+                sum
+            }));
+        }
+        drop(rx);
+        for i in 1..=100u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline shim for the `crossbeam` crate (channel module only).
+//!
+//! Provides MPMC `bounded`/`unbounded` channels with cloneable senders
+//! *and* receivers — the part of `crossbeam::channel` the `blobseer_rt`
+//! thread pool uses — implemented over a `Mutex<VecDeque>` plus two
+//! condvars. Disconnection semantics follow crossbeam: `recv` fails once
+//! the queue is empty and all senders are gone; `send` fails once all
+//! receivers are gone.
+
+pub mod channel;

@@ -1,0 +1,112 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! A miniature property-testing harness exposing the subset of the
+//! proptest API this workspace's tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`/`boxed`, implemented for
+//!   integer ranges, tuples, and [`strategy::Just`],
+//! * [`any`] for primitive types and small tuples,
+//! * [`collection::vec`],
+//! * [`prop_oneof!`] with optional `weight =>` prefixes,
+//! * panic-based [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`].
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking
+//! (a failing case prints its inputs via the assertion message but is
+//! not minimised), and cases are generated from a fixed per-test seed
+//! so CI runs are reproducible. Set `PROPTEST_SEED=<u64>` to vary the
+//! seed; the default case count is 64 (`Config::default()`).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a `proptest!` body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a `proptest!` body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Choose uniformly (or by `weight =>` prefixes) among strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ..)`
+/// becomes a normal `#[test]` running `Config::cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = { $cfg }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = { $crate::test_runner::Config::default() };
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = { $cfg:expr };
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,83 @@
+//! Test configuration and the deterministic RNG behind case generation.
+
+/// Subset of proptest's `Config` (aliased `ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for proptest compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Deterministic xoshiro256** generator seeded per test.
+///
+/// The seed mixes the test's name with an optional `PROPTEST_SEED`
+/// environment override, so every test explores a different sequence
+/// but reruns are reproducible.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from a test name (+ `PROPTEST_SEED` env override if set).
+    pub fn for_test(name: &str) -> Self {
+        let mut seed: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        if let Some(extra) = std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse::<u64>().ok())
+        {
+            seed ^= extra.rotate_left(17);
+        }
+        Self::from_seed(seed)
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion into xoshiro256** state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `0..bound` for spans up to `2^64` inclusive.
+    pub fn below_u128(&mut self, bound: u128) -> u64 {
+        debug_assert!(bound > 0 && bound <= 1 << 64);
+        if bound == 1 << 64 {
+            self.next_u64()
+        } else {
+            self.next_u64() % (bound as u64)
+        }
+    }
+}

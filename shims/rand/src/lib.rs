@@ -1,0 +1,223 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! The workspace only uses seeded, reproducible randomness
+//! (`StdRng::seed_from_u64` + `gen_range`/`gen_bool`/`fill`), so this
+//! shim provides exactly that over a xoshiro256** core seeded via
+//! SplitMix64 — the same construction the reference xoshiro authors
+//! recommend. It is *not* cryptographically secure, matching how the
+//! workspace uses it (workload generation and placement jitter).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Types a `Range`/`RangeInclusive` can uniformly sample.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self {
+                debug_assert!(low <= high_incl);
+                let span = (high_incl as u128).wrapping_sub(low as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: any value is uniform.
+                    return rng.next_u64() as $t;
+                }
+                // Modulo reduction: negligible bias for test-scale spans.
+                let v = ((rng.next_u64() as u128) % span) as $t;
+                low.wrapping_add(v)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + WrappingDec> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(rng, self.start, self.end.wrapping_dec())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_range(rng, lo, hi)
+    }
+}
+
+/// Helper: decrement for converting exclusive bounds to inclusive.
+pub trait WrappingDec {
+    fn wrapping_dec(self) -> Self;
+}
+
+macro_rules! impl_wrapping_dec {
+    ($($t:ty),*) => {$(
+        impl WrappingDec for $t {
+            fn wrapping_dec(self) -> Self {
+                self.wrapping_sub(1)
+            }
+        }
+    )*};
+}
+
+impl_wrapping_dec!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Slice-fillable destination types for [`Rng::fill`].
+pub trait Fill {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every core.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 random bits → uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T)
+    where
+        Self: Sized,
+    {
+        dest.try_fill(self);
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable construction (the workspace only uses `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for rand's StdRng).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into 256-bit state.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: u64 = a.gen_range(10..20);
+            assert_eq!(x, b.gen_range(10..20));
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..500 {
+            match rng.gen_range(0u8..=1) {
+                0 => lo = true,
+                1 => hi = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn fill_covers_buffer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 37];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

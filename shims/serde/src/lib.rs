@@ -1,0 +1,14 @@
+//! Offline shim for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits and re-exports
+//! no-op derive macros so `#[derive(Serialize, Deserialize)]` compiles
+//! without crates.io access. No actual serialization is provided; the
+//! workspace only derives these to keep its data model serde-ready.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

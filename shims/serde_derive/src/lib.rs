@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` only to keep
+//! its data types serde-ready; nothing serializes in-process. The no-op
+//! expansion keeps those derives compiling without the real proc-macro
+//! stack (syn/quote are unavailable offline).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

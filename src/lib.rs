@@ -1,1 +1,8 @@
-//! BlobSeer reproduction workspace root. See the `blobseer` crate for the library.
+//! BlobSeer reproduction workspace root.
+//!
+//! This facade re-exports the public API of the [`blobseer`] crate
+//! (`crates/core`) so downstream consumers can depend on the workspace
+//! root package; the top-level `tests/` and `examples/` exercise the
+//! same API through the `blobseer` dependency directly.
+
+pub use blobseer::*;

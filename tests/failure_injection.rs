@@ -16,9 +16,7 @@ use blobseer_meta::{
     build_meta, read_meta, Lineage, MetaStore, NodeKey, RootRef, TreeNode, TreeReader,
     UpdateContext,
 };
-use blobseer_types::{
-    BlobError, ByteRange, NodePos, PageDescriptor, PageId, ProviderId, Version,
-};
+use blobseer_types::{BlobError, ByteRange, NodePos, PageDescriptor, PageId, ProviderId, Version};
 use blobseer_version::{ConcurrencyMode, UpdateKind, VersionManager};
 
 const PSIZE: u64 = 4;
@@ -82,10 +80,7 @@ fn stalled_writer_blocks_publication_not_assignment() {
 
     // Total order holds: nothing past v1 is published while v2 stalls.
     assert_eq!(vm.get_recent(blob).unwrap(), Version(1));
-    assert!(matches!(
-        vm.get_size(blob, Version(3)),
-        Err(BlobError::VersionNotPublished { .. })
-    ));
+    assert!(matches!(vm.get_size(blob, Version(3)), Err(BlobError::VersionNotPublished { .. })));
     // SYNC on the stalled chain times out instead of hanging.
     assert_eq!(
         vm.sync(blob, Version(3), Duration::from_millis(30)),
@@ -140,16 +135,9 @@ fn dependent_reader_times_out_on_missing_inflight_metadata() {
 fn late_metadata_release_unblocks_waiters() {
     // A reader blocked on an in-flight node proceeds the moment the
     // writer stores it — the §4.2 handoff, under an induced delay.
-    let meta = Arc::new(MetaStore::with_dht(
-        Arc::new(Dht::new(2)),
-        Duration::from_secs(5),
-    ));
+    let meta = Arc::new(MetaStore::with_dht(Arc::new(Dht::new(2)), Duration::from_secs(5)));
     let lineage = Lineage::root(blobseer_types::BlobId(1));
-    let key = NodeKey {
-        blob: lineage.blob(),
-        version: Version(2),
-        pos: NodePos::new(0, 1),
-    };
+    let key = NodeKey { blob: lineage.blob(), version: Version(2), pos: NodePos::new(0, 1) };
     let m2 = Arc::clone(&meta);
     let k2 = key;
     let waiter = std::thread::spawn(move || {
@@ -182,10 +170,7 @@ fn engine_write_beyond_end_leaves_orphan_pages_only() {
     store.sync(blob, v1).unwrap();
     // Offset 1000 > size 64: rejected at the version manager, after the
     // interior page was already shipped.
-    assert!(matches!(
-        store.write(blob, &[1u8; 128], 1000),
-        Err(BlobError::WriteBeyondEnd { .. })
-    ));
+    assert!(matches!(store.write(blob, &[1u8; 128], 1000), Err(BlobError::WriteBeyondEnd { .. })));
     // Snapshot v1 is intact; no new version exists.
     assert_eq!(store.get_recent(blob).unwrap(), v1);
     assert_eq!(store.read(blob, v1, 0, 64).unwrap(), vec![9u8; 64]);

@@ -130,8 +130,7 @@ fn branches_of_branches_with_streams() {
         let prefix = store.read(id, v, 0, base_size).unwrap();
         assert_eq!(prefix, AppendStream::expected(seed, 0, base_size));
         for d in 0..depth {
-            let marker =
-                store.read(id, v, base_size + d as u64 * 100, 100).unwrap();
+            let marker = store.read(id, v, base_size + d as u64 * 100, 100).unwrap();
             assert!(marker.iter().all(|&b| b == d as u8), "branch {depth} marker {d}");
         }
     }
@@ -144,12 +143,8 @@ fn concurrent_writers_on_sibling_branches() {
     // Branches are fully independent after the fork: concurrent writers
     // on N sibling branches must never interfere, while the shared
     // prefix stays byte-identical through every lineage.
-    let store = BlobSeer::builder()
-        .page_size(512)
-        .data_providers(6)
-        .metadata_providers(4)
-        .build()
-        .unwrap();
+    let store =
+        BlobSeer::builder().page_size(512).data_providers(6).metadata_providers(4).build().unwrap();
     let trunk = store.create();
     let seed = 0xabcd;
     let mut stream = AppendStream::new(seed, 200, 1000);

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use blobseer::{BlobSeer, BlobId, Version};
+use blobseer::{BlobId, BlobSeer, Version};
 use proptest::prelude::*;
 
 const PSIZE: u64 = 32;

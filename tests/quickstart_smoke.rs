@@ -1,0 +1,66 @@
+//! Smoke test mirroring `examples/quickstart.rs` end-to-end: the
+//! README-level API surface (CREATE → APPEND → SYNC → WRITE → READ →
+//! GET_RECENT → BRANCH → stats) must keep working exactly as the
+//! quickstart demonstrates it.
+
+use blobseer::{BlobSeer, Version};
+
+#[test]
+fn quickstart_append_read_version_ordering() {
+    let store = BlobSeer::builder()
+        .page_size(4096)
+        .data_providers(8)
+        .metadata_providers(8)
+        .build()
+        .expect("valid configuration");
+
+    // CREATE: a new blob starts as the empty snapshot, version 0.
+    let blob = store.create();
+    assert_eq!(store.get_size(blob, Version(0)).unwrap(), 0);
+
+    // APPEND twice; versions are assigned in total order.
+    let v1 = store.append(blob, &[b'a'; 10_000]).unwrap();
+    let v2 = store.append(blob, &[b'b'; 10_000]).unwrap();
+    assert!(v1 < v2, "appends must be versioned in submission order");
+
+    // SYNC = read-your-writes; sizes reflect each snapshot.
+    store.sync(blob, v2).unwrap();
+    assert_eq!(store.get_size(blob, v1).unwrap(), 10_000);
+    assert_eq!(store.get_size(blob, v2).unwrap(), 20_000);
+
+    // Read back both snapshots: v1 is all 'a', v2 is 'a' then 'b'.
+    assert!(store.read(blob, v1, 0, 10_000).unwrap().iter().all(|&b| b == b'a'));
+    let full = store.read(blob, v2, 0, 20_000).unwrap();
+    assert!(full[..10_000].iter().all(|&b| b == b'a'));
+    assert!(full[10_000..].iter().all(|&b| b == b'b'));
+
+    // WRITE overwrites an unaligned range, creating v3; v2 is immutable.
+    let v3 = store.write(blob, &[b'X'; 5_000], 7_500).unwrap();
+    store.sync(blob, v3).unwrap();
+    let before = store.read(blob, v2, 7_500, 5_000).unwrap();
+    let after = store.read(blob, v3, 7_500, 5_000).unwrap();
+    assert!(before.iter().all(|&b| b == b'a' || b == b'b'));
+    assert!(after.iter().all(|&b| b == b'X'));
+
+    // GET_RECENT observes the latest published version.
+    assert_eq!(store.get_recent(blob).unwrap(), Version(3));
+
+    // BRANCH forks from v2; the fork evolves independently.
+    let fork = store.branch(blob, v2).unwrap();
+    let f3 = store.append(fork, &[b'z'; 1_000]).unwrap();
+    store.sync(fork, f3).unwrap();
+    assert_eq!(store.get_size(fork, f3).unwrap(), 21_000);
+    assert_eq!(store.get_size(blob, Version(3)).unwrap(), 20_000);
+
+    // Version ordering across the whole history stays strict.
+    let versions = [Version(0), v1, v2, v3];
+    for pair in versions.windows(2) {
+        assert!(pair[0] < pair[1]);
+    }
+
+    // Metadata sharing: 4 snapshots of a ~20 KB blob must cost far less
+    // than 4x the logical bytes.
+    let stats = store.stats();
+    assert!(stats.physical_bytes < 2 * 20_000 + 4096, "versioning should share unmodified pages");
+    assert!(stats.metadata_nodes > 0);
+}

@@ -49,10 +49,7 @@ fn reads_fail_cleanly_without_replication() {
     // Pages striped round-robin over 6 providers: provider 0 holds
     // pages 0, 6 — a full read must hit it and fail.
     let err = s.read(b, v, 0, data.len() as u64).unwrap_err();
-    assert!(
-        matches!(err, BlobError::ProviderUnavailable(_)),
-        "expected unavailable, got {err:?}"
-    );
+    assert!(matches!(err, BlobError::ProviderUnavailable(_)), "expected unavailable, got {err:?}");
     // Ranges not touching provider 0 still work.
     assert_eq!(s.read(b, v, PSIZE, PSIZE).unwrap(), data[PSIZE as usize..2 * PSIZE as usize]);
     s.recover_provider(ProviderId(0)).unwrap();
@@ -122,14 +119,8 @@ fn gc_reclaims_space_and_preserves_retained_versions() {
     assert_eq!(report.bytes_reclaimed, report.pages_removed as u64 * PSIZE);
 
     let after = s.stats();
-    assert_eq!(
-        after.physical_pages,
-        before.physical_pages - report.pages_removed
-    );
-    assert_eq!(
-        after.metadata_nodes,
-        before.metadata_nodes - report.nodes_removed
-    );
+    assert_eq!(after.physical_pages, before.physical_pages - report.pages_removed);
+    assert_eq!(after.metadata_nodes, before.metadata_nodes - report.nodes_removed);
 
     // Retained snapshots are byte-identical to the model.
     for v in 8..=11u64 {
@@ -138,14 +129,8 @@ fn gc_reclaims_space_and_preserves_retained_versions() {
     }
     // Retired versions are cleanly rejected.
     for v in 1..8u64 {
-        assert!(matches!(
-            s.read(b, Version(v), 0, 1),
-            Err(BlobError::VersionRetired { .. })
-        ));
-        assert!(matches!(
-            s.get_size(b, Version(v)),
-            Err(BlobError::VersionRetired { .. })
-        ));
+        assert!(matches!(s.read(b, Version(v), 0, 1), Err(BlobError::VersionRetired { .. })));
+        assert!(matches!(s.get_size(b, Version(v)), Err(BlobError::VersionRetired { .. })));
     }
     // The blob remains fully usable for new updates.
     let v12 = s.append(b, &patterned(100, 99)).unwrap();
@@ -179,8 +164,7 @@ fn gc_keeps_pages_shared_into_retained_versions() {
     let expect: Vec<u8> = {
         let mut m = base;
         m[..PSIZE as usize].copy_from_slice(&patterned(PSIZE as usize, 1));
-        m[PSIZE as usize..2 * PSIZE as usize]
-            .copy_from_slice(&patterned(PSIZE as usize, 2));
+        m[PSIZE as usize..2 * PSIZE as usize].copy_from_slice(&patterned(PSIZE as usize, 2));
         m
     };
     assert_eq!(s.read(b, v3, 0, PSIZE * 8).unwrap(), expect);
@@ -199,10 +183,7 @@ fn gc_blocked_by_branch_and_inflight() {
     let v2 = s.append(b, &patterned(100, 1)).unwrap();
     s.sync(b, v2).unwrap();
     let fork = s.branch(b, v1).unwrap();
-    assert!(matches!(
-        s.retire_versions(b, Version(2)),
-        Err(BlobError::GcConflict(_))
-    ));
+    assert!(matches!(s.retire_versions(b, Version(2)), Err(BlobError::GcConflict(_))));
     // Retiring below the pin works; the branch still reads everything.
     s.retire_versions(b, Version(1)).unwrap();
     assert_eq!(s.get_size(fork, v1).unwrap(), 100);
@@ -243,19 +224,13 @@ fn metadata_cache_preserves_correctness_and_hits() {
     // Repeated reads of both versions: all correct.
     for _ in 0..5 {
         assert_eq!(cached.read(b, v1, 0, data.len() as u64).unwrap(), data);
-        assert_eq!(
-            cached.read(b, v2, 0, PSIZE).unwrap(),
-            patterned(PSIZE as usize, 8)
-        );
+        assert_eq!(cached.read(b, v2, 0, PSIZE).unwrap(), patterned(PSIZE as usize, 8));
     }
     // The cache is actually being hit (writers warm it; readers reuse).
     let dht_gets = cached.stats().metadata.total_gets;
     // 6 full reads of a 32-page tree would need ~6*63 node fetches
     // uncached; with the cache the DHT sees far fewer.
-    assert!(
-        dht_gets < 100,
-        "cache should absorb most node fetches, DHT saw {dht_gets}"
-    );
+    assert!(dht_gets < 100, "cache should absorb most node fetches, DHT saw {dht_gets}");
 }
 
 #[test]
@@ -276,8 +251,5 @@ fn gc_then_cache_cannot_resurrect_nodes() {
     // Warm the cache with v1's tree.
     assert!(s.read(b, v1, 0, PSIZE * 4).is_ok());
     s.retire_versions(b, Version(2)).unwrap();
-    assert!(matches!(
-        s.read(b, v1, 0, 1),
-        Err(BlobError::VersionRetired { .. })
-    ));
+    assert!(matches!(s.read(b, v1, 0, 1), Err(BlobError::VersionRetired { .. })));
 }
