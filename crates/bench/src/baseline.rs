@@ -1,0 +1,91 @@
+//! Frozen pre-PR2 reference implementations, kept so the trajectory
+//! harness can measure optimized code against the seed design on the
+//! same hardware in the same process.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use blobseer_dht::static_bucket;
+use parking_lot::{Condvar, Mutex};
+
+struct Bucket<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    cv: Condvar,
+    // The seed recorded per-bucket stats as relaxed atomics (unpadded,
+    // adjacent to the lock). Kept so the A/B pays identical
+    // bookkeeping costs on both sides and isolates the locking change.
+    gets: AtomicU64,
+    puts: AtomicU64,
+    waits: AtomicU64,
+}
+
+/// The seed's DHT bucket design: every operation — including the hot
+/// read path — serializes on the bucket `Mutex`, and every `put` calls
+/// `notify_all` whether or not anyone is waiting. This is the baseline
+/// that `blobseer_dht::Dht`'s read-optimized buckets are measured
+/// against in `BENCH_PR2.json`.
+pub struct MutexDht<K, V> {
+    buckets: Vec<Bucket<K, V>>,
+}
+
+impl<K, V> MutexDht<K, V>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+{
+    /// Create a DHT spread over `buckets` metadata providers.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0);
+        MutexDht {
+            buckets: (0..buckets)
+                .map(|_| Bucket {
+                    map: Mutex::new(HashMap::new()),
+                    cv: Condvar::new(),
+                    gets: AtomicU64::new(0),
+                    puts: AtomicU64::new(0),
+                    waits: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn bucket(&self, key: &K) -> &Bucket<K, V> {
+        &self.buckets[static_bucket(key, self.buckets.len())]
+    }
+
+    /// Seed `put`: exclusive lock + unconditional wakeup.
+    pub fn put(&self, key: K, value: V) {
+        let b = self.bucket(&key);
+        b.puts.fetch_add(1, Ordering::Relaxed);
+        let mut map = b.map.lock();
+        map.insert(key, value);
+        b.cv.notify_all();
+    }
+
+    /// Seed `get`: serializes on the bucket mutex.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let b = self.bucket(key);
+        b.gets.fetch_add(1, Ordering::Relaxed);
+        b.map.lock().get(key).cloned()
+    }
+
+    /// Seed `get_wait`: mutex + condvar loop (one recorded wait per
+    /// wakeup — the miscount PR 2 fixes in the real implementation).
+    pub fn get_wait(&self, key: &K, timeout: Duration) -> Option<V> {
+        let b = self.bucket(key);
+        b.gets.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now() + timeout;
+        let mut map = b.map.lock();
+        loop {
+            if let Some(v) = map.get(key) {
+                return Some(v.clone());
+            }
+            b.waits.fetch_add(1, Ordering::Relaxed);
+            if b.cv.wait_until(&mut map, deadline).timed_out() {
+                return map.get(key).cloned();
+            }
+        }
+    }
+}

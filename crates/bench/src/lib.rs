@@ -1,1 +1,12 @@
-//! Benchmark harness crate; all content lives in `benches/`.
+//! Benchmark harness crate.
+//!
+//! The `benches/` directory holds the criterion targets for the paper
+//! figures and ablations. This library holds the **bench trajectory
+//! harness**: deterministic, fast-mode measurements of the two
+//! paper-critical hot paths (Figure 2(a) appends, Figure 2(b)-style
+//! hot metadata reads) in baseline vs optimized configuration, emitted
+//! as `BENCH_PR<n>.json` by the `bench_report` binary so every PR
+//! leaves a comparable performance data point behind.
+
+pub mod baseline;
+pub mod report;

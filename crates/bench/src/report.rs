@@ -1,0 +1,297 @@
+//! The trajectory harness: fast, deterministic measurements of the
+//! paper-critical hot paths, each as a baseline-vs-optimized pair.
+//!
+//! * **fig2a_append** — Figure 2(a)'s workload on the *real engine*: a
+//!   single client appends fixed-size units to a growing blob at 64 KiB
+//!   pages. Baseline = the seed write path (per-page payload copies,
+//!   one boxed pool job per page); optimized = zero-copy `Bytes::slice`
+//!   carving + chunked range dispatch. Both modes drive
+//!   `append_bytes` with the same prebuilt buffer, so the A/B isolates
+//!   exactly the PR-2 changes.
+//! * **dht_micro** — Figure 2(b)'s metadata hotspot in isolation:
+//!   read-dominated key/value traffic against one DHT (see [`DhtCase`]
+//!   for the three shapes). Baseline = the seed's Mutex bucket (frozen
+//!   in [`crate::baseline`]); optimized = `blobseer_dht::Dht`'s RwLock
+//!   read path with waiter-gated notify. On a single-core host the
+//!   measured gain is dominated by uncontended puts skipping the
+//!   condvar; multi-core hosts additionally overlap readers on the
+//!   shared guard.
+//!
+//! Runs are deterministic: fixed sizes, fixed thread counts, fixed LCG
+//! key streams, best-of-N timing. Numbers are still hardware-dependent
+//! — trajectory files record ratios, not absolute SLOs.
+
+use std::time::{Duration, Instant};
+
+use blobseer::{BlobSeer, Bytes};
+use blobseer_dht::Dht;
+
+use crate::baseline::MutexDht;
+
+/// One measured run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Logical operations completed (appends, or kv ops).
+    pub ops: u64,
+    /// Payload bytes moved (0 when not meaningful).
+    pub bytes: u64,
+    /// Best-of-N wall time.
+    pub elapsed: Duration,
+    /// Boxed pool jobs dispatched (engine runs only).
+    pub io_jobs: Option<u64>,
+    /// Heap allocations during the run (filled in by `bench_report`'s
+    /// counting allocator; `None` when not measured).
+    pub allocs: Option<u64>,
+}
+
+impl RunStats {
+    /// Operations per second.
+    pub fn ops_per_s(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Payload megabytes (1e6) per second.
+    pub fn mbps(&self) -> f64 {
+        self.bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+
+    /// Mean allocations per operation, when measured.
+    pub fn allocs_per_op(&self) -> Option<f64> {
+        self.allocs.map(|a| a as f64 / self.ops as f64)
+    }
+}
+
+/// Workload sizes; `fast()` is the CI smoke mode.
+#[derive(Clone, Copy, Debug)]
+pub struct ReportParams {
+    /// Page size for the append bench.
+    pub page_size: u64,
+    /// Bytes per append call.
+    pub append_unit: usize,
+    /// Total bytes appended per timed run.
+    pub append_total: usize,
+    /// Timed repetitions (best-of).
+    pub reps: usize,
+    /// Threads for the DHT cases.
+    pub dht_threads: usize,
+    /// Ops per thread for the DHT cases.
+    pub dht_iters_per_thread: u64,
+}
+
+impl ReportParams {
+    /// Fast deterministic mode: finishes in a few seconds on CI-class
+    /// hardware while keeping each timed section well above timer noise.
+    pub fn fast() -> Self {
+        ReportParams {
+            page_size: 64 * 1024,
+            append_unit: 1 << 20,
+            append_total: 48 << 20,
+            reps: 3,
+            dht_threads: 8,
+            dht_iters_per_thread: 200_000,
+        }
+    }
+
+    /// Larger sizes for manual runs.
+    pub fn full() -> Self {
+        ReportParams {
+            append_total: 256 << 20,
+            reps: 5,
+            dht_iters_per_thread: 1_000_000,
+            ..Self::fast()
+        }
+    }
+}
+
+fn build_store(p: &ReportParams, optimized: bool) -> BlobSeer {
+    BlobSeer::builder()
+        .page_size(p.page_size)
+        .data_providers(16)
+        .metadata_providers(16)
+        .io_threads(4)
+        .zero_copy_pages(optimized)
+        .io_chunks_per_thread(usize::from(optimized))
+        .build()
+        .expect("valid bench config")
+}
+
+/// Figure 2(a) workload on the real engine; see module docs.
+///
+/// `alloc_count`, when given, is sampled immediately around each rep's
+/// timed section (store construction excluded) and the count of the
+/// *winning* rep is reported — so `allocs_per_op` is a true per-append
+/// figure, independent of `reps`.
+pub fn fig2a_append(
+    p: &ReportParams,
+    optimized: bool,
+    alloc_count: Option<&dyn Fn() -> u64>,
+) -> RunStats {
+    let unit: Bytes = Bytes::from((0..p.append_unit).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+    let appends = (p.append_total / p.append_unit) as u64;
+
+    let mut best = Duration::MAX;
+    let mut io_jobs = 0u64;
+    let mut allocs = None;
+    for _ in 0..p.reps {
+        let store = build_store(p, optimized);
+        let blob = store.create();
+        let jobs_before = store.stats().io_jobs_dispatched;
+        let allocs_before = alloc_count.map(|f| f());
+        let t0 = Instant::now();
+        let mut last = None;
+        for _ in 0..appends {
+            last = Some(store.append_bytes(blob, unit.clone()).expect("append"));
+        }
+        store.sync(blob, last.expect("at least one append")).expect("sync");
+        let dt = t0.elapsed();
+        if dt < best {
+            best = dt;
+            io_jobs = store.stats().io_jobs_dispatched - jobs_before;
+            allocs = alloc_count.zip(allocs_before).map(|(f, before)| f() - before);
+        }
+    }
+    RunStats {
+        ops: appends,
+        bytes: p.append_total as u64,
+        elapsed: best,
+        io_jobs: Some(io_jobs),
+        allocs,
+    }
+}
+
+/// Minimal shared-kv surface so one driver measures both DHT designs.
+pub trait KvStore: Sync {
+    /// Insert or overwrite.
+    fn kv_put(&self, k: (u64, u64), v: u64);
+    /// Non-blocking lookup.
+    fn kv_get(&self, k: &(u64, u64)) -> Option<u64>;
+}
+
+impl KvStore for Dht<(u64, u64), u64> {
+    fn kv_put(&self, k: (u64, u64), v: u64) {
+        self.put(k, v);
+    }
+    fn kv_get(&self, k: &(u64, u64)) -> Option<u64> {
+        self.get(k)
+    }
+}
+
+impl KvStore for MutexDht<(u64, u64), u64> {
+    fn kv_put(&self, k: (u64, u64), v: u64) {
+        self.put(k, v);
+    }
+    fn kv_get(&self, k: &(u64, u64)) -> Option<u64> {
+        self.get(k)
+    }
+}
+
+const DHT_BUCKETS: usize = 16;
+const DHT_KEYS: u64 = 4096;
+
+/// Traffic shape for [`dht_micro`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DhtCase {
+    /// 80% `get` / 20% `put` over uniform keys — reads dominate 4:1,
+    /// writers (tree-node stores) are steady. Exercises both the shared
+    /// read path and the waiter-gated notify on the put path.
+    ReadHeavy,
+    /// 97% `get` / 3% `put` — almost pure reads of published metadata.
+    ReadMostly,
+    /// Every thread `get`s one key — the Figure 2(b) "all readers fetch
+    /// the same root node" hotspot.
+    HotRoot,
+}
+
+impl DhtCase {
+    fn get_pct(self) -> u64 {
+        match self {
+            DhtCase::ReadHeavy => 80,
+            DhtCase::ReadMostly => 97,
+            DhtCase::HotRoot => 100,
+        }
+    }
+}
+
+fn dht_run(kv: &(impl KvStore + ?Sized), p: &ReportParams, case: DhtCase) -> Duration {
+    for k in 0..DHT_KEYS {
+        kv.kv_put((k, k), k);
+    }
+    let iters = p.dht_iters_per_thread;
+    let get_pct = case.get_pct();
+    let hot_key = case == DhtCase::HotRoot;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..p.dht_threads as u64 {
+            s.spawn(move || {
+                // Per-thread LCG for a fixed, reproducible op stream.
+                let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t + 1);
+                let mut sink = 0u64;
+                for _ in 0..iters {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if hot_key {
+                        sink ^= kv.kv_get(&(0, 0)).unwrap_or(0);
+                    } else if x % 100 < get_pct {
+                        let k = (x >> 32) % DHT_KEYS;
+                        sink ^= kv.kv_get(&(k, k)).unwrap_or(0);
+                    } else {
+                        let k = (x >> 32) % DHT_KEYS;
+                        kv.kv_put((k, k), sink ^ x);
+                    }
+                }
+                std::hint::black_box(sink);
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+/// DHT traffic in the given shape; best-of-`reps` over fresh stores.
+pub fn dht_micro(p: &ReportParams, optimized: bool, case: DhtCase) -> RunStats {
+    let mut best = Duration::MAX;
+    for _ in 0..p.reps {
+        let dt = if optimized {
+            dht_run(&Dht::<(u64, u64), u64>::new(DHT_BUCKETS), p, case)
+        } else {
+            dht_run(&MutexDht::<(u64, u64), u64>::new(DHT_BUCKETS), p, case)
+        };
+        best = best.min(dt);
+    }
+    RunStats {
+        ops: p.dht_threads as u64 * p.dht_iters_per_thread,
+        bytes: 0,
+        elapsed: best,
+        io_jobs: None,
+        allocs: None,
+    }
+}
+
+/// Format one baseline/optimized pair as a JSON object (hand-rolled:
+/// the serde shim has no JSON backend).
+pub fn json_pair(indent: &str, unit: &str, baseline: &RunStats, optimized: &RunStats) -> String {
+    let line = |s: &RunStats| {
+        let mut fields = vec![
+            format!("\"ops\": {}", s.ops),
+            format!("\"elapsed_s\": {:.4}", s.elapsed.as_secs_f64()),
+            format!("\"ops_per_s\": {:.1}", s.ops_per_s()),
+        ];
+        if s.bytes > 0 {
+            fields.push(format!("\"mb_per_s\": {:.1}", s.mbps()));
+        }
+        if let Some(j) = s.io_jobs {
+            fields.push(format!("\"io_jobs_dispatched\": {j}"));
+        }
+        if let Some(a) = s.allocs_per_op() {
+            fields.push(format!("\"allocs_per_op\": {a:.1}"));
+        }
+        fields.join(", ")
+    };
+    let speedup = baseline.elapsed.as_secs_f64() / optimized.elapsed.as_secs_f64();
+    format!(
+        "{indent}\"unit\": \"{unit}\",\n\
+         {indent}\"baseline\": {{ {} }},\n\
+         {indent}\"optimized\": {{ {} }},\n\
+         {indent}\"speedup\": {speedup:.2}",
+        line(baseline),
+        line(optimized),
+    )
+}

@@ -86,6 +86,22 @@ impl Builder {
         self
     }
 
+    /// Fork-join chunking factor: parallel page/metadata batches are
+    /// dispatched as at most `client_io_threads * k` range jobs. `0`
+    /// restores per-item dispatch (the pre-chunking ablation baseline).
+    pub fn io_chunks_per_thread(mut self, k: usize) -> Self {
+        self.config.io_chunks_per_thread = k;
+        self
+    }
+
+    /// Carve page payloads as refcounted slices of the update buffer
+    /// (`true`, default) or as per-page copies (`false`, the ablation
+    /// baseline measured by the bench trajectory harness).
+    pub fn zero_copy_pages(mut self, enabled: bool) -> Self {
+        self.config.zero_copy_pages = enabled;
+        self
+    }
+
     /// Concurrency mode — [`ConcurrencyMode::SerializedMetadata`] is the
     /// ablation baseline measured by experiment E5.
     pub fn concurrency_mode(mut self, mode: ConcurrencyMode) -> Self {

@@ -71,6 +71,9 @@ pub use stats::StoreStats;
 pub use blobseer_provider::AllocationStrategy;
 pub use blobseer_types::{BlobError, BlobId, ByteRange, ProviderId, Result, StoreConfig, Version};
 pub use blobseer_version::ConcurrencyMode;
+// Re-exported so callers of the zero-copy entry points need no direct
+// `bytes` dependency.
+pub use bytes::Bytes;
 
 use std::sync::Arc;
 
@@ -108,13 +111,34 @@ impl BlobSeer {
     /// `vw`; the snapshot becomes visible to readers when *published*
     /// (use [`BlobSeer::sync`] to wait). Fails if `offset` exceeds the
     /// size of snapshot `vw − 1`, or if `data` is empty.
+    ///
+    /// Copies `data` exactly once, at this boundary; use
+    /// [`BlobSeer::write_bytes`] to skip that copy too.
     pub fn write(&self, blob: BlobId, data: &[u8], offset: u64) -> Result<Version> {
+        self.write_bytes(blob, Bytes::copy_from_slice(data), offset)
+    }
+
+    /// Zero-copy `WRITE`: like [`BlobSeer::write`], but takes ownership
+    /// of a refcounted [`Bytes`] buffer. Fully-covered pages are stored
+    /// as O(1) slices of `data` — no payload byte is copied anywhere on
+    /// the store path, regardless of the replication factor.
+    pub fn write_bytes(&self, blob: BlobId, data: Bytes, offset: u64) -> Result<Version> {
         write::update(&self.engine, blob, data, write::Target::Write { offset })
     }
 
     /// `APPEND(id, buffer, size)`: append `data` at the end of the
     /// previous snapshot. Returns the assigned version.
+    ///
+    /// Copies `data` exactly once, at this boundary; use
+    /// [`BlobSeer::append_bytes`] to skip that copy too.
     pub fn append(&self, blob: BlobId, data: &[u8]) -> Result<Version> {
+        self.append_bytes(blob, Bytes::copy_from_slice(data))
+    }
+
+    /// Zero-copy `APPEND`: like [`BlobSeer::append`], but takes
+    /// ownership of a refcounted [`Bytes`] buffer (see
+    /// [`BlobSeer::write_bytes`]).
+    pub fn append_bytes(&self, blob: BlobId, data: Bytes) -> Result<Version> {
         write::update(&self.engine, blob, data, write::Target::Append)
     }
 

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use blobseer_meta::Lineage;
 use blobseer_meta::{read_meta, RootRef, TreeReader};
-use blobseer_rt::try_parallel;
+use blobseer_rt::try_parallel_jobs;
 use blobseer_types::{BlobError, BlobId, ByteRange, PageSlice, Result, Version};
 use bytes::Bytes;
 
@@ -83,11 +83,13 @@ fn read_at_root_into(
     let shared = Arc::new(slices);
     let eng = Arc::clone(engine);
     let jobs = Arc::clone(&shared);
-    let parts: Vec<(u64, Bytes)> = try_parallel(&engine.pool, shared.len(), move |i| {
-        let s = &jobs[i];
-        let data = fetch_with_fallback(&eng, &s.descriptor, s.within)?;
-        Ok::<_, BlobError>((s.buffer_offset, data))
-    })?;
+    let max_jobs = engine.max_parallel_jobs();
+    let parts: Vec<(u64, Bytes)> =
+        try_parallel_jobs(&engine.pool, shared.len(), max_jobs, move |i| {
+            let s = &jobs[i];
+            let data = fetch_with_fallback(&eng, &s.descriptor, s.within)?;
+            Ok::<_, BlobError>((s.buffer_offset, data))
+        })?;
     for (dst, data) in parts {
         let dst = dst as usize;
         buf[dst..dst + data.len()].copy_from_slice(&data);

@@ -28,6 +28,10 @@ pub struct StoreStats {
     pub physical_pages: usize,
     /// Total metadata tree nodes stored.
     pub metadata_nodes: usize,
+    /// Lifetime boxed jobs submitted to the client I/O pool — the
+    /// dispatch-overhead gauge behind the chunked fork-join (a large
+    /// batch should cost ~one job per worker, not one per page).
+    pub io_jobs_dispatched: u64,
 }
 
 pub(crate) fn collect(engine: &Engine) -> StoreStats {
@@ -38,5 +42,6 @@ pub(crate) fn collect(engine: &Engine) -> StoreStats {
         physical_bytes: engine.providers.total_stored_bytes(),
         physical_pages: engine.providers.total_pages(),
         metadata_nodes: engine.meta.node_count(),
+        io_jobs_dispatched: engine.pool.jobs_dispatched(),
     }
 }

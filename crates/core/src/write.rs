@@ -26,7 +26,7 @@
 use std::sync::Arc;
 
 use blobseer_meta::{build_meta, TreeReader, UpdateContext};
-use blobseer_rt::try_parallel;
+use blobseer_rt::try_parallel_jobs;
 use blobseer_types::{BlobError, BlobId, ByteRange, PageDescriptor, ProviderId, Result, Version};
 use blobseer_version::{AssignedUpdate, UpdateKind};
 use bytes::Bytes;
@@ -46,10 +46,15 @@ pub(crate) enum Target {
 }
 
 /// Run the full update pipeline; returns the assigned version.
+///
+/// `data` is refcounted: interior pages are carved out of it as O(1)
+/// [`Bytes::slice`] windows, so a page payload is copied at most once
+/// per update (at the `&[u8]` API boundary, if the caller used it) no
+/// matter how many replicas each page is stored on.
 pub(crate) fn update(
     engine: &Arc<Engine>,
     blob: BlobId,
-    data: &[u8],
+    data: Bytes,
     target: Target,
 ) -> Result<Version> {
     if data.is_empty() {
@@ -59,7 +64,7 @@ pub(crate) fn update(
 
     // 1 (WRITE): interior pages need no version, store them now.
     let mut leaves = match target {
-        Target::Write { offset } => store_interior_pages(engine, data, offset)?,
+        Target::Write { offset } => store_interior_pages(engine, &data, offset)?,
         Target::Append => Vec::new(),
     };
 
@@ -72,12 +77,12 @@ pub(crate) fn update(
 
     // 1 (APPEND): the offset is now known.
     if matches!(target, Target::Append) {
-        leaves = store_interior_pages(engine, data, assigned.offset)?;
+        leaves = store_interior_pages(engine, &data, assigned.offset)?;
     }
 
     // 3: boundary pages (head/tail partially covered by the update).
     let lineage = engine.vm.lineage(blob)?;
-    leaves.extend(store_boundary_pages(engine, &lineage, &assigned, data)?);
+    leaves.extend(store_boundary_pages(engine, &lineage, &assigned, &data)?);
     leaves.sort_by_key(|pd| pd.page_index);
 
     // 4: build the new tree and store every node in parallel.
@@ -92,7 +97,7 @@ pub(crate) fn update(
     let nodes = Arc::new(build_meta(&reader, &ctx, &leaves)?);
     let eng = Arc::clone(engine);
     let jobs = Arc::clone(&nodes);
-    try_parallel(&engine.pool, nodes.len(), move |i| {
+    try_parallel_jobs(&engine.pool, nodes.len(), engine.max_parallel_jobs(), move |i| {
         let (key, node) = jobs[i];
         eng.meta.put(key, node);
         Ok::<_, BlobError>(())
@@ -107,7 +112,7 @@ pub(crate) fn update(
 /// (Algorithm 2 lines 4-9). Returns their descriptors.
 fn store_interior_pages(
     engine: &Arc<Engine>,
-    data: &[u8],
+    data: &Bytes,
     offset: u64,
 ) -> Result<Vec<PageDescriptor>> {
     let psize = engine.psize();
@@ -120,13 +125,19 @@ fn store_interior_pages(
     let n = (last_full_end - first_full) as usize;
     let providers = engine.providers.allocate(n)?;
 
-    // Copy the page payloads out of the borrowed buffer so the store
-    // jobs are 'static (the real system serializes onto the wire here).
+    // Carve each page as an O(1) refcounted window into the update
+    // buffer — no payload bytes move here. The `zero_copy_pages = false`
+    // ablation keeps the old per-page copy for A/B measurement.
+    let zero_copy = engine.config.zero_copy_pages;
     let jobs: Vec<(u64, ProviderId, Bytes)> = (0..n)
         .map(|i| {
             let page_index = first_full + i as u64;
             let start = (page_index * psize - offset) as usize;
-            let payload = Bytes::copy_from_slice(&data[start..start + psize as usize]);
+            let payload = if zero_copy {
+                data.slice(start..start + psize as usize)
+            } else {
+                Bytes::copy_from_slice(&data[start..start + psize as usize])
+            };
             (page_index, providers[i], payload)
         })
         .collect();
@@ -139,7 +150,7 @@ fn store_boundary_pages(
     engine: &Arc<Engine>,
     lineage: &blobseer_meta::Lineage,
     assigned: &AssignedUpdate,
-    data: &[u8],
+    data: &Bytes,
 ) -> Result<Vec<PageDescriptor>> {
     let psize = engine.psize();
     let offset = assigned.offset;
@@ -209,6 +220,11 @@ fn store_boundary_pages(
 /// Store one page on its primary plus the configured replica chain.
 /// Succeeds when at least one copy landed: the leaf names the primary,
 /// and readers fall back along the same deterministic chain.
+///
+/// `payload` is refcounted, so the chain hands out `replication - 1`
+/// cheap clones and *moves* the payload into the last target — no
+/// refcount bump, and (with zero-copy carving) no byte is ever copied
+/// per replica.
 fn store_one_replicated(
     engine: &Arc<Engine>,
     pid: blobseer_types::PageId,
@@ -219,8 +235,15 @@ fn store_one_replicated(
     targets.extend(engine.providers.replicas_of(primary, engine.config.replication)?);
     let mut stored = 0;
     let mut last_err = None;
-    for target in targets {
-        match engine.providers.provider(target).and_then(|p| p.store_page(pid, payload.clone())) {
+    let last = targets.len() - 1;
+    let mut payload = Some(payload);
+    for (i, target) in targets.into_iter().enumerate() {
+        let data = if i == last {
+            payload.take().expect("payload moved only once, at the last target")
+        } else {
+            payload.as_ref().expect("payload present before the last target").clone()
+        };
+        match engine.providers.provider(target).and_then(|p| p.store_page(pid, data)) {
             Ok(()) => stored += 1,
             Err(e) => last_err = Some(e),
         }
@@ -263,7 +286,7 @@ fn store_pages(
     let shared = Arc::new((jobs, pids));
     let eng = Arc::clone(engine);
     let batch = Arc::clone(&shared);
-    try_parallel(&engine.pool, n, move |i| {
+    try_parallel_jobs(&engine.pool, n, engine.max_parallel_jobs(), move |i| {
         let (jobs, pids) = &*batch;
         let (_, provider, payload) = &jobs[i];
         store_one_replicated(&eng, pids[i], *provider, payload.clone())
@@ -279,4 +302,101 @@ fn store_pages(
             valid_len,
         })
         .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PSIZE: usize = 4096;
+
+    fn build(zero_copy: bool) -> crate::BlobSeer {
+        crate::BlobSeer::builder()
+            .page_size(PSIZE as u64)
+            .data_providers(4)
+            .replication(2)
+            .zero_copy_pages(zero_copy)
+            .build()
+            .unwrap()
+    }
+
+    /// Fetch every interior page of `v` back out of the providers and
+    /// return the payload `Bytes` as stored.
+    fn stored_pages(store: &crate::BlobSeer, leaves: &[PageDescriptor]) -> Vec<Bytes> {
+        leaves
+            .iter()
+            .map(|pd| {
+                store.engine.providers.provider(pd.provider).unwrap().fetch_page(pd.pid).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interior_pages_are_slices_of_the_source_buffer() {
+        // The acceptance check for the zero-copy path: every stored
+        // interior page must alias the caller's allocation (pointer
+        // identity), proving no per-page payload copy happened.
+        let store = build(true);
+        let data = Bytes::from((0..4 * PSIZE).map(|i| i as u8).collect::<Vec<u8>>());
+        let src = data.as_ptr() as usize..data.as_ptr() as usize + data.len();
+
+        let leaves = store_interior_pages(&store.engine, &data, 0).unwrap();
+        assert_eq!(leaves.len(), 4);
+        for (i, page) in stored_pages(&store, &leaves).into_iter().enumerate() {
+            let ptr = page.as_ptr() as usize;
+            assert_eq!(page.len(), PSIZE);
+            assert_eq!(
+                ptr,
+                src.start + i * PSIZE,
+                "page {i} must alias the source buffer, not a copy"
+            );
+            assert!(src.contains(&ptr));
+        }
+    }
+
+    #[test]
+    fn unaligned_carving_slices_at_page_boundaries_of_the_blob() {
+        // An update starting mid-page: interior pages begin at the
+        // first in-buffer offset that is page-aligned in blob space.
+        let store = build(true);
+        let data = Bytes::from(vec![7u8; 3 * PSIZE]);
+        let offset = (PSIZE / 2) as u64;
+        let leaves = store_interior_pages(&store.engine, &data, offset).unwrap();
+        assert_eq!(leaves.len(), 2);
+        let src = data.as_ptr() as usize;
+        for (slot, page) in stored_pages(&store, &leaves).into_iter().enumerate() {
+            let expect = src + PSIZE / 2 + slot * PSIZE;
+            assert_eq!(page.as_ptr() as usize, expect);
+        }
+    }
+
+    #[test]
+    fn baseline_mode_copies_instead_of_slicing() {
+        let store = build(false);
+        let data = Bytes::from(vec![1u8; 2 * PSIZE]);
+        let src = data.as_ptr() as usize..data.as_ptr() as usize + data.len();
+        let leaves = store_interior_pages(&store.engine, &data, 0).unwrap();
+        for page in stored_pages(&store, &leaves) {
+            assert!(
+                !src.contains(&(page.as_ptr() as usize)),
+                "ablation baseline must store copies, not aliases"
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_store_keeps_aliasing_every_copy() {
+        // replication = 2: both the primary and the replica must hold
+        // the same refcounted window — zero payload copies per update.
+        let store = build(true);
+        let data = Bytes::from(vec![9u8; PSIZE]);
+        let src = data.as_ptr() as usize;
+        let leaves = store_interior_pages(&store.engine, &data, 0).unwrap();
+        let pd = leaves[0];
+        let replicas = store.engine.providers.replicas_of(pd.provider, 2).unwrap();
+        for target in std::iter::once(pd.provider).chain(replicas) {
+            let page = store.engine.providers.provider(target).unwrap().fetch_page(pd.pid).unwrap();
+            assert_eq!(page.as_ptr() as usize, src, "copy on {target:?} must alias the source");
+        }
+    }
 }

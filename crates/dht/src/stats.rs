@@ -8,6 +8,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Relaxed per-bucket counters, aligned to their own cacheline so the
+/// constant counter traffic from hot `get`s never dirties the line
+/// holding the bucket's lock state (and vice versa).
+#[repr(align(64))]
 pub(crate) struct BucketCounters {
     gets: AtomicU64,
     puts: AtomicU64,

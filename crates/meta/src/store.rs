@@ -12,8 +12,11 @@ use crate::node::{NodeKey, TreeNode};
 /// The metadata provider: tree nodes distributed over DHT buckets.
 ///
 /// `get` is non-blocking and suits reads of *published* versions (whose
-/// trees are complete by definition). `get_wait` blocks until the node
-/// appears — the mechanism by which an operation depending on a lower,
+/// trees are complete by definition); since the DHT's read path takes
+/// only a shared bucket guard, concurrent readers of the same hot node
+/// (every reader of a snapshot fetches the same root) do not serialize
+/// on the metadata provider. `get_wait` blocks until the node appears —
+/// the mechanism by which an operation depending on a lower,
 /// still-in-flight version waits for its writer (paper §4.2). The wait
 /// is bounded by the configured timeout so a crashed writer surfaces as
 /// a [`BlobError::Timeout`] instead of a hang.

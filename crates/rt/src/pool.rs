@@ -1,5 +1,6 @@
 //! A fixed-size FIFO thread pool.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{Receiver, Sender};
@@ -13,6 +14,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct ThreadPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    dispatched: AtomicU64,
 }
 
 impl ThreadPool {
@@ -33,7 +35,7 @@ impl ThreadPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        ThreadPool { tx: Some(tx), workers }
+        ThreadPool { tx: Some(tx), workers, dispatched: AtomicU64::new(0) }
     }
 
     /// Number of worker threads.
@@ -41,8 +43,16 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Lifetime count of boxed jobs submitted — the dispatch-overhead
+    /// gauge behind the chunked fork-join optimization (benches assert
+    /// a large batch costs ~one job per worker, not one per item).
+    pub fn jobs_dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
     /// Submit a job; never blocks.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
         self.tx.as_ref().expect("pool alive").send(Box::new(job)).expect("pool workers alive");
     }
 }
