@@ -24,7 +24,7 @@ fn run(mode: ConcurrencyMode, writers: usize) -> f64 {
         .concurrency_mode(mode)
         .build()
         .unwrap();
-    let blob = store.create();
+    let blob = store.create().id();
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for w in 0..writers {

@@ -22,10 +22,10 @@ fn store(replication: usize) -> (BlobSeer, blobseer::BlobId, Version, f64) {
     let data = vec![7u8; PAGES * PSIZE as usize];
     // Warm up pools/allocator on a throwaway blob, then time the real
     // ingest — the measurement must not include deployment setup.
-    let warmup = s.create();
+    let warmup = s.create().id();
     let wv = s.append(warmup, &data).unwrap();
     s.sync(warmup, wv).unwrap();
-    let b = s.create();
+    let b = s.create().id();
     let t0 = Instant::now();
     let v = s.append(b, &data).unwrap();
     s.sync(b, v).unwrap();

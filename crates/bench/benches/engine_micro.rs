@@ -41,7 +41,7 @@ fn e6_report() {
 
     // Full pipeline: data + metadata + VM.
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let payload = vec![1u8; PSIZE as usize];
     let t0 = Instant::now();
     for _ in 0..iters {
@@ -61,7 +61,7 @@ fn bench_appends(c: &mut Criterion) {
     let mut g = c.benchmark_group("append");
     for pages in [1usize, 4, 16] {
         let s = store();
-        let b = s.create();
+        let b = s.create().id();
         let payload = vec![7u8; pages * PSIZE as usize];
         g.throughput(criterion::Throughput::Bytes(payload.len() as u64));
         g.bench_function(format!("{pages}p_aligned"), |bench| {
@@ -70,7 +70,7 @@ fn bench_appends(c: &mut Criterion) {
     }
     // Unaligned appends exercise the boundary-merge path.
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let payload = vec![7u8; PSIZE as usize + 777];
     g.bench_function("1p_unaligned", |bench| {
         bench.iter(|| s.append(b, black_box(&payload)).unwrap())
@@ -81,7 +81,7 @@ fn bench_appends(c: &mut Criterion) {
 fn bench_writes(c: &mut Criterion) {
     let mut g = c.benchmark_group("write");
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let v = s.append(b, &vec![0u8; 64 * PSIZE as usize]).unwrap();
     s.sync(b, v).unwrap();
     let page = vec![1u8; PSIZE as usize];
@@ -97,10 +97,13 @@ fn bench_writes(c: &mut Criterion) {
 
 fn bench_reads(c: &mut Criterion) {
     let mut g = c.benchmark_group("read");
-    // Blob sizes spanning several tree depths.
+    // Blob sizes spanning several tree depths. The loops reuse one
+    // buffer (`read_into`) so the measurement excludes per-call
+    // allocation; the `snap_` variants additionally pin the version,
+    // excluding the per-call VM resolution.
     for pages in [16u64, 256, 2048] {
         let s = store();
-        let b = s.create();
+        let b = s.create().id();
         let mut last = Version(0);
         let chunk = vec![3u8; 128 * PSIZE as usize];
         let mut written = 0;
@@ -110,9 +113,20 @@ fn bench_reads(c: &mut Criterion) {
             written += n;
         }
         s.sync(b, last).unwrap();
+        let mut buf = vec![0u8; 4 * PSIZE as usize];
         g.throughput(criterion::Throughput::Bytes(4 * PSIZE));
         g.bench_function(format!("4p_of_{pages}p_blob"), |bench| {
-            bench.iter(|| s.read(b, last, 5 * PSIZE, black_box(4 * PSIZE)).unwrap())
+            bench.iter(|| s.read_into(b, last, black_box(5 * PSIZE), &mut buf).unwrap())
+        });
+        let snap = s.snapshot(b, last).unwrap();
+        g.bench_function(format!("snap_4p_of_{pages}p_blob"), |bench| {
+            bench.iter(|| snap.read_into(black_box(5 * PSIZE), &mut buf).unwrap())
+        });
+        g.bench_function(format!("snap_scatter_4p_of_{pages}p_blob"), |bench| {
+            bench.iter(|| {
+                snap.read_scatter(blobseer::ByteRange::new(black_box(5 * PSIZE), 4 * PSIZE))
+                    .unwrap()
+            })
         });
     }
     g.finish();
@@ -121,7 +135,7 @@ fn bench_reads(c: &mut Criterion) {
 fn bench_version_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("vm");
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let v = s.append(b, &vec![0u8; PSIZE as usize]).unwrap();
     s.sync(b, v).unwrap();
     g.bench_function("get_recent", |bench| bench.iter(|| s.get_recent(black_box(b)).unwrap()));

@@ -24,7 +24,7 @@ fn main() {
         .metadata_providers(16)
         .build()
         .unwrap();
-    let blob = store.create();
+    let blob = store.create().id();
 
     let base = vec![7u8; (BASE_PAGES * PSIZE) as usize];
     let v1 = store.append(blob, &base).unwrap();

@@ -14,7 +14,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use blobseer_bench::report::{dht_micro, fig2a_append, json_pair, DhtCase, ReportParams};
+use blobseer_bench::report::{
+    dht_micro, fig2a_append, json_pair, pipeline_unit_label, pipelined_append,
+    snapshot_pinned_read, DhtCase, ReportParams,
+};
 
 /// Counts every heap allocation in the process, so the report can state
 /// allocs-per-append for the baseline (per-page copies) vs the
@@ -43,7 +46,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
-    let mut pr: u32 = 2;
+    let mut pr: u32 = 3;
     let mut out: Option<String> = None;
     let mut params = ReportParams::fast();
     let mut mode = "fast";
@@ -81,6 +84,14 @@ fn main() {
     let hot_base = dht_micro(&params, false, DhtCase::HotRoot);
     eprintln!("# bench_report: dht hot-root (optimized)...");
     let hot_opt = dht_micro(&params, true, DhtCase::HotRoot);
+    eprintln!("# bench_report: snapshot-pinned read (baseline: flat facade)...");
+    let pinned_base = snapshot_pinned_read(&params, false);
+    eprintln!("# bench_report: snapshot-pinned read (optimized: Snapshot)...");
+    let pinned_opt = snapshot_pinned_read(&params, true);
+    eprintln!("# bench_report: pipelined append (baseline: blocking)...");
+    let pipe_base = pipelined_append(&params, false);
+    eprintln!("# bench_report: pipelined append (optimized: depth-4 PendingWrite)...");
+    let pipe_opt = pipelined_append(&params, true);
 
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
     let methodology = format!(
@@ -93,14 +104,27 @@ fn main() {
          construction excluded). dht_micro: {threads} threads x {iters} ops on a \
          16-bucket DHT over 4096 keys (read_heavy: 80% get / 20% put; read_mostly: 97% get / \
          3% put; hot_root: all threads get one key); baseline = seed Mutex+Condvar bucket, \
-         optimized = RwLock read path with waiter-gated notify. On a single-core host the DHT \
-         gain comes from uncontended puts skipping the condvar; multi-core hosts additionally \
-         overlap readers on the shared guard. Ratios are the comparable quantity across hosts.",
+         optimized = RwLock read path with per-key waiter-gated notify. On a single-core host \
+         the DHT gain comes from uncontended puts skipping the condvar; multi-core hosts \
+         additionally overlap readers on the shared guard. snapshot_pinned_read: {threads} \
+         reader threads x {reads} total {read_kib} KiB sub-page reads (LCG offsets) of one \
+         hot published {total_mib} MiB snapshot into reusable buffers; baseline = flat \
+         read_into (per call, per thread: blob-registry read lock + blob-state mutex + \
+         lineage clone), optimized = version-pinned Snapshot (VM consulted once at \
+         construction, readers share the cached view). pipelined_append: \
+         {total_mib} MiB in {pipe_kib} KiB appends; baseline = blocking append_bytes, \
+         optimized = append_pipelined with a depth-{depth} in-flight window (single-core \
+         hosts understate the overlap: caller and completion stages time-slice one core). \
+         Ratios are the comparable quantity across hosts.",
         reps = params.reps,
         unit_mib = params.append_unit >> 20,
         total_mib = params.append_total >> 20,
         threads = params.dht_threads,
         iters = params.dht_iters_per_thread,
+        reads = params.pinned_reads,
+        read_kib = params.pinned_read_bytes >> 10,
+        pipe_kib = params.pipeline_unit >> 10,
+        depth = params.pipeline_depth,
     );
     let mut json = String::new();
     json.push_str("{\n");
@@ -124,8 +148,21 @@ fn main() {
         json_pair("    ", "kv op", &mostly_base, &mostly_opt)
     ));
     json.push_str(&format!(
-        "  \"dht_micro_hot_root\": {{\n{}\n  }}\n}}\n",
+        "  \"dht_micro_hot_root\": {{\n{}\n  }},\n",
         json_pair("    ", "kv op", &hot_base, &hot_opt)
+    ));
+    json.push_str(&format!(
+        "  \"snapshot_pinned_read\": {{\n{}\n  }},\n",
+        json_pair(
+            "    ",
+            &format!("{} KiB sub-page read", params.pinned_read_bytes >> 10),
+            &pinned_base,
+            &pinned_opt
+        )
+    ));
+    json.push_str(&format!(
+        "  \"pipelined_append\": {{\n{}\n  }}\n}}\n",
+        json_pair("    ", &pipeline_unit_label(&params), &pipe_base, &pipe_opt)
     ));
 
     std::fs::write(&out, &json).expect("write report");

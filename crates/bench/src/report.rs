@@ -16,6 +16,17 @@
 //!   measured gain is dominated by uncontended puts skipping the
 //!   condvar; multi-core hosts additionally overlap readers on the
 //!   shared guard.
+//! * **snapshot_pinned_read** — the PR-3 handle API's read hot path:
+//!   repeated single-page reads of one published snapshot through a
+//!   reusable buffer. Baseline = the flat facade (`read_into`), which
+//!   resolves the version-manager view — blob lock, size/root lookup,
+//!   lineage clone — on *every* call; optimized = a pinned
+//!   [`blobseer::Snapshot`], which resolved it once at construction.
+//! * **pipelined_append** — blocking `append_bytes` vs depth-4
+//!   `append_pipelined` on the same prebuilt buffer: the caller thread
+//!   overlaps the next append's page stores with the engine pool's
+//!   metadata work for lower versions. Single-core hosts understate
+//!   the overlap (stages time-slice instead of running concurrently).
 //!
 //! Runs are deterministic: fixed sizes, fixed thread counts, fixed LCG
 //! key streams, best-of-N timing. Numbers are still hardware-dependent
@@ -76,6 +87,16 @@ pub struct ReportParams {
     pub dht_threads: usize,
     /// Ops per thread for the DHT cases.
     pub dht_iters_per_thread: u64,
+    /// Reads per timed run of the snapshot-pinned case.
+    pub pinned_reads: u64,
+    /// Bytes per read of the snapshot-pinned case (sub-page: the
+    /// small-object serving shape, where per-call control-plane cost
+    /// is a real share of the op).
+    pub pinned_read_bytes: u64,
+    /// In-flight window of the pipelined append case.
+    pub pipeline_depth: usize,
+    /// Bytes per append of the pipelined case.
+    pub pipeline_unit: usize,
 }
 
 impl ReportParams {
@@ -89,6 +110,10 @@ impl ReportParams {
             reps: 3,
             dht_threads: 8,
             dht_iters_per_thread: 200_000,
+            pinned_reads: 200_000,
+            pinned_read_bytes: 4096,
+            pipeline_depth: 4,
+            pipeline_unit: 256 * 1024,
         }
     }
 
@@ -98,6 +123,7 @@ impl ReportParams {
             append_total: 256 << 20,
             reps: 5,
             dht_iters_per_thread: 1_000_000,
+            pinned_reads: 1_000_000,
             ..Self::fast()
         }
     }
@@ -140,9 +166,9 @@ pub fn fig2a_append(
         let t0 = Instant::now();
         let mut last = None;
         for _ in 0..appends {
-            last = Some(store.append_bytes(blob, unit.clone()).expect("append"));
+            last = Some(blob.append_bytes(unit.clone()).expect("append"));
         }
-        store.sync(blob, last.expect("at least one append")).expect("sync");
+        blob.sync(last.expect("at least one append")).expect("sync");
         let dt = t0.elapsed();
         if dt < best {
             best = dt;
@@ -157,6 +183,112 @@ pub fn fig2a_append(
         io_jobs: Some(io_jobs),
         allocs,
     }
+}
+
+/// The PR-3 snapshot-pinned read case; see module docs. The paper's
+/// hot-snapshot regime: `dht_threads` reader threads hammer one
+/// published snapshot with sub-page reads into reusable buffers. Both
+/// sides run the identical loop — the A/B isolates the per-call
+/// version-manager resolution (blob-registry read lock, blob-state
+/// mutex, lineage clone) that every flat read pays *per call, per
+/// thread* and that a pinned `Snapshot` resolved once.
+pub fn snapshot_pinned_read(p: &ReportParams, optimized: bool) -> RunStats {
+    let store = build_store(p, true);
+    let blob = store.create();
+    let unit: Bytes = Bytes::from(vec![0xA5u8; p.append_unit]);
+    let mut last = None;
+    for _ in 0..(p.append_total / p.append_unit) {
+        last = Some(blob.append_bytes(unit.clone()).expect("append"));
+    }
+    let v = last.expect("at least one append");
+    blob.sync(v).expect("sync");
+    let slots = p.append_total as u64 / p.pinned_read_bytes;
+    let snap = blob.snapshot(v).expect("published");
+    let id = blob.id();
+
+    let per_thread = p.pinned_reads / p.dht_threads as u64;
+    let mut best = Duration::MAX;
+    for _ in 0..p.reps {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..p.dht_threads as u64 {
+                let (store, snap) = (store.clone(), snap.clone());
+                s.spawn(move || {
+                    let mut buf = vec![0u8; p.pinned_read_bytes as usize];
+                    let mut x = 0x2545F4914F6CDD1Du64.wrapping_mul(t + 1);
+                    for _ in 0..per_thread {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let offset = ((x >> 33) % slots) * p.pinned_read_bytes;
+                        if optimized {
+                            snap.read_into(offset, &mut buf).expect("read");
+                        } else {
+                            store.read_into(id, v, offset, &mut buf).expect("read");
+                        }
+                    }
+                    std::hint::black_box(&buf);
+                });
+            }
+        });
+        best = best.min(t0.elapsed());
+    }
+    RunStats {
+        ops: per_thread * p.dht_threads as u64,
+        bytes: per_thread * p.dht_threads as u64 * p.pinned_read_bytes,
+        elapsed: best,
+        io_jobs: None,
+        allocs: None,
+    }
+}
+
+/// The PR-3 pipelined append case; see module docs. Baseline = blocking
+/// `append_bytes`; optimized = `append_pipelined` with a depth-bounded
+/// in-flight window. Same prebuilt buffer and total volume as
+/// [`fig2a_append`]'s optimized side.
+pub fn pipelined_append(p: &ReportParams, optimized: bool) -> RunStats {
+    use std::collections::VecDeque;
+
+    let unit: Bytes =
+        Bytes::from((0..p.pipeline_unit).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+    let appends = (p.append_total / p.pipeline_unit) as u64;
+
+    let mut best = Duration::MAX;
+    for _ in 0..p.reps {
+        let store = build_store(p, true);
+        let blob = store.create();
+        let t0 = Instant::now();
+        let mut last = blobseer::Version(0);
+        if optimized {
+            let mut inflight = VecDeque::with_capacity(p.pipeline_depth);
+            for _ in 0..appends {
+                inflight.push_back(blob.append_pipelined(unit.clone()).expect("append"));
+                if inflight.len() == p.pipeline_depth {
+                    let oldest: blobseer::PendingWrite = inflight.pop_front().expect("non-empty");
+                    last = last.max(oldest.wait().expect("complete"));
+                }
+            }
+            for pending in inflight {
+                last = last.max(pending.wait().expect("complete"));
+            }
+        } else {
+            for _ in 0..appends {
+                last = blob.append_bytes(unit.clone()).expect("append");
+            }
+        }
+        blob.sync(last).expect("sync");
+        best = best.min(t0.elapsed());
+    }
+    RunStats {
+        ops: appends,
+        bytes: p.append_total as u64,
+        elapsed: best,
+        io_jobs: None,
+        allocs: None,
+    }
+}
+
+/// Unit of [`pipelined_append`]'s work, for report labels.
+pub fn pipeline_unit_label(p: &ReportParams) -> String {
+    format!("append of {} KiB", p.pipeline_unit >> 10)
 }
 
 /// Minimal shared-kv surface so one driver measures both DHT designs.

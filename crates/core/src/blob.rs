@@ -1,0 +1,173 @@
+//! The [`Blob`] handle: the mutation surface of one blob.
+
+use std::sync::Arc;
+
+use blobseer_types::{BlobId, Result, Version};
+use bytes::Bytes;
+
+use crate::engine::Engine;
+use crate::pending::PendingWrite;
+use crate::snapshot::Snapshot;
+use crate::write::{self, Target};
+use crate::GcReport;
+
+/// A handle to one blob within a deployment: owns the [`BlobId`],
+/// shares the engine, and hosts every mutating primitive plus snapshot
+/// construction.
+///
+/// Returned by [`crate::BlobSeer::create`] and [`Blob::branch`].
+/// Cheaply cloneable and fully thread-safe: clone it into as many
+/// writer threads as you like — the engine's versioning is what
+/// serializes them, not the handle.
+#[derive(Clone)]
+pub struct Blob {
+    engine: Arc<Engine>,
+    id: BlobId,
+}
+
+impl Blob {
+    pub(crate) fn new(engine: Arc<Engine>, id: BlobId) -> Blob {
+        Blob { engine, id }
+    }
+
+    /// The blob's globally-unique id (usable with the flat
+    /// [`crate::BlobSeer`] facade).
+    pub fn id(&self) -> BlobId {
+        self.id
+    }
+
+    /// `WRITE`: replace `data.len()` bytes at `offset`, producing a new
+    /// snapshot; blocks until the update's metadata is durable. Returns
+    /// the assigned version (use [`Blob::sync`] to await publication).
+    ///
+    /// Copies `data` exactly once, at this boundary; use
+    /// [`Blob::write_bytes`] to skip that copy too.
+    pub fn write(&self, data: &[u8], offset: u64) -> Result<Version> {
+        self.write_bytes(Bytes::copy_from_slice(data), offset)
+    }
+
+    /// Zero-copy `WRITE` from a refcounted buffer (see
+    /// [`crate::BlobSeer::write_bytes`]).
+    pub fn write_bytes(&self, data: Bytes, offset: u64) -> Result<Version> {
+        write::update(&self.engine, self.id, data, Target::Write { offset })
+    }
+
+    /// `APPEND` at the end of the previous snapshot; blocks until the
+    /// update's metadata is durable. Returns the assigned version.
+    ///
+    /// Copies `data` exactly once, at this boundary; use
+    /// [`Blob::append_bytes`] to skip that copy too.
+    pub fn append(&self, data: &[u8]) -> Result<Version> {
+        self.append_bytes(Bytes::copy_from_slice(data))
+    }
+
+    /// Zero-copy `APPEND` from a refcounted buffer.
+    pub fn append_bytes(&self, data: Bytes) -> Result<Version> {
+        write::update(&self.engine, self.id, data, Target::Append)
+    }
+
+    /// Non-blocking `WRITE`: returns as soon as the version is assigned
+    /// and the fully-covered pages are stored; boundary completion,
+    /// metadata weaving and publication hand-off continue on the
+    /// engine's pipeline pool. Call order fixes version order, so a
+    /// client can keep several updates in flight and still get
+    /// sequential semantics.
+    pub fn write_pipelined(&self, data: Bytes, offset: u64) -> Result<PendingWrite> {
+        PendingWrite::spawn(&self.engine, self.id, data, Target::Write { offset })
+    }
+
+    /// Non-blocking `APPEND`; see [`Blob::write_pipelined`].
+    pub fn append_pipelined(&self, data: Bytes) -> Result<PendingWrite> {
+        PendingWrite::spawn(&self.engine, self.id, data, Target::Append)
+    }
+
+    /// `SYNC`: block until version `v` is published ("read your
+    /// writes"). Bounded by the configured metadata wait timeout.
+    pub fn sync(&self, v: Version) -> Result<()> {
+        self.engine.vm.sync(self.id, v, self.engine.wait_timeout())
+    }
+
+    /// A version-pinned read view of published version `v`. Resolves
+    /// size, root and lineage from the version manager **once**;
+    /// subsequent reads through the [`Snapshot`] are VM-free.
+    pub fn snapshot(&self, v: Version) -> Result<Snapshot> {
+        Snapshot::open(&self.engine, self.id, v)
+    }
+
+    /// A snapshot of the most recently published version.
+    pub fn latest(&self) -> Result<Snapshot> {
+        let v = self.engine.vm.get_recent(self.id)?;
+        self.snapshot(v)
+    }
+
+    /// `GET_RECENT`: a recently published version — guaranteed ≥ every
+    /// version published before this call.
+    pub fn recent_version(&self) -> Result<Version> {
+        self.engine.vm.get_recent(self.id)
+    }
+
+    /// `GET_SIZE`: the size of published snapshot `v`.
+    pub fn size(&self, v: Version) -> Result<u64> {
+        self.engine.vm.get_size(self.id, v)
+    }
+
+    /// `BRANCH`: fork this blob at published version `v`. The new blob
+    /// shares every snapshot up to and including `v` — no data or
+    /// metadata is copied — and evolves independently afterwards.
+    pub fn branch(&self, v: Version) -> Result<Blob> {
+        let id = self.engine.vm.branch(self.id, v)?;
+        Ok(Blob::new(Arc::clone(&self.engine), id))
+    }
+
+    /// Retire (garbage-collect) every version below `keep_from`; see
+    /// [`crate::BlobSeer::retire_versions`].
+    pub fn retire_versions(&self, keep_from: Version) -> Result<GcReport> {
+        crate::gc::retire_versions(&self.engine, self.id, keep_from)
+    }
+}
+
+impl std::fmt::Debug for Blob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Blob").field("id", &self.id).finish()
+    }
+}
+
+impl PartialEq for Blob {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && Arc::ptr_eq(&self.engine, &other.engine)
+    }
+}
+
+impl Eq for Blob {}
+
+/// Anything that names a blob: a raw [`BlobId`], a [`Blob`] handle, or
+/// a [`Snapshot`] — accepted by every flat [`crate::BlobSeer`] method,
+/// so id-keyed code and handle-first code mix freely.
+pub trait BlobRef {
+    /// The named blob's id.
+    fn blob_id(&self) -> BlobId;
+}
+
+impl BlobRef for BlobId {
+    fn blob_id(&self) -> BlobId {
+        *self
+    }
+}
+
+impl BlobRef for &BlobId {
+    fn blob_id(&self) -> BlobId {
+        **self
+    }
+}
+
+impl BlobRef for &Blob {
+    fn blob_id(&self) -> BlobId {
+        self.id
+    }
+}
+
+impl BlobRef for &Snapshot {
+    fn blob_id(&self) -> BlobId {
+        Snapshot::blob_id(self)
+    }
+}

@@ -94,6 +94,14 @@ impl Builder {
         self
     }
 
+    /// Worker threads completing pipelined (non-blocking) updates —
+    /// the practical bound on in-flight `write_pipelined` /
+    /// `append_pipelined` completions making progress at once.
+    pub fn pipeline_threads(mut self, n: usize) -> Self {
+        self.config.pipeline_threads = n;
+        self
+    }
+
     /// Carve page payloads as refcounted slices of the update buffer
     /// (`true`, default) or as per-page copies (`false`, the ablation
     /// baseline measured by the bench trajectory harness).
@@ -128,6 +136,8 @@ impl Builder {
                 self.strategy,
             ),
             pool: ThreadPool::new(self.config.client_io_threads, "blobseer-io"),
+            pipeline: ThreadPool::new_detached(self.config.pipeline_threads, "blobseer-pipe"),
+            order_locks: Default::default(),
             pidgen: PageIdGen::new(),
             config: self.config,
         };

@@ -1,12 +1,15 @@
 //! Deployment wiring: every paper role assembled in one process.
 
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use blobseer_meta::MetaStore;
 use blobseer_provider::ProviderManager;
 use blobseer_rt::ThreadPool;
-use blobseer_types::{PageIdGen, StoreConfig};
+use blobseer_types::{BlobId, PageIdGen, StoreConfig};
 use blobseer_version::VersionManager;
+use parking_lot::Mutex;
 
 /// The in-process cluster: version manager, provider manager + data
 /// providers, metadata providers (DHT) and the client I/O pool.
@@ -20,7 +23,30 @@ pub(crate) struct Engine {
     pub meta: MetaStore,
     pub providers: ProviderManager,
     pub pool: ThreadPool,
+    /// Completion stages of pipelined updates run here, *not* on
+    /// [`Engine::pool`]: a stage fans sub-work out to `pool` and waits,
+    /// which must never nest on the pool it runs on. Detached, because a
+    /// stage holds an `Arc<Engine>` and may be the one dropping the
+    /// engine — from one of this pool's own workers.
+    pub pipeline: ThreadPool,
+    /// Per-blob submission locks for pipelined updates: held across
+    /// version assignment *and* the enqueue of the completion stage, so
+    /// the FIFO pipeline queue receives a blob's stages in version
+    /// order. Without this, a submitter preempted between `assign` and
+    /// `execute` could let higher versions enqueue first and occupy
+    /// every pipeline worker with stages that block (bounded by the
+    /// metadata timeout) on the not-yet-queued lower version. One
+    /// `Arc<Mutex>` per blob that ever pipelined; never reclaimed
+    /// (bytes per blob, same order as the VM's own per-blob state).
+    pub order_locks: Mutex<HashMap<BlobId, Arc<Mutex<()>>>>,
     pub pidgen: PageIdGen,
+}
+
+impl Engine {
+    /// The pipelined-submission lock for `blob`.
+    pub fn order_lock(&self, blob: BlobId) -> Arc<Mutex<()>> {
+        Arc::clone(self.order_locks.lock().entry(blob).or_default())
+    }
 }
 
 impl Engine {

@@ -17,8 +17,12 @@
 //!
 //! ## Quickstart
 //!
+//! The API is organised around three typed handles — [`Blob`] (the
+//! mutation surface), [`Snapshot`] (a version-pinned read view) and
+//! [`PendingWrite`] (a pipelined, in-flight update):
+//!
 //! ```
-//! use blobseer::BlobSeer;
+//! use blobseer::{BlobSeer, Bytes, ByteRange};
 //!
 //! let store = BlobSeer::builder()
 //!     .page_size(4096)
@@ -29,42 +33,72 @@
 //! // CREATE — a new blob starts as the empty snapshot, version 0.
 //! let blob = store.create();
 //!
-//! // APPEND returns the assigned snapshot version.
-//! let v1 = store.append(blob, b"hello, ").unwrap();
-//! let v2 = store.append(blob, b"world").unwrap();
+//! // APPEND returns the assigned snapshot version; SYNC gives
+//! // read-your-writes.
+//! let v1 = blob.append(b"hello, ").unwrap();
+//! let v2 = blob.append(b"world").unwrap();
+//! blob.sync(v2).unwrap();
 //!
-//! // SYNC gives read-your-writes; READ addresses any published version.
-//! store.sync(blob, v2).unwrap();
-//! assert_eq!(store.read(blob, v2, 0, 12).unwrap(), b"hello, world");
-//! assert_eq!(store.read(blob, v1, 0, 7).unwrap(), b"hello, ");
+//! // A Snapshot pins one published version: the version manager is
+//! // consulted once, at construction — every read after that is
+//! // VM-free, however many threads share the handle.
+//! let snap = blob.snapshot(v2).unwrap();
+//! assert_eq!(snap.len(), 12);
+//! assert_eq!(&snap.read(ByteRange::new(0, 12)).unwrap()[..], b"hello, world");
 //!
-//! // WRITE overwrites a range, producing a third version; the first
-//! // two remain readable forever.
-//! let v3 = store.write(blob, b"HELLO", 0).unwrap();
-//! store.sync(blob, v3).unwrap();
-//! assert_eq!(store.read(blob, v3, 0, 12).unwrap(), b"HELLO, world");
-//! assert_eq!(store.read(blob, v2, 0, 12).unwrap(), b"hello, world");
+//! // Zero-copy scatter reads return refcounted windows of the stored
+//! // pages instead of assembling a contiguous buffer.
+//! let scatter = snap.read_scatter(ByteRange::new(0, 12)).unwrap();
+//! assert_eq!(scatter.iter().map(|b| b.len()).sum::<usize>(), 12);
+//!
+//! // WRITE overwrites a range, producing a third version; older
+//! // snapshots remain readable forever.
+//! let v3 = blob.write(b"HELLO", 0).unwrap();
+//! blob.sync(v3).unwrap();
+//! assert_eq!(&blob.snapshot(v3).unwrap().read(ByteRange::new(0, 5)).unwrap()[..], b"HELLO");
+//! assert_eq!(&snap.read(ByteRange::new(0, 5)).unwrap()[..], b"hello");
+//!
+//! // Pipelined appends keep several updates in flight from one thread:
+//! // the version is assigned (and order fixed) before the call returns,
+//! // while completion runs on the engine's pipeline pool.
+//! let p1 = blob.append_pipelined(Bytes::from(vec![b'!'; 4096])).unwrap();
+//! let p2 = blob.append_pipelined(Bytes::from(vec![b'?'; 4096])).unwrap();
+//! assert!(p1.version() < p2.version());
+//! let v5 = p2.wait().unwrap();
+//! blob.sync(v5).unwrap();
 //!
 //! // BRANCH forks cheaply from any published version.
-//! let fork = store.branch(blob, v2).unwrap();
-//! let f3 = store.append(fork, b"!!!").unwrap();
-//! store.sync(fork, f3).unwrap();
-//! assert_eq!(store.read(fork, f3, 0, 15).unwrap(), b"hello, world!!!");
+//! let fork = blob.branch(v2).unwrap();
+//! let f = fork.append(b"!!!").unwrap();
+//! fork.sync(f).unwrap();
+//! assert_eq!(fork.latest().unwrap().len(), 15);
 //! ```
+//!
+//! The flat, id-keyed methods on [`BlobSeer`] (`store.read(id, v, ..)`,
+//! `store.append(id, ..)`, ...) remain available as thin wrappers over
+//! the same engine — convenient when blob ids travel through
+//! serialization boundaries. Every flat method accepts anything that
+//! names a blob ([`BlobRef`]): a [`BlobId`], `&Blob` or `&Snapshot`.
 //!
 //! The public entry point is [`BlobSeer`]; construct one with
 //! [`BlobSeer::builder`]. All handles are cheaply cloneable and fully
 //! thread-safe — the whole point of the system is heavy concurrent use.
 
+mod blob;
 mod builder;
 mod engine;
 mod gc;
+mod pending;
 mod read;
+mod snapshot;
 mod stats;
 mod write;
 
+pub use blob::{Blob, BlobRef};
 pub use builder::Builder;
 pub use gc::GcReport;
+pub use pending::PendingWrite;
+pub use snapshot::{ScatterRead, ScatterSegment, Snapshot};
 pub use stats::StoreStats;
 
 // Re-export the vocabulary a user needs to drive the API.
@@ -100,10 +134,25 @@ impl BlobSeer {
         Self::builder().build().expect("default config is valid")
     }
 
-    /// `CREATE`: register a new blob; returns its globally-unique id.
+    /// `CREATE`: register a new blob and return its [`Blob`] handle.
     /// The blob starts as the empty snapshot, version 0.
-    pub fn create(&self) -> BlobId {
-        self.engine.vm.create()
+    pub fn create(&self) -> Blob {
+        let id = self.engine.vm.create();
+        Blob::new(Arc::clone(&self.engine), id)
+    }
+
+    /// A [`Blob`] handle for an id obtained elsewhere (a previous
+    /// [`Blob::id`], a serialized reference, ...). Unvalidated:
+    /// operations on a handle to an unknown id fail with
+    /// [`BlobError::BlobNotFound`].
+    pub fn blob(&self, id: BlobId) -> Blob {
+        Blob::new(Arc::clone(&self.engine), id)
+    }
+
+    /// A version-pinned [`Snapshot`] of `blob` at published version
+    /// `v`; see [`Blob::snapshot`].
+    pub fn snapshot(&self, blob: impl BlobRef, v: Version) -> Result<Snapshot> {
+        Snapshot::open(&self.engine, blob.blob_id(), v)
     }
 
     /// `WRITE(id, buffer, offset, size)`: replace `data.len()` bytes at
@@ -114,7 +163,7 @@ impl BlobSeer {
     ///
     /// Copies `data` exactly once, at this boundary; use
     /// [`BlobSeer::write_bytes`] to skip that copy too.
-    pub fn write(&self, blob: BlobId, data: &[u8], offset: u64) -> Result<Version> {
+    pub fn write(&self, blob: impl BlobRef, data: &[u8], offset: u64) -> Result<Version> {
         self.write_bytes(blob, Bytes::copy_from_slice(data), offset)
     }
 
@@ -122,8 +171,8 @@ impl BlobSeer {
     /// of a refcounted [`Bytes`] buffer. Fully-covered pages are stored
     /// as O(1) slices of `data` — no payload byte is copied anywhere on
     /// the store path, regardless of the replication factor.
-    pub fn write_bytes(&self, blob: BlobId, data: Bytes, offset: u64) -> Result<Version> {
-        write::update(&self.engine, blob, data, write::Target::Write { offset })
+    pub fn write_bytes(&self, blob: impl BlobRef, data: Bytes, offset: u64) -> Result<Version> {
+        write::update(&self.engine, blob.blob_id(), data, write::Target::Write { offset })
     }
 
     /// `APPEND(id, buffer, size)`: append `data` at the end of the
@@ -131,21 +180,26 @@ impl BlobSeer {
     ///
     /// Copies `data` exactly once, at this boundary; use
     /// [`BlobSeer::append_bytes`] to skip that copy too.
-    pub fn append(&self, blob: BlobId, data: &[u8]) -> Result<Version> {
+    pub fn append(&self, blob: impl BlobRef, data: &[u8]) -> Result<Version> {
         self.append_bytes(blob, Bytes::copy_from_slice(data))
     }
 
     /// Zero-copy `APPEND`: like [`BlobSeer::append`], but takes
     /// ownership of a refcounted [`Bytes`] buffer (see
     /// [`BlobSeer::write_bytes`]).
-    pub fn append_bytes(&self, blob: BlobId, data: Bytes) -> Result<Version> {
-        write::update(&self.engine, blob, data, write::Target::Append)
+    pub fn append_bytes(&self, blob: impl BlobRef, data: Bytes) -> Result<Version> {
+        write::update(&self.engine, blob.blob_id(), data, write::Target::Append)
     }
 
     /// `READ(id, v, buffer, offset, size)`: read `size` bytes at
     /// `offset` from *published* snapshot `v`. Fails when `v` is not
     /// yet published or the range exceeds the snapshot size.
-    pub fn read(&self, blob: BlobId, v: Version, offset: u64, size: u64) -> Result<Vec<u8>> {
+    ///
+    /// Allocates a fresh buffer per call; reuse one via
+    /// [`BlobSeer::read_into`], or pin the version with
+    /// [`BlobSeer::snapshot`] to also skip the per-call version-manager
+    /// lookup.
+    pub fn read(&self, blob: impl BlobRef, v: Version, offset: u64, size: u64) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; size as usize];
         self.read_into(blob, v, offset, &mut buf)?;
         Ok(buf)
@@ -153,33 +207,40 @@ impl BlobSeer {
 
     /// [`BlobSeer::read`] into a caller-supplied buffer (the paper's
     /// actual signature); reads exactly `buf.len()` bytes.
-    pub fn read_into(&self, blob: BlobId, v: Version, offset: u64, buf: &mut [u8]) -> Result<()> {
-        read::read(&self.engine, blob, v, offset, buf)
+    pub fn read_into(
+        &self,
+        blob: impl BlobRef,
+        v: Version,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        read::read(&self.engine, blob.blob_id(), v, offset, buf)
     }
 
     /// `GET_RECENT(id)`: a recently published version — guaranteed ≥
     /// every version published before this call.
-    pub fn get_recent(&self, blob: BlobId) -> Result<Version> {
-        self.engine.vm.get_recent(blob)
+    pub fn get_recent(&self, blob: impl BlobRef) -> Result<Version> {
+        self.engine.vm.get_recent(blob.blob_id())
     }
 
     /// `GET_SIZE(id, v)`: the size of published snapshot `v`.
-    pub fn get_size(&self, blob: BlobId, v: Version) -> Result<u64> {
-        self.engine.vm.get_size(blob, v)
+    pub fn get_size(&self, blob: impl BlobRef, v: Version) -> Result<u64> {
+        self.engine.vm.get_size(blob.blob_id(), v)
     }
 
     /// `SYNC(id, v)`: block until snapshot `v` is published ("read your
     /// writes", §2.1). Bounded by the configured metadata wait timeout.
-    pub fn sync(&self, blob: BlobId, v: Version) -> Result<()> {
-        self.engine.vm.sync(blob, v, self.engine.wait_timeout())
+    pub fn sync(&self, blob: impl BlobRef, v: Version) -> Result<()> {
+        self.engine.vm.sync(blob.blob_id(), v, self.engine.wait_timeout())
     }
 
     /// `BRANCH(id, v)`: fork the blob at published version `v`. The new
     /// blob shares every snapshot up to and including `v` with the
     /// original — no data or metadata is copied — and evolves
     /// independently afterwards.
-    pub fn branch(&self, blob: BlobId, v: Version) -> Result<BlobId> {
-        self.engine.vm.branch(blob, v)
+    pub fn branch(&self, blob: impl BlobRef, v: Version) -> Result<Blob> {
+        let id = self.engine.vm.branch(blob.blob_id(), v)?;
+        Ok(Blob::new(Arc::clone(&self.engine), id))
     }
 
     /// Retire (garbage-collect) every version of `blob` below
@@ -188,8 +249,8 @@ impl BlobSeer {
     /// side effects — when `keep_from` is unpublished, updates are in
     /// flight, or a live branch pins older history. Extension beyond
     /// the paper; see `crates/core/src/gc.rs`.
-    pub fn retire_versions(&self, blob: BlobId, keep_from: Version) -> Result<GcReport> {
-        gc::retire_versions(&self.engine, blob, keep_from)
+    pub fn retire_versions(&self, blob: impl BlobRef, keep_from: Version) -> Result<GcReport> {
+        gc::retire_versions(&self.engine, blob.blob_id(), keep_from)
     }
 
     /// Failure injection: take a data provider offline. Pending pages

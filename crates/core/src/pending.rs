@@ -1,0 +1,147 @@
+//! Pipelined (non-blocking) updates: the [`PendingWrite`] handle.
+//!
+//! `Blob::write_pipelined` / `Blob::append_pipelined` split the update
+//! pipeline at the version-assignment boundary. The caller's thread runs
+//! the order-sensitive half — interior page pre-store and version
+//! registration — and gets a `PendingWrite` back immediately; boundary
+//! completion, metadata weaving and version-manager notification run on
+//! the engine's pipeline pool. A single client can therefore keep N
+//! updates in flight (the paper's Figure 4/5 overlap scenario) without
+//! spawning threads, while the version manager's total order still
+//! reflects call order.
+//!
+//! Dropping a `PendingWrite` without waiting does not abandon the
+//! update: the completion stage was already queued and runs regardless,
+//! so a successful completion publishes exactly as if the caller had
+//! waited. Completion *errors*, however, surface only through
+//! [`PendingWrite::wait`]/[`PendingWrite::try_wait`] — a dropped handle
+//! discards them. And as with a blocking writer that fails mid-update,
+//! a failed completion leaves its assigned version permanently
+//! unpublished, which blocks publication of every later version (the
+//! total order has a hole). Hold on to the handle and check the result
+//! whenever the store can fail underneath you; VM-side abort/recovery
+//! of wedged versions is an open ROADMAP item.
+
+use std::sync::Arc;
+
+use blobseer_types::{BlobError, BlobId, Result, Version};
+use parking_lot::{Condvar, Mutex};
+
+use crate::engine::Engine;
+use crate::write::{self, Prepared, Target};
+
+/// Completion cell shared between a [`PendingWrite`] and its queued
+/// pipeline stage.
+struct Cell {
+    done: Mutex<Option<Result<Version>>>,
+    cv: Condvar,
+}
+
+/// An update whose version is assigned but whose completion (boundary
+/// merge, metadata weave, publication hand-off) is still running on the
+/// engine's pipeline pool.
+///
+/// [`PendingWrite::version`] is available immediately — it is the
+/// version the snapshot *will* publish as. [`PendingWrite::wait`] joins
+/// the completion stage; [`PendingWrite::try_wait`] polls it. Note that
+/// completion is *not* publication: a completed update still publishes
+/// only once all lower versions have (use `sync` for read-your-writes).
+#[must_use = "the update completes in the background either way, but errors surface only via wait()/try_wait()"]
+pub struct PendingWrite {
+    engine: Arc<Engine>,
+    blob: BlobId,
+    version: Version,
+    cell: Arc<Cell>,
+}
+
+impl PendingWrite {
+    /// Run the caller-side half of `target` and queue the rest.
+    pub(crate) fn spawn(
+        engine: &Arc<Engine>,
+        blob: BlobId,
+        data: bytes::Bytes,
+        target: Target,
+    ) -> Result<PendingWrite> {
+        // Serialize (assign, enqueue) per blob so the pipeline queue
+        // holds this blob's stages in version order — a stage may block
+        // on a lower version's metadata, which must never sit *behind*
+        // it in the queue (see `Engine::order_locks`). Concurrent
+        // submitters to the same blob serialize their caller-side
+        // halves here; different blobs are unaffected, and completion
+        // stages still weave metadata concurrently (§4.2).
+        let order = engine.order_lock(blob);
+        let _ordered = order.lock();
+        let prepared: Prepared = write::prepare(engine, blob, data, target)?;
+        let version = prepared.assigned.vw;
+        let cell = Arc::new(Cell { done: Mutex::new(None), cv: Condvar::new() });
+        let (eng, c) = (Arc::clone(engine), Arc::clone(&cell));
+        engine.pipeline.execute(move || {
+            // A panicking stage must still resolve the cell, or a
+            // wait() would hang until its timeout.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                write::finish(&eng, blob, prepared)
+            }))
+            .unwrap_or_else(|_| {
+                Err(BlobError::Internal("pipelined completion stage panicked".into()))
+            });
+            *c.done.lock() = Some(result);
+            c.cv.notify_all();
+        });
+        Ok(PendingWrite { engine: Arc::clone(engine), blob, version, cell })
+    }
+
+    /// The version assigned to this update. Known immediately; the
+    /// snapshot publishes under this number once completion (and every
+    /// lower version) finishes.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// The blob being updated.
+    pub fn blob_id(&self) -> BlobId {
+        self.blob
+    }
+
+    /// `true` once the completion stage has finished (successfully or
+    /// not). Non-blocking.
+    pub fn is_done(&self) -> bool {
+        self.cell.done.lock().is_some()
+    }
+
+    /// Poll for completion: `None` while the stage is still running,
+    /// `Some(result)` once it finished. Non-blocking; can be called
+    /// repeatedly (the result is `Clone`).
+    pub fn try_wait(&self) -> Option<Result<Version>> {
+        self.cell.done.lock().clone()
+    }
+
+    /// Block until the completion stage finishes and return the
+    /// published-to-be version. Bounded by the deployment's metadata
+    /// wait timeout (a crashed stage surfaces as [`BlobError::Timeout`]
+    /// rather than a hang).
+    pub fn wait(self) -> Result<Version> {
+        let deadline = std::time::Instant::now() + self.engine.wait_timeout();
+        let mut done = self.cell.done.lock();
+        loop {
+            if let Some(result) = done.clone() {
+                return result;
+            }
+            if self.cell.cv.wait_until(&mut done, deadline).timed_out() {
+                return match done.clone() {
+                    Some(result) => result,
+                    None => Err(BlobError::Timeout("pipelined update completion")),
+                };
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PendingWrite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingWrite")
+            .field("blob", &self.blob)
+            .field("version", &self.version)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}

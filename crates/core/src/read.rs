@@ -3,11 +3,18 @@
 //! 1. consult the version manager: is `v` published, how big is it;
 //! 2. `READ_META`: walk the segment tree to assemble page descriptors;
 //! 3. fetch all (partial) pages **in parallel** and fill the buffer.
+//!
+//! The module is *handle-first*: [`crate::Snapshot`] performs step 1
+//! once at construction and then calls straight into the planning
+//! ([`plan_slices`], [`plan_slices_multi`]) and fetching
+//! ([`fetch_slices`], [`fetch_slices_into`]) halves below. The flat
+//! [`crate::BlobSeer::read`] facade re-resolves the view per call and
+//! delegates to the same halves.
 
 use std::sync::Arc;
 
 use blobseer_meta::Lineage;
-use blobseer_meta::{read_meta, RootRef, TreeReader};
+use blobseer_meta::{read_meta, read_meta_multi, RootRef, TreeReader};
 use blobseer_rt::try_parallel_jobs;
 use blobseer_types::{BlobError, BlobId, ByteRange, PageSlice, Result, Version};
 use bytes::Bytes;
@@ -15,7 +22,8 @@ use bytes::Bytes;
 use crate::engine::Engine;
 
 /// Public READ: validates against the published snapshot, then delegates
-/// to [`read_at_root_into`].
+/// to [`read_at_root_into`]. Resolves size, root and lineage in a single
+/// version-manager round-trip.
 pub(crate) fn read(
     engine: &Arc<Engine>,
     blob: BlobId,
@@ -24,22 +32,22 @@ pub(crate) fn read(
     buf: &mut [u8],
 ) -> Result<()> {
     let size = buf.len() as u64;
-    let (snap_size, root) = engine.vm.read_view(blob, v)?;
-    if offset + size > snap_size {
+    let view = engine.vm.snapshot_view(blob, v)?;
+    if offset + size > view.size {
         return Err(BlobError::ReadBeyondEnd {
             blob,
             version: v,
             requested_end: offset + size,
-            snapshot_size: snap_size,
+            snapshot_size: view.size,
         });
     }
     if size == 0 {
         return Ok(());
     }
-    let root =
-        root.ok_or_else(|| BlobError::Internal("non-empty snapshot without a tree root".into()))?;
-    let lineage = engine.vm.lineage(blob)?;
-    read_at_root_into(engine, &lineage, root, ByteRange::new(offset, size), buf)
+    let root = view
+        .root
+        .ok_or_else(|| BlobError::Internal("non-empty snapshot without a tree root".into()))?;
+    read_at_root_into(engine, &view.lineage, root, ByteRange::new(offset, size), buf)
 }
 
 /// Read `request` from the snapshot rooted at `root`, blocking on
@@ -58,17 +66,28 @@ pub(crate) fn read_at_root(
     Ok(buf)
 }
 
-fn read_at_root_into(
+pub(crate) fn read_at_root_into(
     engine: &Arc<Engine>,
     lineage: &Lineage,
     root: RootRef,
     request: ByteRange,
     buf: &mut [u8],
 ) -> Result<()> {
+    let slices = plan_slices(engine, lineage, root, request)?;
+    fetch_slices_into(engine, slices, buf)
+}
+
+/// `READ_META` + slicing: the page sub-ranges (with destination buffer
+/// offsets) that tile `request` exactly.
+pub(crate) fn plan_slices(
+    engine: &Arc<Engine>,
+    lineage: &Lineage,
+    root: RootRef,
+    request: ByteRange,
+) -> Result<Vec<PageSlice>> {
     let psize = engine.psize();
     let reader = TreeReader::new(&engine.meta, lineage);
     let descriptors = read_meta(&reader, root, request, psize)?;
-
     let slices: Vec<PageSlice> = descriptors
         .into_iter()
         .filter_map(|pd| PageSlice::for_request(pd, request, psize))
@@ -78,19 +97,58 @@ fn read_at_root_into(
         request.size,
         "slices must tile the request exactly"
     );
+    Ok(slices)
+}
 
-    // Algorithm 1 line 5: "for all (pid, i, provider) ∈ PD in parallel".
+/// Vectored planning: one segment-tree pass covering **all** of
+/// `requests`, then per-request slicing. Returns one slice list per
+/// request (each with buffer offsets relative to *its* request).
+pub(crate) fn plan_slices_multi(
+    engine: &Arc<Engine>,
+    lineage: &Lineage,
+    root: RootRef,
+    requests: &[ByteRange],
+) -> Result<Vec<Vec<PageSlice>>> {
+    let psize = engine.psize();
+    let reader = TreeReader::new(&engine.meta, lineage);
+    let descriptors = read_meta_multi(&reader, root, requests, psize)?;
+    Ok(requests
+        .iter()
+        .map(|&request| {
+            descriptors
+                .iter()
+                .filter_map(|&pd| PageSlice::for_request(pd, request, psize))
+                .collect()
+        })
+        .collect())
+}
+
+/// Algorithm 1 line 5: "for all (pid, i, provider) ∈ PD in parallel".
+/// Fetches every slice and returns `(buffer_offset, data)` pairs, where
+/// `data` is a refcounted window of the stored page — no payload copy
+/// happens here (the scatter-read primitive).
+pub(crate) fn fetch_slices(
+    engine: &Arc<Engine>,
+    slices: Vec<PageSlice>,
+) -> Result<Vec<(u64, Bytes)>> {
     let shared = Arc::new(slices);
     let eng = Arc::clone(engine);
     let jobs = Arc::clone(&shared);
     let max_jobs = engine.max_parallel_jobs();
-    let parts: Vec<(u64, Bytes)> =
-        try_parallel_jobs(&engine.pool, shared.len(), max_jobs, move |i| {
-            let s = &jobs[i];
-            let data = fetch_with_fallback(&eng, &s.descriptor, s.within)?;
-            Ok::<_, BlobError>((s.buffer_offset, data))
-        })?;
-    for (dst, data) in parts {
+    try_parallel_jobs(&engine.pool, shared.len(), max_jobs, move |i| {
+        let s = &jobs[i];
+        let data = fetch_with_fallback(&eng, &s.descriptor, s.within)?;
+        Ok::<_, BlobError>((s.buffer_offset, data))
+    })
+}
+
+/// [`fetch_slices`], then gather into a contiguous caller buffer.
+pub(crate) fn fetch_slices_into(
+    engine: &Arc<Engine>,
+    slices: Vec<PageSlice>,
+    buf: &mut [u8],
+) -> Result<()> {
+    for (dst, data) in fetch_slices(engine, slices)? {
         let dst = dst as usize;
         buf[dst..dst + data.len()].copy_from_slice(&data);
     }

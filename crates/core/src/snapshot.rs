@@ -1,0 +1,292 @@
+//! Version-pinned, immutable read views: [`Snapshot`] and the zero-copy
+//! [`ScatterRead`].
+//!
+//! A snapshot in BlobSeer never changes once published, so everything
+//! the version manager knows about it — size, tree root, lineage — can
+//! be resolved **once** and cached. `Snapshot` does exactly that: after
+//! construction, its reads go straight to metadata and data providers
+//! with zero version-manager involvement, which is what lets thousands
+//! of concurrent readers share one hot snapshot without serializing on
+//! the VM (asserted via the `read_views` counter in `StoreStats`).
+
+use std::sync::Arc;
+
+use blobseer_meta::{Lineage, RootRef};
+use blobseer_types::{BlobError, BlobId, ByteRange, PageSlice, Result, Version};
+use bytes::Bytes;
+
+use crate::engine::Engine;
+use crate::read;
+
+/// An immutable read view of one published snapshot.
+///
+/// Obtained from [`crate::Blob::snapshot`] / [`crate::Blob::latest`]
+/// (or [`crate::BlobSeer::snapshot`]). Cheap to clone; all clones share
+/// the cached resolution. Reads validate against the cached size and
+/// never consult the version manager again — except on a failed read,
+/// where the VM is re-checked once so that a snapshot whose version was
+/// retired by [`crate::Blob::retire_versions`] *after* pinning surfaces
+/// the typed [`BlobError::VersionRetired`] (a live `Snapshot` does not
+/// pin its version against garbage collection).
+#[derive(Clone)]
+pub struct Snapshot {
+    engine: Arc<Engine>,
+    blob: BlobId,
+    version: Version,
+    /// Cached from the VM at construction: snapshot size ...
+    size: u64,
+    /// ... tree root (`None` for the empty snapshot) ...
+    root: Option<RootRef>,
+    /// ... and the blob's lineage at resolution time. Lineage only
+    /// grows (branches never detach), so a snapshot taken at version
+    /// `v` resolves every key of versions `≤ v` forever.
+    lineage: Lineage,
+}
+
+impl Snapshot {
+    /// Resolve (and pin) published version `v` of `blob`. The single
+    /// version-manager round-trip this handle will ever make.
+    pub(crate) fn open(engine: &Arc<Engine>, blob: BlobId, v: Version) -> Result<Snapshot> {
+        let view = engine.vm.snapshot_view(blob, v)?;
+        Ok(Snapshot {
+            engine: Arc::clone(engine),
+            blob,
+            version: v,
+            size: view.size,
+            root: view.root,
+            lineage: view.lineage,
+        })
+    }
+
+    /// The blob this snapshot belongs to.
+    pub fn blob_id(&self) -> BlobId {
+        self.blob
+    }
+
+    /// The pinned version.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Snapshot size in bytes.
+    pub fn len(&self) -> u64 {
+        self.size
+    }
+
+    /// `true` for the empty snapshot (version 0 of an unwritten blob).
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    fn check(&self, range: ByteRange) -> Result<()> {
+        if range.end() > self.size {
+            return Err(BlobError::ReadBeyondEnd {
+                blob: self.blob,
+                version: self.version,
+                requested_end: range.end(),
+                snapshot_size: self.size,
+            });
+        }
+        Ok(())
+    }
+
+    fn root(&self) -> Result<RootRef> {
+        self.root
+            .ok_or_else(|| BlobError::Internal("non-empty snapshot without a tree root".into()))
+    }
+
+    /// A pinned snapshot does not protect its version from
+    /// [`crate::Blob::retire_versions`]: garbage collection may delete
+    /// the version's metadata and pages out from under live handles.
+    /// (Only *may*: GC is reachability-based, so whatever the retained
+    /// versions still share remains physically present, and reads of a
+    /// retired-but-fully-shared snapshot keep succeeding.) When swept
+    /// data is actually hit, the read fails at the substrate — after
+    /// the metadata wait, since missing nodes look like in-flight
+    /// writers; this re-checks the version manager *on that error path
+    /// only* and surfaces the typed [`BlobError::VersionRetired`]
+    /// instead. The successful-read path stays VM-free.
+    fn refine_error(&self, e: BlobError) -> BlobError {
+        let substrate = matches!(
+            e,
+            BlobError::Timeout(_)
+                | BlobError::MetadataMissing { .. }
+                | BlobError::PageMissing { .. }
+                | BlobError::Internal(_)
+        );
+        if substrate {
+            if let Err(check) = self.engine.vm.snapshot_view(self.blob, self.version) {
+                return check;
+            }
+        }
+        e
+    }
+
+    /// Read `range` into a fresh contiguous buffer.
+    ///
+    /// When the whole range falls inside a single page, the returned
+    /// [`Bytes`] is a refcounted window of the stored page (no copy);
+    /// multi-page ranges are gathered into one allocation. Use
+    /// [`Snapshot::read_scatter`] to avoid the gather entirely.
+    pub fn read(&self, range: ByteRange) -> Result<Bytes> {
+        let scatter = self.read_scatter(range)?;
+        Ok(scatter.into_bytes())
+    }
+
+    /// Read exactly `buf.len()` bytes at `offset` into a caller-owned
+    /// buffer (the paper's `READ` signature; reusable across calls).
+    pub fn read_into(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let request = ByteRange::new(offset, buf.len() as u64);
+        self.check(request)?;
+        if request.is_empty() {
+            return Ok(());
+        }
+        read::plan_slices(&self.engine, &self.lineage, self.root()?, request)
+            .and_then(|slices| read::fetch_slices_into(&self.engine, slices, buf))
+            .map_err(|e| self.refine_error(e))
+    }
+
+    /// Zero-copy scatter read: fetch `range` as refcounted page windows
+    /// without assembling a contiguous buffer — the read-side dual of
+    /// the zero-copy write path. For page-aligned ranges every segment
+    /// aliases the stored page directly (pointer-identical `Bytes`).
+    pub fn read_scatter(&self, range: ByteRange) -> Result<ScatterRead> {
+        self.check(range)?;
+        if range.is_empty() {
+            return Ok(ScatterRead { range, segments: Vec::new() });
+        }
+        read::plan_slices(&self.engine, &self.lineage, self.root()?, range)
+            .and_then(|slices| Self::fetch_segments(&self.engine, range, slices))
+            .map(|segments| ScatterRead { range, segments })
+            .map_err(|e| self.refine_error(e))
+    }
+
+    /// Vectored read: fetch every range of `requests`, planning them
+    /// all in **one** segment-tree pass (shared upper tree levels are
+    /// fetched once, not once per range). Returns one [`ScatterRead`]
+    /// per request, in request order.
+    pub fn readv(&self, requests: &[ByteRange]) -> Result<Vec<ScatterRead>> {
+        for &r in requests {
+            self.check(r)?;
+        }
+        if requests.iter().all(|r| r.is_empty()) {
+            return Ok(requests
+                .iter()
+                .map(|&range| ScatterRead { range, segments: Vec::new() })
+                .collect());
+        }
+        read::plan_slices_multi(&self.engine, &self.lineage, self.root()?, requests)
+            .and_then(|plans| {
+                requests
+                    .iter()
+                    .zip(plans)
+                    .map(|(&range, slices)| {
+                        let segments = Self::fetch_segments(&self.engine, range, slices)?;
+                        Ok(ScatterRead { range, segments })
+                    })
+                    .collect()
+            })
+            .map_err(|e| self.refine_error(e))
+    }
+
+    fn fetch_segments(
+        engine: &Arc<Engine>,
+        range: ByteRange,
+        slices: Vec<PageSlice>,
+    ) -> Result<Vec<ScatterSegment>> {
+        let mut parts = read::fetch_slices(engine, slices)?;
+        parts.sort_by_key(|&(buffer_offset, _)| buffer_offset);
+        Ok(parts
+            .into_iter()
+            .map(|(buffer_offset, data)| ScatterSegment {
+                offset: range.offset + buffer_offset,
+                data,
+            })
+            .collect())
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("blob", &self.blob)
+            .field("version", &self.version)
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+/// One contiguous piece of a [`ScatterRead`]: a refcounted window of a
+/// stored page.
+#[derive(Clone, Debug)]
+pub struct ScatterSegment {
+    /// Absolute byte offset of this segment within the blob snapshot.
+    pub offset: u64,
+    /// The bytes, aliasing provider storage (no copy was made).
+    pub data: Bytes,
+}
+
+/// The result of a zero-copy read: the requested range as a sequence of
+/// page-backed segments, in offset order, tiling the range exactly.
+///
+/// Iterate the segments to stream them out (e.g. vectored socket
+/// writes), or call [`ScatterRead::into_bytes`] to gather into one
+/// contiguous buffer when an API demands it.
+#[derive(Clone, Debug)]
+pub struct ScatterRead {
+    range: ByteRange,
+    segments: Vec<ScatterSegment>,
+}
+
+impl ScatterRead {
+    /// The byte range this read covers.
+    pub fn range(&self) -> ByteRange {
+        self.range
+    }
+
+    /// Total bytes covered (the sum of all segment lengths).
+    pub fn len(&self) -> u64 {
+        self.range.size
+    }
+
+    /// `true` when the read covered no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// The segments, ordered by offset.
+    pub fn segments(&self) -> &[ScatterSegment] {
+        &self.segments
+    }
+
+    /// Iterate the segment payloads in offset order.
+    pub fn iter(&self) -> impl Iterator<Item = &Bytes> {
+        self.segments.iter().map(|s| &s.data)
+    }
+
+    /// Gather into one contiguous buffer. Borrows the single-segment
+    /// fast path: a read within one page returns the page window itself
+    /// (still zero-copy).
+    pub fn into_bytes(self) -> Bytes {
+        match self.segments.len() {
+            0 => Bytes::new(),
+            1 => self.segments.into_iter().next().expect("one segment").data,
+            _ => {
+                let mut out = Vec::with_capacity(self.range.size as usize);
+                for s in &self.segments {
+                    out.extend_from_slice(&s.data);
+                }
+                Bytes::from(out)
+            }
+        }
+    }
+}
+
+impl IntoIterator for ScatterRead {
+    type Item = ScatterSegment;
+    type IntoIter = std::vec::IntoIter<ScatterSegment>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.segments.into_iter()
+    }
+}

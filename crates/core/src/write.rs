@@ -45,18 +45,31 @@ pub(crate) enum Target {
     Append,
 }
 
-/// Run the full update pipeline; returns the assigned version.
+/// The caller-thread half of an update, produced by [`prepare`]:
+/// interior pages are stored and the version is assigned, fixing the
+/// update's place in the total order. Everything else ([`finish`]) can
+/// run on any thread.
+pub(crate) struct Prepared {
+    pub assigned: AssignedUpdate,
+    data: Bytes,
+    leaves: Vec<PageDescriptor>,
+}
+
+/// Steps 1–2 of the pipeline: pre-store every fully-covered page and
+/// register the update with the version manager. This is the part that
+/// *must* run on the caller's thread in submission order — it is what
+/// makes two successive `append_pipelined` calls land in call order.
 ///
 /// `data` is refcounted: interior pages are carved out of it as O(1)
 /// [`Bytes::slice`] windows, so a page payload is copied at most once
 /// per update (at the `&[u8]` API boundary, if the caller used it) no
 /// matter how many replicas each page is stored on.
-pub(crate) fn update(
+pub(crate) fn prepare(
     engine: &Arc<Engine>,
     blob: BlobId,
     data: Bytes,
     target: Target,
-) -> Result<Version> {
+) -> Result<Prepared> {
     if data.is_empty() {
         return Err(BlobError::EmptyUpdate);
     }
@@ -79,6 +92,17 @@ pub(crate) fn update(
     if matches!(target, Target::Append) {
         leaves = store_interior_pages(engine, &data, assigned.offset)?;
     }
+    Ok(Prepared { assigned, data, leaves })
+}
+
+/// Steps 3–5 of the pipeline: complete boundary pages, build and store
+/// the metadata tree, and notify the version manager. Runs inline for
+/// blocking updates and on the engine's pipeline pool for
+/// `write_pipelined`/`append_pipelined`. May block on metadata of
+/// strictly lower in-flight versions (boundary merges), never higher —
+/// so completions cannot deadlock each other.
+pub(crate) fn finish(engine: &Arc<Engine>, blob: BlobId, prepared: Prepared) -> Result<Version> {
+    let Prepared { assigned, data, mut leaves } = prepared;
 
     // 3: boundary pages (head/tail partially covered by the update).
     let lineage = engine.vm.lineage(blob)?;
@@ -106,6 +130,17 @@ pub(crate) fn update(
     // 5: hand publication over to the version manager.
     engine.vm.complete(blob, assigned.vw)?;
     Ok(assigned.vw)
+}
+
+/// Run the full update pipeline; returns the assigned version.
+pub(crate) fn update(
+    engine: &Arc<Engine>,
+    blob: BlobId,
+    data: Bytes,
+    target: Target,
+) -> Result<Version> {
+    let prepared = prepare(engine, blob, data, target)?;
+    finish(engine, blob, prepared)
 }
 
 /// Store every page *fully covered* by the update, in parallel

@@ -68,7 +68,7 @@ fn patterned(len: usize, seed: u8) -> Vec<u8> {
 #[test]
 fn empty_blob_semantics() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     assert_eq!(s.get_recent(b).unwrap(), Version(0));
     assert_eq!(s.get_size(b, Version(0)).unwrap(), 0);
     assert_eq!(s.read(b, Version(0), 0, 0).unwrap(), Vec::<u8>::new());
@@ -78,7 +78,7 @@ fn empty_blob_semantics() {
 #[test]
 fn aligned_write_read_roundtrip() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let data = patterned(PSIZE as usize * 4, 1);
     let v1 = s.append(b, &data).unwrap();
     s.sync(b, v1).unwrap();
@@ -92,7 +92,7 @@ fn aligned_write_read_roundtrip() {
 #[test]
 fn versions_are_immutable_snapshots() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let mut model = Model::new();
     let d1 = patterned(PSIZE as usize * 4, 1);
     let v1 = s.append(b, &d1).unwrap();
@@ -110,7 +110,7 @@ fn versions_are_immutable_snapshots() {
 #[test]
 fn unaligned_appends_accumulate() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let mut model = Model::new();
     // Sizes chosen to hit every boundary case: sub-page, page-crossing,
     // exact page, page+1.
@@ -127,7 +127,7 @@ fn unaligned_appends_accumulate() {
 #[test]
 fn unaligned_overwrites_merge_correctly() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let mut model = Model::new();
     let base = patterned(PSIZE as usize * 5, 9);
     let v1 = s.append(b, &base).unwrap();
@@ -147,7 +147,7 @@ fn unaligned_overwrites_merge_correctly() {
 #[test]
 fn write_extending_past_end_grows_blob() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let mut model = Model::new();
     let v1 = s.append(b, &patterned(100, 1)).unwrap();
     model.apply_append(v1, &patterned(100, 1));
@@ -167,7 +167,7 @@ fn write_extending_past_end_grows_blob() {
 #[test]
 fn write_beyond_end_rejected() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let v1 = s.append(b, b"x").unwrap();
     s.sync(b, v1).unwrap();
     assert!(matches!(s.write(b, b"y", 2), Err(BlobError::WriteBeyondEnd { .. })));
@@ -177,7 +177,7 @@ fn write_beyond_end_rejected() {
 #[test]
 fn read_unpublished_version_fails() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     assert!(matches!(s.read(b, Version(1), 0, 1), Err(BlobError::VersionNotPublished { .. })));
     assert!(matches!(s.get_size(b, Version(3)), Err(BlobError::VersionNotPublished { .. })));
 }
@@ -185,7 +185,7 @@ fn read_unpublished_version_fails() {
 #[test]
 fn read_your_writes_via_sync() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     for i in 0..20u8 {
         let data = patterned(97, i);
         let v = s.append(b, &data).unwrap();
@@ -199,12 +199,12 @@ fn read_your_writes_via_sync() {
 #[test]
 fn branching_diverges_and_shares() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let base = patterned(PSIZE as usize * 3, 0);
     let v1 = s.append(b, &base).unwrap();
     s.sync(b, v1).unwrap();
 
-    let fork = s.branch(b, v1).unwrap();
+    let fork = s.branch(b, v1).unwrap().id();
     // Divergent evolution.
     let vb = s.write(b, &patterned(64, 1), 0).unwrap();
     let vf = s.write(fork, &patterned(64, 2), 0).unwrap();
@@ -218,7 +218,7 @@ fn branching_diverges_and_shares() {
     assert_eq!(s.read(b, v1, 0, 192).unwrap(), base);
     assert_eq!(s.read(fork, v1, 0, 192).unwrap(), base);
     // Recursive branching ("possibly recursively", paper §1).
-    let fork2 = s.branch(fork, vf).unwrap();
+    let fork2 = s.branch(fork, vf).unwrap().id();
     let vf2 = s.append(fork2, b"deep").unwrap();
     s.sync(fork2, vf2).unwrap();
     assert_eq!(s.read(fork2, vf2, 0, 64).unwrap(), patterned(64, 2));
@@ -229,7 +229,7 @@ fn branching_diverges_and_shares() {
 #[test]
 fn branch_from_unpublished_fails() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     assert!(matches!(s.branch(b, Version(1)), Err(BlobError::VersionNotPublished { .. })));
 }
 
@@ -239,7 +239,7 @@ fn storage_is_shared_across_versions() {
     // only". 10 single-page overwrites of a 64-page blob must cost 10
     // extra pages, not 640.
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let v1 = s.append(b, &patterned(PSIZE as usize * 64, 0)).unwrap();
     s.sync(b, v1).unwrap();
     let base_pages = s.stats().physical_pages;
@@ -261,7 +261,7 @@ fn metadata_is_shared_across_versions() {
     // §4.1: metadata weaving creates O(pages_touched + depth) nodes per
     // update instead of a full rebuild.
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let v1 = s.append(b, &patterned(PSIZE as usize * 64, 0)).unwrap();
     s.sync(b, v1).unwrap();
     let base_nodes = s.stats().metadata_nodes;
@@ -277,7 +277,7 @@ fn concurrent_appenders_against_model() {
     // N threads append concurrently; afterwards, replaying the updates
     // in *version* order on the model must reproduce every snapshot.
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let threads = 8;
     let per_thread = 25;
     let mut handles = Vec::new();
@@ -319,7 +319,7 @@ fn concurrent_writers_and_readers() {
     // *published* snapshots; readers must never observe an error or a
     // torn page boundary.
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let blob_len = PSIZE as usize * 32;
     let v1 = s.append(b, &patterned(blob_len, 0)).unwrap();
     s.sync(b, v1).unwrap();
@@ -376,7 +376,7 @@ fn serialized_metadata_mode_is_correct_too() {
         .concurrency_mode(ConcurrencyMode::SerializedMetadata)
         .build()
         .unwrap();
-    let b = s.create();
+    let b = s.create().id();
     let mut handles = Vec::new();
     for t in 0..4 {
         let s = s.clone();
@@ -408,7 +408,7 @@ fn allocation_strategies_all_work() {
             .allocation(strategy)
             .build()
             .unwrap();
-        let b = s.create();
+        let b = s.create().id();
         let data = patterned(PSIZE as usize * 10 + 17, 7);
         let v = s.append(b, &data).unwrap();
         s.sync(b, v).unwrap();
@@ -419,7 +419,7 @@ fn allocation_strategies_all_work() {
 #[test]
 fn random_mixed_workload_against_model() {
     let s = store();
-    let b = s.create();
+    let b = s.create().id();
     let mut model = Model::new();
     let mut rng = StdRng::seed_from_u64(0xb10b);
     let mut recent = Version(0);

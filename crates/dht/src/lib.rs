@@ -2,7 +2,7 @@
 //!
 //! The paper stores segment-tree nodes "on the metadata provider in a
 //! distributed way, using a simple DHT" (§4.1), implemented as "a custom
-//! DHT based on [a] simple static distribution scheme" (§5). This crate
+//! DHT based on \[a\] simple static distribution scheme" (§5). This crate
 //! reproduces that component: a sharded key/value store where each
 //! shard ("bucket") models one metadata provider, keys are placed by a
 //! deterministic static hash, and — crucially — readers may **block**
@@ -29,16 +29,19 @@
 //! at the same root node). Writes (`put`/`remove`/`retain`) take the
 //! write guard.
 //!
-//! Blocking `get_wait`ers park on a separate `Mutex` + `Condvar` pair,
-//! and an atomic per-bucket waiter count gates the wakeup: an
-//! uncontended `put` (no parked readers — by far the usual case) never
-//! touches the condvar or the wait mutex at all. The waiter registers
-//! its count *before* re-checking the map under the wait mutex, and the
-//! re-check read-lock acquisition synchronizes with the `put`'s
-//! write-lock release, so a `put` that the waiter missed is guaranteed
-//! to observe a non-zero waiter count and deliver the wakeup (no lost
-//! notifications). Per-bucket stats are relaxed atomics on their own
-//! cacheline so counter traffic does not dirty the lock's line.
+//! Blocking `get_wait`ers park on **per-key wait queues** under a
+//! separate wait mutex, and an atomic per-bucket waiter count gates the
+//! wakeup path: an uncontended `put` (no parked readers — by far the
+//! usual case) never touches the wait mutex or any condvar at all, and
+//! a contended `put` notifies only the condvar of *its own key* — a
+//! put can no longer spuriously wake waiters parked on other keys of
+//! the same bucket. The waiter registers its count *before* re-checking
+//! the map under the wait mutex, and the re-check read-lock acquisition
+//! synchronizes with the `put`'s write-lock release, so a `put` that
+//! the waiter missed is guaranteed to observe a non-zero waiter count
+//! and deliver the wakeup (no lost notifications). Per-bucket stats are
+//! relaxed atomics on their own cacheline so counter traffic does not
+//! dirty the lock's line.
 
 mod hash;
 mod stats;
@@ -49,6 +52,7 @@ pub use stats::{BucketStats, DhtStats};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -70,17 +74,25 @@ impl std::fmt::Display for DhtError {
 
 impl std::error::Error for DhtError {}
 
+/// Parked waiters for one key: their private condvar plus a count that
+/// keeps the queue entry alive while anyone is parked. Guarded by the
+/// bucket's wait mutex.
+struct KeyQueue {
+    cv: Arc<Condvar>,
+    parked: usize,
+}
+
 struct Bucket<K, V> {
     /// The store proper. Readers share; only `put`/`remove`/`retain`
     /// take the write guard.
     map: RwLock<HashMap<K, V>>,
-    /// Slow-path parking lot for `get_wait`: held only around condvar
-    /// waits and (when `waiters > 0`) the matching notify. Never held
-    /// while a writer holds the map's write guard.
-    wait_lock: Mutex<()>,
-    cv: Condvar,
+    /// Slow-path parking lot for `get_wait`: per-key wait queues, held
+    /// only around condvar waits and (when `waiters > 0`) the lookup of
+    /// which key — if any — to notify. Never held while a writer holds
+    /// the map's write guard.
+    wait_queues: Mutex<HashMap<K, KeyQueue>>,
     /// Number of `get_wait`ers registered on this bucket. `put` skips
-    /// the condvar entirely while this is zero.
+    /// the wait mutex entirely while this is zero.
     waiters: AtomicUsize,
     stats: stats::BucketCounters,
 }
@@ -89,8 +101,7 @@ impl<K, V> Bucket<K, V> {
     fn new() -> Self {
         Bucket {
             map: RwLock::new(HashMap::new()),
-            wait_lock: Mutex::new(()),
-            cv: Condvar::new(),
+            wait_queues: Mutex::new(HashMap::new()),
             waiters: AtomicUsize::new(0),
             stats: stats::BucketCounters::new(),
         }
@@ -129,18 +140,21 @@ where
 
     /// Store a value; overwrites silently (tree nodes are immutable in
     /// BlobSeer, so an overwrite only happens when a writer retries and
-    /// re-stores identical content). Wakes blocked readers — but only
-    /// touches the condvar when a reader is actually parked.
+    /// re-stores identical content). Wakes readers blocked on *this
+    /// key* — touching no locks at all while nobody is parked on the
+    /// bucket, and no condvar unless someone is parked on this key.
     pub fn put(&self, key: K, value: V) {
         let b = &self.buckets[self.bucket_of(&key)];
         b.stats.record_put();
-        b.map.write().insert(key, value);
+        b.map.write().insert(key.clone(), value);
         if b.waiters.load(Ordering::SeqCst) > 0 {
             // Taking the wait lock serializes with a waiter that is
             // between its map re-check and its park, so this notify
-            // cannot fall into that window and be lost.
-            let _sync = b.wait_lock.lock();
-            b.cv.notify_all();
+            // cannot fall into that window and be lost. Only this
+            // key's queue is woken; waiters on other keys sleep on.
+            if let Some(q) = b.wait_queues.lock().get(&key) {
+                q.cv.notify_all();
+            }
         }
     }
 
@@ -165,8 +179,18 @@ where
             return Ok(v.clone());
         }
         let deadline = Instant::now() + timeout;
-        let mut guard = b.wait_lock.lock();
+        let mut queues = b.wait_queues.lock();
+        // Register on this key's queue *before* the re-check below, so
+        // a racing `put` either becomes visible to the re-check or sees
+        // our waiter count and notifies our queue.
         b.waiters.fetch_add(1, Ordering::SeqCst);
+        let cv = {
+            let q = queues
+                .entry(key.clone())
+                .or_insert_with(|| KeyQueue { cv: Arc::new(Condvar::new()), parked: 0 });
+            q.parked += 1;
+            Arc::clone(&q.cv)
+        };
         let mut blocked = false;
         let result = loop {
             if let Some(v) = b.map.read().get(key) {
@@ -178,13 +202,20 @@ where
                 blocked = true;
                 b.stats.record_wait();
             }
-            if b.cv.wait_until(&mut guard, deadline).timed_out() {
+            if cv.wait_until(&mut queues, deadline).timed_out() {
                 break match b.map.read().get(key) {
                     Some(v) => Ok(v.clone()),
                     None => Err(DhtError::WaitTimeout),
                 };
             }
         };
+        // Deregister; drop the key's queue once the last waiter leaves.
+        if let Some(q) = queues.get_mut(key) {
+            q.parked -= 1;
+            if q.parked == 0 {
+                queues.remove(key);
+            }
+        }
         b.waiters.fetch_sub(1, Ordering::SeqCst);
         result
     }
@@ -380,6 +411,41 @@ mod tests {
         // Non-blocking calls record no wait at all.
         assert_eq!(dht.get_wait(&1, Duration::from_secs(1)), Ok(11));
         assert_eq!(dht.stats().total_waits, 1);
+    }
+
+    #[test]
+    fn waiters_on_distinct_keys_wake_independently() {
+        // Two waiters parked on different keys of the same bucket: a
+        // put to one key must complete exactly that waiter, and must
+        // not disturb (or lose) the other.
+        let dht: Arc<Dht<u64, u64>> = Arc::new(Dht::new(1));
+        let d1 = Arc::clone(&dht);
+        let w1 = std::thread::spawn(move || d1.get_wait(&1, Duration::from_secs(10)));
+        let d2 = Arc::clone(&dht);
+        let w2 = std::thread::spawn(move || d2.get_wait(&2, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(30));
+        dht.put(1, 11);
+        assert_eq!(w1.join().unwrap(), Ok(11));
+        assert!(!w2.is_finished(), "waiter on key 2 must still be parked");
+        dht.put(2, 22);
+        assert_eq!(w2.join().unwrap(), Ok(22));
+    }
+
+    #[test]
+    fn key_queue_is_dropped_when_last_waiter_leaves() {
+        let dht: Arc<Dht<u64, u64>> = Arc::new(Dht::new(1));
+        // A timed-out waiter must clean its queue up...
+        assert_eq!(dht.get_wait(&7, Duration::from_millis(10)), Err(DhtError::WaitTimeout));
+        assert!(dht.buckets[0].wait_queues.lock().is_empty());
+        assert_eq!(dht.buckets[0].waiters.load(Ordering::SeqCst), 0);
+        // ...and so must satisfied waiters.
+        let d = Arc::clone(&dht);
+        let w = std::thread::spawn(move || d.get_wait(&8, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        dht.put(8, 88);
+        assert_eq!(w.join().unwrap(), Ok(88));
+        assert!(dht.buckets[0].wait_queues.lock().is_empty());
+        assert_eq!(dht.buckets[0].waiters.load(Ordering::SeqCst), 0);
     }
 
     #[test]

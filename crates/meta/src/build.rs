@@ -50,7 +50,7 @@ impl BorderSet {
 /// Everything a writer needs to build the metadata of its update, as
 /// assembled from the version manager's assignment reply (paper §4.2:
 /// "the version manager will build the partial set of border nodes and
-/// provide it to the writer ... also suppl[ying] a recently published
+/// provide it to the writer ... also suppl\[ying\] a recently published
 /// snapshot version").
 #[derive(Clone, Debug)]
 pub struct UpdateContext {

@@ -3,7 +3,7 @@
 use blobseer_types::{BlobId, NodePos, PageId, ProviderId, Version};
 
 /// DHT key of a tree node: "each tree node is identified uniquely by its
-/// version and [the] range specified by the offset and size it covers"
+/// version and \[the\] range specified by the offset and size it covers"
 /// (paper §4.1). We additionally scope keys by the *owning* blob so that
 /// independent blobs never collide; branches resolve shared versions to
 /// the ancestor owner through [`crate::Lineage`].
@@ -21,7 +21,7 @@ pub struct NodeKey {
 ///
 /// Inner nodes "hold the version of the left child vl and the version of
 /// the right child vr, while leaves hold the page id pid and the provider
-/// that store[s] the page" (paper §4.1). A `None` child version marks a
+/// that store\[s\] the page" (paper §4.1). A `None` child version marks a
 /// child position beyond the blob's current content — incomplete trees
 /// arise whenever the page count is not a power of two (e.g. paper
 /// Fig. 1(c), where the grown root `(0,8)` has no pages 5..8).

@@ -43,7 +43,7 @@ impl LevelSpan {
 ///
 /// Paper §4.2: the new tree "is the smallest (possibly incomplete)
 /// binary tree such that its leaves are exactly the leaves covering the
-/// pages of [the] range that is written", built "bottom-up ... up to
+/// pages of \[the\] range that is written", built "bottom-up ... up to
 /// (and including) the root". Because the updated page range is
 /// contiguous, the created positions at each level form one contiguous
 /// index interval — which is why the whole plan is a `Vec<LevelSpan>`.

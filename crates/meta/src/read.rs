@@ -122,6 +122,74 @@ pub fn read_meta(
     Ok(out)
 }
 
+/// Vectored `READ_META`: the page descriptors covering *any* of
+/// `requests` in the snapshot rooted at `root`, assembled in **one**
+/// tree traversal and sorted by page index.
+///
+/// Equivalent to the union of per-request [`read_meta`] calls, but each
+/// shared tree node (in particular the upper levels, which every range
+/// visits) is fetched exactly once — the planning half of a vectored
+/// read. Descriptors are deduplicated: a page touched by several
+/// requests appears once. Empty requests are ignored; the caller must
+/// have validated every range against the snapshot size.
+pub fn read_meta_multi(
+    reader: &TreeReader<'_>,
+    root: RootRef,
+    requests: &[ByteRange],
+    psize: u64,
+) -> Result<Vec<PageDescriptor>> {
+    let page_ranges: Vec<_> =
+        requests.iter().map(|r| r.pages(psize)).filter(|p| !p.is_empty()).collect();
+    if page_ranges.is_empty() {
+        return Ok(Vec::new());
+    }
+    let wanted = |pos: NodePos| page_ranges.iter().any(|&r| pos.intersects(r));
+    let mut out = Vec::new();
+    let mut stack: Vec<(Version, NodePos)> = vec![(root.version, root.pos)];
+    while let Some((version, pos)) = stack.pop() {
+        let node = reader.fetch(version, pos, true)?;
+        match node {
+            TreeNode::Leaf { pid, provider, valid_len } => {
+                out.push(PageDescriptor { pid, page_index: pos.offset, provider, valid_len });
+            }
+            TreeNode::Inner { left, right } => {
+                for (child, child_version) in [(pos.left(), left), (pos.right(), right)] {
+                    if !wanted(child) {
+                        continue;
+                    }
+                    match child_version {
+                        Some(v) => stack.push((v, child)),
+                        None => {
+                            return Err(BlobError::Internal(format!(
+                                "tree {root:?}: missing child {child:?} inside a readv request"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|pd| pd.page_index);
+    // Positions are unique per traversal, so each leaf appears at most
+    // once already; the count must match the union of requested pages.
+    let mut union_pages = 0u64;
+    let mut covered_until = 0u64;
+    let mut sorted = page_ranges;
+    sorted.sort_by_key(|r| r.first);
+    for r in sorted {
+        let start = r.first.max(covered_until);
+        union_pages += r.end().saturating_sub(start);
+        covered_until = covered_until.max(r.end());
+    }
+    if out.len() as u64 != union_pages {
+        return Err(BlobError::Internal(format!(
+            "read_meta_multi assembled {} descriptors for {union_pages} pages",
+            out.len(),
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +252,30 @@ mod tests {
         let reader = TreeReader::new(&store, &lineage);
         let root = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
         assert!(read_meta(&reader, root, ByteRange::new(4, 0), 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn read_meta_multi_unions_ranges_in_one_pass() {
+        let (store, lineage) = fig1a_store();
+        let reader = TreeReader::new(&store, &lineage);
+        let root = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
+        // Bytes [0,4) and [13,16): pages 0 and 3 only.
+        let pds = read_meta_multi(&reader, root, &[ByteRange::new(0, 4), ByteRange::new(13, 3)], 4)
+            .unwrap();
+        assert_eq!(pds.len(), 2);
+        assert_eq!(pds[0].page_index, 0);
+        assert_eq!(pds[1].page_index, 3);
+        // Overlapping ranges dedup to one descriptor per page.
+        let pds =
+            read_meta_multi(&reader, root, &[ByteRange::new(0, 10), ByteRange::new(5, 11)], 4)
+                .unwrap();
+        assert_eq!(pds.len(), 4);
+        // Empty requests contribute nothing.
+        assert!(read_meta_multi(&reader, root, &[ByteRange::new(8, 0)], 4).unwrap().is_empty());
+        // Matches per-range read_meta unions.
+        let single = read_meta(&reader, root, ByteRange::new(5, 6), 4).unwrap();
+        let multi = read_meta_multi(&reader, root, &[ByteRange::new(5, 6)], 4).unwrap();
+        assert_eq!(single, multi);
     }
 
     #[test]

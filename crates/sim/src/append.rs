@@ -56,17 +56,72 @@ pub fn append_experiment(
         page_size,
         pages_per_append: append_bytes / page_size,
         total_pages,
-        pages_before: 0,
+        next_index: 0,
+        stride: 1,
         phase: Phase::Begin,
         plan: None,
         append_start: 0,
-        results: Arc::clone(&results),
+        results: Some(Arc::clone(&results)),
     };
     let mut engine = Engine::new(net);
     engine.spawn(Box::new(proc));
     engine.run();
     drop(engine); // releases the process's clone of `results`
     Arc::try_unwrap(results).expect("engine dropped").into_inner().expect("no poison")
+}
+
+/// Aggregate result of one pipelined-append run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelinedSummary {
+    /// Updates kept in flight.
+    pub depth: usize,
+    /// Virtual time until the last append published, in seconds.
+    pub seconds: f64,
+    /// Aggregate append bandwidth in MB/s.
+    pub mbps: f64,
+}
+
+/// The paper's Figure 4/5 overlap scenario: a client keeps `depth`
+/// appends in flight. Modelled as `depth` interleaved append pipelines
+/// (process `k` performs appends `k, k + depth, ...` of the version
+/// sequence) whose data transfers, border fetches and metadata stores
+/// all overlap on the simulated network — exactly what the engine's
+/// `append_pipelined` does with its completion pool. `depth == 1`
+/// degenerates to the sequential [`append_experiment`] client.
+pub fn pipelined_append_experiment(
+    params: SimParams,
+    providers: usize,
+    page_size: u64,
+    append_bytes: u64,
+    total_pages: u64,
+    depth: usize,
+) -> PipelinedSummary {
+    assert!(depth >= 1);
+    assert!(append_bytes.is_multiple_of(page_size), "appends are page-aligned in this workload");
+    let mut net = Network::new(params.latency);
+    let cluster = Cluster::build(&mut net, providers, depth)
+        .with_centralized_metadata(params.centralized_metadata);
+    let mut engine = Engine::new(net);
+    for k in 0..depth {
+        engine.spawn(Box::new(AppendClient {
+            params,
+            client: cluster.clients[k],
+            cluster: cluster.clone(),
+            page_size,
+            pages_per_append: append_bytes / page_size,
+            total_pages,
+            next_index: k as u64,
+            stride: depth as u64,
+            phase: Phase::Begin,
+            plan: None,
+            append_start: 0,
+            results: None,
+        }));
+    }
+    let end = engine.run();
+    let seconds = to_secs(end);
+    let bytes = total_pages * page_size;
+    PipelinedSummary { depth, seconds, mbps: bytes as f64 / 1e6 / seconds }
 }
 
 enum Phase {
@@ -93,11 +148,16 @@ struct AppendClient {
     page_size: u64,
     pages_per_append: u64,
     total_pages: u64,
-    pages_before: u64,
+    /// Index (in the global version sequence) of this client's next
+    /// append; advances by `stride` per append.
+    next_index: u64,
+    stride: u64,
     phase: Phase,
     plan: Option<UpdatePlan>,
     append_start: Nanos,
-    results: Arc<Mutex<Vec<AppendPoint>>>,
+    /// Per-append measurement sink; `None` when the caller only wants
+    /// the aggregate (the pipelined experiment).
+    results: Option<Arc<Mutex<Vec<AppendPoint>>>>,
 }
 
 impl AppendClient {
@@ -205,12 +265,13 @@ impl Process for AppendClient {
         loop {
             match self.phase {
                 Phase::Begin => {
-                    if self.pages_before >= self.total_pages {
+                    let pages_before = self.next_index * self.pages_per_append;
+                    if pages_before >= self.total_pages {
                         return Step::Done;
                     }
                     self.append_start = now;
-                    let range = PageRange::new(self.pages_before, self.pages_per_append);
-                    let root = NodePos::root_for(self.pages_before + self.pages_per_append);
+                    let range = PageRange::new(pages_before, self.pages_per_append);
+                    let root = NodePos::root_for(pages_before + self.pages_per_append);
                     self.plan = Some(update_plan(range, root));
                     self.phase = Phase::Register;
                     let batch = range.iter().map(|p| self.page_store(p)).collect();
@@ -275,7 +336,7 @@ impl Process for AppendClient {
                     // The notify RPC is the append's last timed step.
                     self.phase = Phase::Record {
                         start: self.append_start,
-                        pages_after: self.pages_before + self.pages_per_append,
+                        pages_after: (self.next_index + 1) * self.pages_per_append,
                         bytes: self.pages_per_append * self.page_size,
                     };
                     return Step::Await(vec![self.rpc(
@@ -285,13 +346,15 @@ impl Process for AppendClient {
                     )]);
                 }
                 Phase::Record { start, pages_after, bytes } => {
-                    let seconds = to_secs(now - start);
-                    self.results.lock().expect("no poison").push(AppendPoint {
-                        pages_after,
-                        seconds,
-                        mbps: bytes as f64 / 1e6 / seconds,
-                    });
-                    self.pages_before = pages_after;
+                    if let Some(results) = &self.results {
+                        let seconds = to_secs(now - start);
+                        results.lock().expect("no poison").push(AppendPoint {
+                            pages_after,
+                            seconds,
+                            mbps: bytes as f64 / 1e6 / seconds,
+                        });
+                    }
+                    self.next_index += self.stride;
                     self.phase = Phase::Begin;
                     continue;
                 }

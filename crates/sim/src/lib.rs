@@ -8,7 +8,11 @@
 //!   against the blob's page count;
 //! * [`read_experiment`] — Figure 2(b): N concurrent readers fetch
 //!   disjoint 64 MiB chunks of a large blob; the average per-reader
-//!   bandwidth is recorded against N.
+//!   bandwidth is recorded against N;
+//! * [`pipelined_append_experiment`] — the Figure 4/5 overlap
+//!   scenario: a client keeps `depth` appends in flight (the engine's
+//!   `append_pipelined`), overlapping data transfers with metadata
+//!   work of lower versions.
 //!
 //! Crucially, the *costs* fed into the simulator come from the real
 //! implementation, not from formulas baked into the benchmark:
@@ -31,7 +35,7 @@ mod cluster;
 mod params;
 mod read;
 
-pub use append::{append_experiment, AppendPoint};
+pub use append::{append_experiment, pipelined_append_experiment, AppendPoint, PipelinedSummary};
 pub use cluster::Cluster;
 pub use params::SimParams;
 pub use read::{read_experiment, ReadSummary};

@@ -2,7 +2,7 @@
 //! so they run in milliseconds; the full paper-scale sweeps live in the
 //! bench harnesses).
 
-use blobseer_sim::{append_experiment, read_experiment, SimParams};
+use blobseer_sim::{append_experiment, pipelined_append_experiment, read_experiment, SimParams};
 
 #[test]
 fn append_points_cover_the_sweep() {
@@ -84,6 +84,38 @@ fn read_is_deterministic() {
     let b = read_experiment(SimParams::default(), 8, 4, 1 << 12, 64 * 1024, 128);
     assert_eq!(a.avg_mbps, b.avg_mbps);
     assert_eq!(a.seconds, b.seconds);
+}
+
+#[test]
+fn pipelining_appends_beats_sequential() {
+    // Keeping appends in flight overlaps page transfers with metadata
+    // work of lower versions: aggregate bandwidth must rise with depth
+    // (and saturate, not explode).
+    let p = SimParams::default();
+    let d1 = pipelined_append_experiment(p, 16, 64 * 1024, 1 << 20, 512, 1);
+    let d4 = pipelined_append_experiment(p, 16, 64 * 1024, 1 << 20, 512, 4);
+    assert!(
+        d4.mbps > 1.2 * d1.mbps,
+        "depth-4 pipelining must clearly beat sequential: {} vs {}",
+        d4.mbps,
+        d1.mbps
+    );
+    assert!(d4.mbps < 10.0 * d1.mbps, "a 4-deep pipeline cannot exceed ~4x: {}", d4.mbps);
+    assert!(d4.seconds < d1.seconds);
+}
+
+#[test]
+fn pipelined_depth_one_matches_sequential_client() {
+    let p = SimParams::default();
+    let seq = append_experiment(p, 10, 64 * 1024, 1 << 20, 256);
+    let pipe = pipelined_append_experiment(p, 10, 64 * 1024, 1 << 20, 256, 1);
+    let seq_total: f64 = seq.iter().map(|pt| pt.seconds).sum();
+    assert!(
+        (pipe.seconds - seq_total).abs() < 1e-6,
+        "depth 1 must degenerate to the sequential pipeline: {} vs {}",
+        pipe.seconds,
+        seq_total
+    );
 }
 
 #[test]

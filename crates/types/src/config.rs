@@ -44,6 +44,14 @@ pub struct StoreConfig {
     /// slices of the caller's buffer (`true`, zero-copy) instead of
     /// per-page copies (`false`, kept as an ablation baseline).
     pub zero_copy_pages: bool,
+    /// Worker threads completing pipelined (non-blocking) updates:
+    /// boundary merges, metadata weaving and version-manager
+    /// notification of `write_pipelined`/`append_pipelined` run here so
+    /// the caller's thread returns right after version assignment. Also
+    /// the practical bound on how many unaligned pipelined updates can
+    /// make progress at once (a stage may block on a lower in-flight
+    /// version's metadata).
+    pub pipeline_threads: usize,
 }
 
 impl StoreConfig {
@@ -70,6 +78,9 @@ impl StoreConfig {
                 self.replication, self.data_providers
             ));
         }
+        if self.pipeline_threads == 0 {
+            return Err("pipeline_threads must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -86,6 +97,7 @@ impl Default for StoreConfig {
             metadata_cache_entries: 0,
             io_chunks_per_thread: 1,
             zero_copy_pages: true,
+            pipeline_threads: 4,
         }
     }
 }
@@ -123,5 +135,11 @@ mod tests {
         assert!(cfg.validate().is_err());
         let cfg = StoreConfig { replication: 3, data_providers: 16, ..Default::default() };
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_pipeline_threads() {
+        let cfg = StoreConfig { pipeline_threads: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
     }
 }

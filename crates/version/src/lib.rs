@@ -28,4 +28,4 @@
 mod manager;
 mod state;
 
-pub use manager::{AssignedUpdate, ConcurrencyMode, UpdateKind, VersionManager, VmStats};
+pub use manager::{AssignedUpdate, ConcurrencyMode, ReadView, UpdateKind, VersionManager, VmStats};

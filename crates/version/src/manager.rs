@@ -72,6 +72,23 @@ pub struct AssignedUpdate {
     pub prev_root: Option<RootRef>,
 }
 
+/// Everything a reader needs to serve any number of reads of one
+/// published snapshot: resolved once, under a single acquisition of the
+/// blob's lock, and valid forever (snapshots are immutable).
+///
+/// This is the cache behind `blobseer`'s `Snapshot` handle: constructing
+/// the handle costs one VM round-trip, after which reads never consult
+/// the version manager again.
+#[derive(Clone, Debug)]
+pub struct ReadView {
+    /// Size of the snapshot in bytes.
+    pub size: u64,
+    /// Tree root, `None` for the empty snapshot.
+    pub root: Option<RootRef>,
+    /// The blob's lineage (for metadata key resolution across branches).
+    pub lineage: Lineage,
+}
+
 /// Counters exposed for the E6 micro-experiment (VM work is claimed to
 /// be "negligible when compared to the full operation", §4.3).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -84,6 +101,11 @@ pub struct VmStats {
     pub published: u64,
     /// Branches created.
     pub branches: u64,
+    /// Read-view resolutions served ([`VersionManager::read_view`] +
+    /// [`VersionManager::snapshot_view`]). Version-pinned `Snapshot`
+    /// reads must not move this counter after construction — asserted
+    /// by the engine's tests.
+    pub read_views: u64,
 }
 
 /// The centralized version manager.
@@ -96,6 +118,7 @@ pub struct VersionManager {
     assigned: AtomicU64,
     published: AtomicU64,
     branches: AtomicU64,
+    read_views: AtomicU64,
 }
 
 impl VersionManager {
@@ -111,6 +134,7 @@ impl VersionManager {
             assigned: AtomicU64::new(0),
             published: AtomicU64::new(0),
             branches: AtomicU64::new(0),
+            read_views: AtomicU64::new(0),
         }
     }
 
@@ -287,6 +311,16 @@ impl VersionManager {
     /// Everything a READ needs: the snapshot size and tree root of a
     /// published version (`None` root for the empty snapshot 0).
     pub fn read_view(&self, blob: BlobId, v: Version) -> Result<(u64, Option<RootRef>)> {
+        let view = self.snapshot_view(blob, v)?;
+        Ok((view.size, view.root))
+    }
+
+    /// [`VersionManager::read_view`] plus the blob's lineage, resolved
+    /// under a *single* acquisition of the blob's lock. This is the
+    /// one-time lookup a version-pinned `Snapshot` caches; all
+    /// subsequent reads of that snapshot are VM-free.
+    pub fn snapshot_view(&self, blob: BlobId, v: Version) -> Result<ReadView> {
+        self.read_views.fetch_add(1, Ordering::Relaxed);
         let state = self.blob_state(blob)?;
         let inner = state.inner.lock();
         if v > inner.published {
@@ -295,7 +329,11 @@ impl VersionManager {
         if inner.is_retired(v) {
             return Err(BlobError::VersionRetired { blob, version: v });
         }
-        Ok((inner.size_of(v), inner.root_of(v, self.psize)))
+        Ok(ReadView {
+            size: inner.size_of(v),
+            root: inner.root_of(v, self.psize),
+            lineage: inner.lineage.clone(),
+        })
     }
 
     /// `SYNC`: block until `v` is published or `timeout` elapses.
@@ -373,6 +411,7 @@ impl VersionManager {
             assigned: self.assigned.load(Ordering::Relaxed),
             published: self.published.load(Ordering::Relaxed),
             branches: self.branches.load(Ordering::Relaxed),
+            read_views: self.read_views.load(Ordering::Relaxed),
         }
     }
 }
@@ -677,6 +716,30 @@ mod tests {
         assert!(matches!(vm.begin_retire(b, Version(4)), Err(BlobError::GcConflict(_))));
         // Retiring up to (and including protection of) the pin is fine.
         assert_eq!(vm.begin_retire(b, Version(2)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_view_resolves_once_and_counts() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 9 }).unwrap();
+        // Unpublished versions are not viewable.
+        assert!(matches!(vm.snapshot_view(b, a1.vw), Err(BlobError::VersionNotPublished { .. })));
+        vm.complete(b, a1.vw).unwrap();
+        let view = vm.snapshot_view(b, a1.vw).unwrap();
+        assert_eq!(view.size, 9);
+        let root = view.root.unwrap();
+        assert_eq!(root.version, a1.vw);
+        assert_eq!(root.pos, NodePos::new(0, 4)); // 9 B at psize 4 → 3 pages
+        assert_eq!(view.lineage.owner_of(a1.vw), b);
+        // Both view entry points move the read_views counter; nothing
+        // else does.
+        let before = vm.stats().read_views;
+        vm.read_view(b, a1.vw).unwrap();
+        vm.snapshot_view(b, a1.vw).unwrap();
+        vm.get_size(b, a1.vw).unwrap();
+        vm.get_recent(b).unwrap();
+        assert_eq!(vm.stats().read_views, before + 2);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Engine drivers: realistic clients wiring the workload generators to
+//! the `blobseer` handle API.
+
+use std::collections::VecDeque;
+
+use blobseer::{Blob, Bytes, PendingWrite, Result, Snapshot, Version};
+
+use crate::stream::AppendStream;
+
+/// What one ingest run produced.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestReport {
+    /// Appends performed.
+    pub appends: u64,
+    /// Total payload bytes appended.
+    pub bytes: u64,
+    /// Newest version this run produced (published after the final
+    /// internal `sync`).
+    pub last: Version,
+}
+
+/// A pipelined ingest client: streams [`AppendStream`] chunks into a
+/// blob via `append_pipelined`, keeping at most `depth` updates in
+/// flight — the paper's Figure 4/5 overlap pattern, from one thread
+/// (driven by `examples/concurrent_ingest.rs`).
+///
+/// `depth == 1` degenerates to the blocking client (every append waits
+/// before the next is issued), which makes the same driver usable for
+/// the baseline side of an A/B measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelinedIngest {
+    depth: usize,
+}
+
+impl PipelinedIngest {
+    /// Driver keeping up to `depth` appends in flight (≥ 1).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        PipelinedIngest { depth }
+    }
+
+    /// The configured pipeline depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Append `appends` chunks of `stream` to `blob`, waiting on the
+    /// oldest in-flight update whenever the window is full, then wait
+    /// for everything and `sync` (read-your-writes on return).
+    pub fn run(
+        &self,
+        blob: &Blob,
+        stream: &mut AppendStream,
+        appends: u64,
+    ) -> Result<IngestReport> {
+        let mut inflight: VecDeque<PendingWrite> = VecDeque::with_capacity(self.depth);
+        let mut bytes = 0u64;
+        let mut last = Version(0);
+        for _ in 0..appends {
+            let chunk = stream.next_chunk();
+            bytes += chunk.len() as u64;
+            inflight.push_back(blob.append_pipelined(Bytes::from(chunk))?);
+            if inflight.len() == self.depth {
+                last = last.max(inflight.pop_front().expect("non-empty").wait()?);
+            }
+        }
+        for pending in inflight {
+            last = last.max(pending.wait()?);
+        }
+        blob.sync(last)?;
+        Ok(IngestReport { appends, bytes, last })
+    }
+
+    /// Verify that `snapshot` holds exactly the first `snapshot.len()`
+    /// bytes of the seed-`seed` stream (usable because stream content
+    /// is a pure function of the byte offset). Panics on mismatch.
+    pub fn verify(snapshot: &Snapshot, seed: u64) -> Result<()> {
+        let len = snapshot.len();
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut offset = 0;
+        while offset < len {
+            let n = (len - offset).min(buf.len() as u64);
+            snapshot.read_into(offset, &mut buf[..n as usize])?;
+            let expected = AppendStream::expected(seed, offset, n);
+            assert_eq!(
+                &buf[..n as usize],
+                &expected[..],
+                "stream content diverged at offset {offset}"
+            );
+            offset += n;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer::BlobSeer;
+
+    fn store() -> BlobSeer {
+        BlobSeer::builder()
+            .page_size(1024)
+            .data_providers(4)
+            .metadata_providers(2)
+            .io_threads(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipelined_ingest_streams_and_verifies() {
+        let blob = store().create();
+        let mut stream = AppendStream::new(42, 100, 3000);
+        let report = PipelinedIngest::new(4).run(&blob, &mut stream, 25).unwrap();
+        assert_eq!(report.appends, 25);
+        assert_eq!(report.bytes, stream.produced());
+        assert_eq!(report.last, Version(25));
+        let snap = blob.snapshot(report.last).unwrap();
+        assert_eq!(snap.len(), report.bytes);
+        PipelinedIngest::verify(&snap, 42).unwrap();
+    }
+
+    #[test]
+    fn depth_one_is_the_blocking_client() {
+        let blob = store().create();
+        let mut stream = AppendStream::new(7, 50, 500);
+        let report = PipelinedIngest::new(1).run(&blob, &mut stream, 10).unwrap();
+        assert_eq!(report.last, Version(10));
+        PipelinedIngest::verify(&blob.snapshot(report.last).unwrap(), 7).unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_depth_rejected() {
+        PipelinedIngest::new(0);
+    }
+}

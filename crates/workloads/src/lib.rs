@@ -11,11 +11,21 @@
 //!   appending pictures to one huge blob from many sites, running
 //!   map-reduce style statistics over snapshots, and overwriting
 //!   pictures in place (producing new versions) after enhancement.
+//!
+//! Plus [`PipelinedIngest`], a driver wiring [`AppendStream`] to the
+//! engine's non-blocking `append_pipelined` with a bounded in-flight
+//! window — the realistic pipelined client driven by
+//! `examples/concurrent_ingest.rs`. (The bench trajectory's
+//! `pipelined_append` hand-rolls the same window over one prebuilt
+//! buffer instead, so its A/B isolates the write path from chunk
+//! generation.)
 
 pub mod photo;
 
 mod chunks;
+mod driver;
 mod stream;
 
 pub use chunks::DisjointChunks;
+pub use driver::{IngestReport, PipelinedIngest};
 pub use stream::AppendStream;

@@ -3,13 +3,14 @@
 //! blob"; §2.1 BRANCH).
 //!
 //! A dataset is ingested once; two alternative "processing algorithms"
-//! then evolve it on independent branches. The storage statistics show
-//! what "cheap" means: branches share all untouched pages and metadata
-//! with the trunk.
+//! then evolve it on independent branches — each just a cloned-cheap
+//! [`blobseer::Blob`] handle. The storage statistics show what "cheap"
+//! means: branches share all untouched pages and metadata with the
+//! trunk.
 //!
 //! Run with: `cargo run --example branching_lab`
 
-use blobseer::{BlobId, BlobSeer, Version};
+use blobseer::{Blob, BlobSeer, ByteRange, Version};
 use blobseer_workloads::AppendStream;
 
 const PAGE: u64 = 4096;
@@ -28,33 +29,42 @@ fn main() {
     let mut stream = AppendStream::new(SEED, 8 * 1024, 64 * 1024);
     let mut last = Version(0);
     while stream.produced() < 1 << 20 {
-        last = store.append(trunk, &stream.next_chunk()).unwrap();
+        last = trunk.append(&stream.next_chunk()).unwrap();
     }
-    store.sync(trunk, last).unwrap();
-    let base = store.get_recent(trunk).unwrap();
-    let size = store.get_size(trunk, base).unwrap();
+    trunk.sync(last).unwrap();
+    let base = trunk.latest().unwrap();
+    let size = base.len();
     let pages_before = store.stats().physical_pages;
-    println!("trunk {trunk}: {size} bytes in {pages_before} pages, snapshot {base}");
+    println!(
+        "trunk {}: {size} bytes in {pages_before} pages, snapshot {}",
+        trunk.id(),
+        base.version()
+    );
 
     // Two algorithms branch from the same snapshot and diverge.
-    let upper = store.branch(trunk, base).unwrap();
-    let xored = store.branch(trunk, base).unwrap();
+    let upper = trunk.branch(base.version()).unwrap();
+    let xored = trunk.branch(base.version()).unwrap();
     let transform_a = |b: u8| b.to_ascii_uppercase();
     let transform_b = |b: u8| b ^ 0xFF;
-    let va = apply(&store, upper, base, size, transform_a);
-    let vb = apply(&store, xored, base, size, transform_b);
+    let va = apply(&upper, base.version(), size, transform_a);
+    let vb = apply(&xored, base.version(), size, transform_b);
 
     // Each branch sees its own transformation of the region...
     let sample_at = window_offset(size) + 1024; // inside the rewritten window
+    let sample = ByteRange::new(sample_at, 16);
     let original = AppendStream::expected(SEED, sample_at, 16);
-    let got_a = store.read(upper, va, sample_at, 16).unwrap();
-    let got_b = store.read(xored, vb, sample_at, 16).unwrap();
-    assert_eq!(got_a, original.iter().map(|&b| transform_a(b)).collect::<Vec<_>>());
-    assert_eq!(got_b, original.iter().map(|&b| transform_b(b)).collect::<Vec<_>>());
+    let got_a = upper.snapshot(va).unwrap().read(sample).unwrap();
+    let got_b = xored.snapshot(vb).unwrap().read(sample).unwrap();
+    assert_eq!(&got_a[..], &original.iter().map(|&b| transform_a(b)).collect::<Vec<_>>()[..]);
+    assert_eq!(&got_b[..], &original.iter().map(|&b| transform_b(b)).collect::<Vec<_>>()[..]);
     // ...while the trunk and the shared history are untouched.
-    assert_eq!(store.read(trunk, base, sample_at, 16).unwrap(), original);
-    assert_eq!(store.read(upper, base, sample_at, 16).unwrap(), original);
-    println!("branches diverged: {upper} -> uppercased, {xored} -> xored; trunk intact");
+    assert_eq!(&base.read(sample).unwrap()[..], &original[..]);
+    assert_eq!(&upper.snapshot(base.version()).unwrap().read(sample).unwrap()[..], &original[..]);
+    println!(
+        "branches diverged: {} -> uppercased, {} -> xored; trunk intact",
+        upper.id(),
+        xored.id()
+    );
 
     // The bill: both branches rewrote a 128 KiB window (32 pages each);
     // everything else is shared.
@@ -76,18 +86,12 @@ fn window_offset(size: u64) -> u64 {
 
 /// "Process" a 128 KiB window in the middle of the branch: read from the
 /// branch point, transform, overwrite in place on the branch.
-fn apply(
-    store: &BlobSeer,
-    branch: BlobId,
-    base: Version,
-    size: u64,
-    f: impl Fn(u8) -> u8,
-) -> Version {
+fn apply(branch: &Blob, base: Version, size: u64, f: impl Fn(u8) -> u8) -> Version {
     let window = 128 * 1024;
     let offset = window_offset(size);
-    let data = store.read(branch, base, offset, window).unwrap();
+    let data = branch.snapshot(base).unwrap().read(ByteRange::new(offset, window)).unwrap();
     let transformed: Vec<u8> = data.iter().map(|&b| f(b)).collect();
-    let v = store.write(branch, &transformed, offset).unwrap();
-    store.sync(branch, v).unwrap();
+    let v = branch.write(&transformed, offset).unwrap();
+    branch.sync(v).unwrap();
     v
 }

@@ -21,7 +21,9 @@ fn main() {
         .metadata_cache(10_000)
         .build()
         .unwrap();
-    let blob = store.create();
+    // This example drives the flat, id-keyed facade (the wrappers over
+    // the handle API) — ids are what an ops tool would hold.
+    let blob = store.create().id();
 
     // A day of "log" traffic: 20 appends + 10 compacting overwrites.
     let mut last = Version(0);

@@ -1,15 +1,17 @@
 //! The paper's §2.2 motivating scenario, end to end: an online photo
 //! service storing every uploaded picture in one huge blob.
 //!
-//! * multiple "site" threads APPEND pictures concurrently;
+//! * multiple "site" threads APPEND pictures concurrently through
+//!   cloned [`blobseer::Blob`] handles;
 //! * an analytics pass (map-reduce style) READs disjoint parts of a
-//!   recent snapshot and aggregates average contrast per camera type;
+//!   pinned [`blobseer::Snapshot`] — the version manager is consulted
+//!   once, however many workers share the snapshot;
 //! * an enhancement pass overwrites some pictures in place — producing
 //!   a *new version* while the analytics snapshot stays immutable.
 //!
 //! Run with: `cargo run --example photo_service`
 
-use blobseer::{BlobSeer, Version};
+use blobseer::{BlobSeer, Snapshot, Version};
 use blobseer_workloads::photo::{map_chunk, CameraStats, Photo, RECORD_BYTES};
 use blobseer_workloads::DisjointChunks;
 use rand::rngs::StdRng;
@@ -33,31 +35,32 @@ fn main() {
     // APPEND'ed concurrently to the blob from multiple sites"). ----
     let mut handles = Vec::new();
     for site in 0..SITES {
-        let store = store.clone();
+        let blob = blob.clone();
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(site as u64);
             let mut last = Version(0);
             for _ in 0..PHOTOS_PER_SITE {
                 let photo = Photo::random(&mut rng, CAMERAS);
-                last = store.append(blob, &photo.encode()).unwrap();
+                last = blob.append(&photo.encode()).unwrap();
             }
             last
         }));
     }
     let newest = handles.into_iter().map(|h| h.join().unwrap()).max().unwrap();
-    store.sync(blob, newest).unwrap();
+    blob.sync(newest).unwrap();
 
-    let snapshot = store.get_recent(blob).unwrap();
-    let size = store.get_size(blob, snapshot).unwrap();
-    let total_photos = size / RECORD_BYTES as u64;
+    let snapshot = blob.latest().unwrap();
+    let total_photos = snapshot.len() / RECORD_BYTES as u64;
     println!(
-        "ingested {total_photos} photos ({size} bytes) across {SITES} sites -> snapshot {snapshot}"
+        "ingested {total_photos} photos ({} bytes) across {SITES} sites -> snapshot {}",
+        snapshot.len(),
+        snapshot.version()
     );
     assert_eq!(total_photos as usize, SITES * PHOTOS_PER_SITE);
 
     // ---- Analytics: workers read disjoint record-aligned chunks of the
     // snapshot (the map phase), then merge (the reduce phase). ----
-    let stats = analyze(&store, blob, snapshot);
+    let stats = analyze(&snapshot);
     println!("camera  photos  avg contrast");
     for (camera, count, avg) in stats.rows() {
         println!("  #{camera:<4} {count:>6}  {avg:>10.2}");
@@ -67,26 +70,29 @@ fn main() {
     // ---- Enhancement: overwrite the first 20 pictures in place (paper:
     // "overwriting the picture with its processed version saves
     // computation time when processing future blob versions"). ----
-    let mut last = snapshot;
+    let mut last = snapshot.version();
     for i in 0..20u64 {
         let offset = i * RECORD_BYTES as u64;
-        let raw = store.read(blob, snapshot, offset, RECORD_BYTES as u64).unwrap();
+        // One picture = one page: the scatter read hands back the
+        // stored page itself, no copy.
+        let raw = snapshot.read(blobseer::ByteRange::new(offset, RECORD_BYTES as u64)).unwrap();
         let enhanced = Photo::decode(&raw).expect("valid record").enhance();
-        last = store.write(blob, &enhanced.encode(), offset).unwrap();
+        last = blob.write(&enhanced.encode(), offset).unwrap();
     }
-    store.sync(blob, last).unwrap();
+    blob.sync(last).unwrap();
 
     // The enhanced snapshot shows higher contrast; the analytics
     // snapshot is untouched (versioning at work).
-    let after = analyze(&store, blob, last);
+    let after = analyze(&blob.snapshot(last).unwrap());
     let before_total: f64 = stats.rows().map(|(_, n, avg)| avg * n as f64).sum();
     let after_total: f64 = after.rows().map(|(_, n, avg)| avg * n as f64).sum();
     println!(
         "enhancement pass: total contrast {before_total:.0} -> {after_total:.0} \
-         (snapshot {snapshot} still reads the originals)"
+         (snapshot {} still reads the originals)",
+        snapshot.version()
     );
     assert!(after_total > before_total);
-    let again = analyze(&store, blob, snapshot);
+    let again = analyze(&snapshot);
     assert_eq!(again.total(), stats.total());
 
     let s = store.stats();
@@ -98,17 +104,18 @@ fn main() {
     );
 }
 
-/// The map-reduce pass of §2.2 over one published snapshot.
-fn analyze(store: &BlobSeer, blob: blobseer::BlobId, v: Version) -> CameraStats {
-    let size = store.get_size(blob, v).unwrap();
+/// The map-reduce pass of §2.2 over one pinned snapshot. Workers clone
+/// the `Snapshot` handle — zero version-manager traffic in this loop.
+fn analyze(snapshot: &Snapshot) -> CameraStats {
+    let size = snapshot.len();
     let records = size / RECORD_BYTES as u64;
     let per_worker = blobseer_types::div_ceil(records, WORKERS) * RECORD_BYTES as u64;
     let chunks = DisjointChunks::new(size, per_worker);
     let mut handles = Vec::new();
     for range in chunks.iter() {
-        let store = store.clone();
+        let snapshot = snapshot.clone();
         handles.push(std::thread::spawn(move || {
-            let data = store.read(blob, v, range.offset, range.size).unwrap();
+            let data = snapshot.read(range).unwrap();
             map_chunk(&data)
         }));
     }

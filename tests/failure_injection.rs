@@ -165,7 +165,7 @@ fn engine_write_beyond_end_leaves_orphan_pages_only() {
         .metadata_providers(3)
         .build()
         .unwrap();
-    let blob = store.create();
+    let blob = store.create().id();
     let v1 = store.append(blob, &[9u8; 64]).unwrap();
     store.sync(blob, v1).unwrap();
     // Offset 1000 > size 64: rejected at the version manager, after the

@@ -16,7 +16,7 @@ fn append_stream_every_snapshot_verifiable() {
         .metadata_providers(4)
         .build()
         .unwrap();
-    let blob = store.create();
+    let blob = store.create().id();
     let seed = 0xfeed;
     let mut stream = AppendStream::new(seed, 100, 9000);
     let mut boundaries = vec![0u64];
@@ -56,7 +56,7 @@ fn concurrent_sites_and_analytics_pipeline() {
         .metadata_providers(8)
         .build()
         .unwrap();
-    let blob = store.create();
+    let blob = store.create().id();
 
     let upload = |seed: u64, n: usize| {
         let store = store.clone();
@@ -104,7 +104,7 @@ fn branches_of_branches_with_streams() {
         .build()
         .unwrap();
     let seed = 1;
-    let blob = store.create();
+    let blob = store.create().id();
     let mut stream = AppendStream::new(seed, 500, 1500);
     let mut last = Version(0);
     for _ in 0..10 {
@@ -117,7 +117,7 @@ fn branches_of_branches_with_streams() {
     let mut chain = vec![(blob, last)];
     for i in 0..4u8 {
         let (parent, at) = *chain.last().unwrap();
-        let child = store.branch(parent, at).unwrap();
+        let child = store.branch(parent, at).unwrap().id();
         let v = store.append(child, &[i; 100]).unwrap();
         store.sync(child, v).unwrap();
         chain.push((child, v));
@@ -145,7 +145,7 @@ fn concurrent_writers_on_sibling_branches() {
     // prefix stays byte-identical through every lineage.
     let store =
         BlobSeer::builder().page_size(512).data_providers(6).metadata_providers(4).build().unwrap();
-    let trunk = store.create();
+    let trunk = store.create().id();
     let seed = 0xabcd;
     let mut stream = AppendStream::new(seed, 200, 1000);
     let mut last = Version(0);
@@ -155,7 +155,7 @@ fn concurrent_writers_on_sibling_branches() {
     store.sync(trunk, last).unwrap();
     let base_size = store.get_size(trunk, last).unwrap();
 
-    let branches: Vec<_> = (0..4).map(|_| store.branch(trunk, last).unwrap()).collect();
+    let branches: Vec<_> = (0..4).map(|_| store.branch(trunk, last).unwrap().id()).collect();
     let mut handles = Vec::new();
     for (i, &b) in branches.iter().enumerate() {
         let store = store.clone();
@@ -190,7 +190,7 @@ fn get_recent_is_monotonic_under_load() {
         .metadata_providers(4)
         .build()
         .unwrap();
-    let blob = store.create();
+    let blob = store.create().id();
     let v = store.append(blob, &[0u8; 100]).unwrap();
     store.sync(blob, v).unwrap();
 
@@ -239,7 +239,7 @@ fn stats_reconcile_with_logical_state() {
         .metadata_providers(3)
         .build()
         .unwrap();
-    let blob = store.create();
+    let blob = store.create().id();
     let v1 = store.append(blob, &vec![1u8; 10 * 4096]).unwrap();
     let v2 = store.write(blob, &vec![2u8; 4096], 0).unwrap();
     store.sync(blob, v2).unwrap();

@@ -82,7 +82,7 @@ proptest! {
             .io_threads(2)
             .build()
             .unwrap();
-        let mut blobs: Vec<BlobId> = vec![store.create()];
+        let mut blobs: Vec<BlobId> = vec![store.create().id()];
         let mut models: HashMap<BlobId, ModelBlob> = HashMap::new();
         models.insert(blobs[0], ModelBlob::new());
 
@@ -114,7 +114,7 @@ proptest! {
                     let model = models.get(&id).unwrap().clone();
                     let at = Version(model.snapshots.len() as u64 - 1);
                     store.sync(id, at).unwrap();
-                    let child = store.branch(id, at).unwrap();
+                    let child = store.branch(id, at).unwrap().id();
                     blobs.push(child);
                     // The child model shares the parent's history up to
                     // the branch point.
@@ -151,7 +151,7 @@ proptest! {
             .metadata_providers(2)
             .build()
             .unwrap();
-        let blob = store.create();
+        let blob = store.create().id();
         let mut last = Version(0);
         for &(len, fill) in &appends {
             last = store.append(blob, &fill_bytes(len, fill)).unwrap();

@@ -38,8 +38,8 @@ proptest! {
         let psize = 1u64 << page_pow;
         let slice_store = build(psize, false, 0); // the pre-PR baseline
         let bytes_store = build(psize, true, 1); // the optimized path
-        let a = slice_store.create();
-        let b = bytes_store.create();
+        let a = slice_store.create().id();
+        let b = bytes_store.create().id();
 
         let mut size = 0u64;
         for (i, (seed, len, off_sel)) in ops.into_iter().enumerate() {
@@ -80,7 +80,7 @@ proptest! {
         cuts in proptest::collection::vec(1usize..2000, 0..6),
     ) {
         let store = build(1u64 << page_pow, true, 1);
-        let blob = store.create();
+        let blob = store.create().id();
         let source = Bytes::from(pattern(42, total));
 
         let mut at = 0usize;

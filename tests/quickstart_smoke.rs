@@ -1,7 +1,9 @@
-//! Smoke test mirroring `examples/quickstart.rs` end-to-end: the
-//! README-level API surface (CREATE → APPEND → SYNC → WRITE → READ →
-//! GET_RECENT → BRANCH → stats) must keep working exactly as the
-//! quickstart demonstrates it.
+//! Smoke test pinning the *flat, id-keyed* facade end-to-end: the
+//! wrapper surface (CREATE → APPEND → SYNC → WRITE → READ →
+//! GET_RECENT → BRANCH → stats) must keep working with bare `BlobId`s
+//! even as the handle API (`Blob`/`Snapshot`, exercised by
+//! `examples/quickstart.rs` and `crates/core/tests/handles.rs`)
+//! evolves — the deprecation-free wrapper policy of ROADMAP.md.
 
 use blobseer::{BlobSeer, Version};
 
@@ -15,7 +17,7 @@ fn quickstart_append_read_version_ordering() {
         .expect("valid configuration");
 
     // CREATE: a new blob starts as the empty snapshot, version 0.
-    let blob = store.create();
+    let blob = store.create().id();
     assert_eq!(store.get_size(blob, Version(0)).unwrap(), 0);
 
     // APPEND twice; versions are assigned in total order.
@@ -46,7 +48,7 @@ fn quickstart_append_read_version_ordering() {
     assert_eq!(store.get_recent(blob).unwrap(), Version(3));
 
     // BRANCH forks from v2; the fork evolves independently.
-    let fork = store.branch(blob, v2).unwrap();
+    let fork = store.branch(blob, v2).unwrap().id();
     let f3 = store.append(fork, &[b'z'; 1_000]).unwrap();
     store.sync(fork, f3).unwrap();
     assert_eq!(store.get_size(fork, f3).unwrap(), 21_000);

@@ -23,7 +23,7 @@ fn replicated_store(replication: usize) -> BlobSeer {
 #[test]
 fn reads_survive_single_provider_failure_with_replication() {
     let s = replicated_store(2);
-    let b = s.create();
+    let b = s.create().id();
     let data = patterned(PSIZE as usize * 12, 1);
     let v = s.append(b, &data).unwrap();
     s.sync(b, v).unwrap();
@@ -41,7 +41,7 @@ fn reads_survive_single_provider_failure_with_replication() {
 #[test]
 fn reads_fail_cleanly_without_replication() {
     let s = replicated_store(1);
-    let b = s.create();
+    let b = s.create().id();
     let data = patterned(PSIZE as usize * 12, 2);
     let v = s.append(b, &data).unwrap();
     s.sync(b, v).unwrap();
@@ -59,7 +59,7 @@ fn reads_fail_cleanly_without_replication() {
 #[test]
 fn writes_survive_provider_failure_with_replication() {
     let s = replicated_store(3);
-    let b = s.create();
+    let b = s.create().id();
     // Fail two providers before writing: allocation skips them for
     // primaries; replica chains may still name them (tolerated).
     s.fail_provider(ProviderId(2)).unwrap();
@@ -79,7 +79,7 @@ fn replication_doubles_physical_footprint() {
     let s1 = replicated_store(1);
     let s2 = replicated_store(2);
     for s in [&s1, &s2] {
-        let b = s.create();
+        let b = s.create().id();
         let v = s.append(b, &patterned(PSIZE as usize * 10, 4)).unwrap();
         s.sync(b, v).unwrap();
     }
@@ -95,7 +95,7 @@ fn gc_reclaims_space_and_preserves_retained_versions() {
         .metadata_providers(4)
         .build()
         .unwrap();
-    let b = s.create();
+    let b = s.create().id();
     // v1: 16-page base; v2..v11: single-page overwrites.
     let base = patterned(PSIZE as usize * 16, 0);
     let mut model = base.clone();
@@ -148,7 +148,7 @@ fn gc_keeps_pages_shared_into_retained_versions() {
         .metadata_providers(2)
         .build()
         .unwrap();
-    let b = s.create();
+    let b = s.create().id();
     let base = patterned(PSIZE as usize * 8, 0);
     s.append(b, &base).unwrap(); // v1
     s.write(b, &patterned(PSIZE as usize, 1), 0).unwrap(); // v2
@@ -178,11 +178,11 @@ fn gc_blocked_by_branch_and_inflight() {
         .metadata_providers(2)
         .build()
         .unwrap();
-    let b = s.create();
+    let b = s.create().id();
     let v1 = s.append(b, &patterned(100, 0)).unwrap();
     let v2 = s.append(b, &patterned(100, 1)).unwrap();
     s.sync(b, v2).unwrap();
-    let fork = s.branch(b, v1).unwrap();
+    let fork = s.branch(b, v1).unwrap().id();
     assert!(matches!(s.retire_versions(b, Version(2)), Err(BlobError::GcConflict(_))));
     // Retiring below the pin works; the branch still reads everything.
     s.retire_versions(b, Version(1)).unwrap();
@@ -195,7 +195,7 @@ fn gc_blocked_by_branch_and_inflight() {
 #[test]
 fn gc_removes_replicas_too() {
     let s = replicated_store(2);
-    let b = s.create();
+    let b = s.create().id();
     s.append(b, &patterned(PSIZE as usize * 4, 0)).unwrap(); // v1
     let v2 = s.write(b, &patterned(PSIZE as usize * 4, 1), 0).unwrap(); // v2 replaces all
     s.sync(b, v2).unwrap();
@@ -216,7 +216,7 @@ fn metadata_cache_preserves_correctness_and_hits() {
         .metadata_cache(10_000)
         .build()
         .unwrap();
-    let b = cached.create();
+    let b = cached.create().id();
     let data = patterned(PSIZE as usize * 32, 7);
     let v1 = cached.append(b, &data).unwrap();
     let v2 = cached.write(b, &patterned(PSIZE as usize, 8), 0).unwrap();
@@ -244,7 +244,7 @@ fn gc_then_cache_cannot_resurrect_nodes() {
         .metadata_cache(1000)
         .build()
         .unwrap();
-    let b = s.create();
+    let b = s.create().id();
     let v1 = s.append(b, &patterned(PSIZE as usize * 4, 0)).unwrap();
     let v2 = s.write(b, &patterned(PSIZE as usize * 4, 1), 0).unwrap();
     s.sync(b, v2).unwrap();
