@@ -291,6 +291,78 @@ pub fn pipeline_unit_label(p: &ReportParams) -> String {
     format!("append of {} KiB", p.pipeline_unit >> 10)
 }
 
+/// Appends between injected writer deaths in [`writer_crash_recovery`].
+pub const CRASH_EVERY: u64 = 8;
+
+/// The PR-4 writer-fault-tolerance case: the same depth-bounded
+/// pipelined ingest as [`pipelined_append`]'s optimized side, but
+/// every [`CRASH_EVERY`]-th writer dies right after version assignment
+/// and the deployment recovers through the production path — lease
+/// expiry plus a sweep that aborts the hole — before ingest continues.
+/// The report pairs this against `pipelined_append(p, true)` (the
+/// identical failure-free ingest) rather than re-running it.
+/// `ops`/`bytes` count **survivors only**, so the ratio prices what a
+/// 12.5% writer-death rate costs per byte of *useful* published data
+/// (abort repair, sweep scans, and the lost appends' fixed overhead).
+pub fn writer_crash_recovery(p: &ReportParams) -> RunStats {
+    use std::collections::VecDeque;
+
+    let unit: Bytes =
+        Bytes::from((0..p.pipeline_unit).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+    let appends = (p.append_total / p.pipeline_unit) as u64;
+
+    let mut best = Duration::MAX;
+    let mut survivors = 0u64;
+    for _ in 0..p.reps {
+        let store = build_store(p, true);
+        let blob = store.create();
+        let ttl = store.config().lease_ttl_ticks;
+        let t0 = Instant::now();
+        let mut last = blobseer::Version(0);
+        let mut inflight = VecDeque::with_capacity(p.pipeline_depth);
+        let mut ok = 0u64;
+        for i in 1..=appends {
+            if i.is_multiple_of(CRASH_EVERY) {
+                // Failure epoch: quiesce, die mid-update, recover via
+                // lease expiry + sweep.
+                for pending in inflight.drain(..) {
+                    let pending: blobseer::PendingWrite = pending;
+                    last = last.max(pending.wait().expect("complete"));
+                }
+                blob.crash_append(unit.clone(), blobseer::CrashPoint::AfterPrepare)
+                    .expect("crash injection");
+                store.advance_lease_clock(ttl + 1);
+                store.sweep_expired_leases();
+            } else {
+                inflight.push_back(blob.append_pipelined(unit.clone()).expect("append"));
+                ok += 1;
+                if inflight.len() == p.pipeline_depth {
+                    let oldest: blobseer::PendingWrite = inflight.pop_front().expect("non-empty");
+                    last = last.max(oldest.wait().expect("complete"));
+                }
+            }
+        }
+        for pending in inflight {
+            last = last.max(pending.wait().expect("complete"));
+        }
+        if last > blobseer::Version(0) {
+            blob.sync(last).expect("sync");
+        }
+        let dt = t0.elapsed();
+        if dt < best {
+            best = dt;
+            survivors = ok;
+        }
+    }
+    RunStats {
+        ops: survivors,
+        bytes: survivors * p.pipeline_unit as u64,
+        elapsed: best,
+        io_jobs: None,
+        allocs: None,
+    }
+}
+
 /// Minimal shared-kv surface so one driver measures both DHT designs.
 pub trait KvStore: Sync {
     /// Insert or overwrite.

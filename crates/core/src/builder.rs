@@ -102,6 +102,18 @@ impl Builder {
         self
     }
 
+    /// Writer-lease TTL in version-manager logical-clock ticks (see
+    /// [`StoreConfig::lease_ttl_ticks`]): how long an in-flight update
+    /// may go without a lease renewal before the sweeper presumes its
+    /// writer dead and aborts the version. The clock is logical — it
+    /// advances with VM write operations and explicit
+    /// [`crate::BlobSeer::advance_lease_clock`] calls — so expiry is
+    /// deterministic under test.
+    pub fn lease_ttl_ticks(mut self, ticks: u64) -> Self {
+        self.config.lease_ttl_ticks = ticks;
+        self
+    }
+
     /// Carve page payloads as refcounted slices of the update buffer
     /// (`true`, default) or as per-page copies (`false`, the ablation
     /// baseline measured by the bench trajectory harness).
@@ -128,7 +140,8 @@ impl Builder {
         self.config.validate().map_err(BlobError::Storage)?;
         let wait = Duration::from_millis(self.config.metadata_wait_ms);
         let engine = Engine {
-            vm: VersionManager::new(self.config.page_size, self.mode, wait),
+            vm: VersionManager::new(self.config.page_size, self.mode, wait)
+                .with_lease_ttl(self.config.lease_ttl_ticks),
             meta: MetaStore::new(self.config.metadata_providers, wait)
                 .with_cache(self.config.metadata_cache_entries),
             providers: ProviderManager::with_memory_providers(
@@ -138,6 +151,8 @@ impl Builder {
             pool: ThreadPool::new(self.config.client_io_threads, "blobseer-io"),
             pipeline: ThreadPool::new_detached(self.config.pipeline_threads, "blobseer-pipe"),
             order_locks: Default::default(),
+            sweep_gate: Default::default(),
+            sweep_queued: Default::default(),
             pidgen: PageIdGen::new(),
             config: self.config,
         };

@@ -1,6 +1,7 @@
 //! Deployment wiring: every paper role assembled in one process.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -39,6 +40,13 @@ pub(crate) struct Engine {
     /// `Arc<Mutex>` per blob that ever pipelined; never reclaimed
     /// (bytes per blob, same order as the VM's own per-blob state).
     pub order_locks: Mutex<HashMap<BlobId, Arc<Mutex<()>>>>,
+    /// Serializes lease sweeps (see `crate::abort::sweep_expired`):
+    /// concurrent sweeps would race each other's repairs for the same
+    /// versions; a second sweeper waits its turn and then re-scans.
+    pub sweep_gate: Mutex<()>,
+    /// `true` while a background sweep job sits in the pipeline queue —
+    /// keeps `maybe_sweep` from stacking redundant jobs.
+    pub sweep_queued: AtomicBool,
     pub pidgen: PageIdGen,
 }
 

@@ -83,7 +83,22 @@
 //! The public entry point is [`BlobSeer`]; construct one with
 //! [`BlobSeer::builder`]. All handles are cheaply cloneable and fully
 //! thread-safe — the whole point of the system is heavy concurrent use.
+//!
+//! ## Writer fault tolerance
+//!
+//! Beyond the paper (which defers client failures to future work),
+//! every update holds a **lease** on its assigned version: a writer
+//! that dies mid-update is detected by lease expiry and **aborted** —
+//! its version becomes a typed hole ([`BlobError::VersionAborted`])
+//! that the total order skips, so every later version still
+//! publishes. Failed or panicked updates abort themselves; explicit
+//! cancellation is [`Blob::abort`] / [`PendingWrite::abort`]; crash
+//! injection for tests is [`Blob::crash_write`] /
+//! [`Blob::crash_append`] with [`CrashPoint`]. See
+//! `docs/ARCHITECTURE.md` for the failure model and the lease state
+//! machine, and `docs/FAILURES.md` for the error cookbook.
 
+mod abort;
 mod blob;
 mod builder;
 mod engine;
@@ -94,12 +109,14 @@ mod snapshot;
 mod stats;
 mod write;
 
+pub use abort::SweepReport;
 pub use blob::{Blob, BlobRef};
 pub use builder::Builder;
 pub use gc::GcReport;
 pub use pending::PendingWrite;
 pub use snapshot::{ScatterRead, ScatterSegment, Snapshot};
 pub use stats::StoreStats;
+pub use write::CrashPoint;
 
 // Re-export the vocabulary a user needs to drive the API.
 pub use blobseer_provider::AllocationStrategy;
@@ -251,6 +268,31 @@ impl BlobSeer {
     /// the paper; see `crates/core/src/gc.rs`.
     pub fn retire_versions(&self, blob: impl BlobRef, keep_from: Version) -> Result<GcReport> {
         gc::retire_versions(&self.engine, blob.blob_id(), keep_from)
+    }
+
+    /// Abort an assigned-but-unpublished version of `blob`; see
+    /// [`Blob::abort`].
+    pub fn abort(&self, blob: impl BlobRef, v: Version) -> Result<()> {
+        abort::abort_version(&self.engine, blob.blob_id(), v)
+    }
+
+    /// Run a lease sweep *now*, synchronously: abort every in-flight
+    /// update whose writer lease lapsed (and retry any abort stuck on
+    /// a still-wedged lower version). The same sweep runs
+    /// opportunistically in the background — on the engine's pipeline
+    /// pool after completion stages — so deployments with pipelined
+    /// traffic rarely need to call this; tests call it (after
+    /// [`BlobSeer::advance_lease_clock`]) for deterministic recovery.
+    pub fn sweep_expired_leases(&self) -> SweepReport {
+        abort::sweep_expired(&self.engine, None)
+    }
+
+    /// Advance the version manager's logical lease clock by `ticks`
+    /// and return the new reading. The clock also advances implicitly
+    /// with VM write operations (assign / renew / complete / abort);
+    /// wall time never moves it, so lease expiry is deterministic.
+    pub fn advance_lease_clock(&self, ticks: u64) -> u64 {
+        self.engine.vm.advance_clock(ticks)
     }
 
     /// Failure injection: take a data provider offline. Pending pages

@@ -15,12 +15,14 @@
 //! so a successful completion publishes exactly as if the caller had
 //! waited. Completion *errors*, however, surface only through
 //! [`PendingWrite::wait`]/[`PendingWrite::try_wait`] — a dropped handle
-//! discards them. And as with a blocking writer that fails mid-update,
-//! a failed completion leaves its assigned version permanently
-//! unpublished, which blocks publication of every later version (the
-//! total order has a hole). Hold on to the handle and check the result
-//! whenever the store can fail underneath you; VM-side abort/recovery
-//! of wedged versions is an open ROADMAP item.
+//! discards them. A stage that fails or panics **aborts its version**
+//! (see [`crate::abort`]): the version is retired as a no-op, the
+//! total order skips it, and every later version still publishes — a
+//! failed update never wedges the blob. The only way to leave a
+//! genuine hole is a real client crash (process death between version
+//! assignment and completion), which the version manager's writer
+//! leases catch: the sweeper aborts the dead writer once its lease
+//! lapses.
 
 use std::sync::Arc;
 
@@ -84,8 +86,18 @@ impl PendingWrite {
             .unwrap_or_else(|_| {
                 Err(BlobError::Internal("pipelined completion stage panicked".into()))
             });
+            let result = result.inspect_err(|e| {
+                // A failed (or panicked) stage retires its version as a
+                // no-op instead of wedging the blob; VersionAborted
+                // means the sweeper or an explicit abort already did.
+                if !matches!(e, BlobError::VersionAborted { .. }) {
+                    let _ = crate::abort::abort_version(&eng, blob, version);
+                }
+            });
             *c.done.lock() = Some(result);
             c.cv.notify_all();
+            // Completion stages double as the lease sweeper's heartbeat.
+            crate::abort::maybe_sweep(&eng);
         });
         Ok(PendingWrite { engine: Arc::clone(engine), blob, version, cell })
     }
@@ -93,17 +105,59 @@ impl PendingWrite {
     /// The version assigned to this update. Known immediately; the
     /// snapshot publishes under this number once completion (and every
     /// lower version) finishes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::Bytes;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// let p = blob.append_pipelined(Bytes::from(vec![1u8; 4096]))?;
+    /// // Known before completion: the order is already fixed.
+    /// assert_eq!(p.version(), blobseer::Version(1));
+    /// p.wait()?;
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn version(&self) -> Version {
         self.version
     }
 
     /// The blob being updated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::Bytes;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// let p = blob.append_pipelined(Bytes::from(vec![1u8; 4096]))?;
+    /// assert_eq!(p.blob_id(), blob.id());
+    /// p.wait()?;
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn blob_id(&self) -> BlobId {
         self.blob
     }
 
     /// `true` once the completion stage has finished (successfully or
     /// not). Non-blocking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::Bytes;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// let p = blob.append_pipelined(Bytes::from(vec![1u8; 4096]))?;
+    /// while !p.is_done() {
+    ///     std::thread::yield_now(); // overlap useful work here
+    /// }
+    /// p.wait()?;
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn is_done(&self) -> bool {
         self.cell.done.lock().is_some()
     }
@@ -111,14 +165,77 @@ impl PendingWrite {
     /// Poll for completion: `None` while the stage is still running,
     /// `Some(result)` once it finished. Non-blocking; can be called
     /// repeatedly (the result is `Clone`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::Bytes;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// let p = blob.append_pipelined(Bytes::from(vec![1u8; 4096]))?;
+    /// let v = loop {
+    ///     if let Some(result) = p.try_wait() {
+    ///         break result?;
+    ///     }
+    /// };
+    /// assert_eq!(v, p.version());
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn try_wait(&self) -> Option<Result<Version>> {
         self.cell.done.lock().clone()
+    }
+
+    /// Cancel this in-flight update: abort its version so the total
+    /// order skips it (see [`crate::Blob::abort`]). The queued
+    /// completion stage is fenced — its next lease renewal fails with
+    /// [`BlobError::VersionAborted`] and it stops storing state. Fails
+    /// with [`BlobError::AbortConflict`] when the stage already
+    /// completed (the update will publish; too late to cancel).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::Bytes;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// # use blobseer::BlobError;
+    /// let p = blob.append_pipelined(Bytes::from(vec![1u8; 4096]))?;
+    /// let v = p.version();
+    /// match p.abort() {
+    ///     // Cancelled: the version is a skipped hole now.
+    ///     Ok(()) => assert!(matches!(
+    ///         blob.snapshot(v),
+    ///         Err(BlobError::VersionAborted { .. })
+    ///     )),
+    ///     // The stage finished first; the update will publish.
+    ///     Err(BlobError::AbortConflict(_)) => blob.sync(v)?,
+    ///     Err(other) => return Err(other),
+    /// }
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn abort(self) -> Result<()> {
+        crate::abort::abort_version(&self.engine, self.blob, self.version)
     }
 
     /// Block until the completion stage finishes and return the
     /// published-to-be version. Bounded by the deployment's metadata
     /// wait timeout (a crashed stage surfaces as [`BlobError::Timeout`]
     /// rather than a hang).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::Bytes;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// let p = blob.append_pipelined(Bytes::from(vec![1u8; 4096]))?;
+    /// let v = p.wait()?; // completion, not yet publication
+    /// blob.sync(v)?;    // read-your-writes
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn wait(self) -> Result<Version> {
         let deadline = std::time::Instant::now() + self.engine.wait_timeout();
         let mut done = self.cell.done.lock();

@@ -142,6 +142,18 @@ pub(crate) fn fetch_slices(
     })
 }
 
+/// [`fetch_slices`] without destination offsets: fetch every slice and
+/// return the payloads in input order ([`try_parallel_jobs`] preserves
+/// it). The vectored-read path dedups identical page windows across
+/// requests and indexes into this result to hand each request a
+/// refcounted clone of the single fetch.
+pub(crate) fn fetch_slices_data(
+    engine: &Arc<Engine>,
+    slices: Vec<PageSlice>,
+) -> Result<Vec<Bytes>> {
+    fetch_slices(engine, slices).map(|parts| parts.into_iter().map(|(_, data)| data).collect())
+}
+
 /// [`fetch_slices`], then gather into a contiguous caller buffer.
 pub(crate) fn fetch_slices_into(
     engine: &Arc<Engine>,

@@ -9,10 +9,11 @@
 //! of concurrent readers share one hot snapshot without serializing on
 //! the VM (asserted via the `read_views` counter in `StoreStats`).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use blobseer_meta::{Lineage, RootRef};
-use blobseer_types::{BlobError, BlobId, ByteRange, PageSlice, Result, Version};
+use blobseer_types::{BlobError, BlobId, ByteRange, PageId, PageSlice, Result, Version};
 use bytes::Bytes;
 
 use crate::engine::Engine;
@@ -59,21 +60,72 @@ impl Snapshot {
     }
 
     /// The blob this snapshot belongs to.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let blob = store.create();
+    /// let v = blob.append(b"x")?;
+    /// blob.sync(v)?;
+    /// let snap = blob.snapshot(v)?;
+    /// assert_eq!(snap.blob_id(), blob.id());
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn blob_id(&self) -> BlobId {
         self.blob
     }
 
     /// The pinned version.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let blob = store.create();
+    /// let v = blob.append(b"x")?;
+    /// blob.sync(v)?;
+    /// // The handle stays pinned even as the blob moves on.
+    /// let snap = blob.snapshot(v)?;
+    /// blob.append(b"y")?;
+    /// assert_eq!(snap.version(), v);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn version(&self) -> Version {
         self.version
     }
 
     /// Snapshot size in bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let blob = store.create();
+    /// let v = blob.append(&[0u8; 100])?;
+    /// blob.sync(v)?;
+    /// assert_eq!(blob.snapshot(v)?.len(), 100);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn len(&self) -> u64 {
         self.size
     }
 
     /// `true` for the empty snapshot (version 0 of an unwritten blob).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::Version;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let blob = store.create();
+    /// assert!(blob.snapshot(Version(0))?.is_empty());
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn is_empty(&self) -> bool {
         self.size == 0
     }
@@ -128,6 +180,20 @@ impl Snapshot {
     /// [`Bytes`] is a refcounted window of the stored page (no copy);
     /// multi-page ranges are gathered into one allocation. Use
     /// [`Snapshot::read_scatter`] to avoid the gather entirely.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ByteRange;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let blob = store.create();
+    /// let v = blob.append(b"hello, world")?;
+    /// blob.sync(v)?;
+    /// let snap = blob.snapshot(v)?;
+    /// assert_eq!(&snap.read(ByteRange::new(7, 5))?[..], b"world");
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn read(&self, range: ByteRange) -> Result<Bytes> {
         let scatter = self.read_scatter(range)?;
         Ok(scatter.into_bytes())
@@ -135,6 +201,21 @@ impl Snapshot {
 
     /// Read exactly `buf.len()` bytes at `offset` into a caller-owned
     /// buffer (the paper's `READ` signature; reusable across calls).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let blob = store.create();
+    /// let v = blob.append(b"reuse me")?;
+    /// blob.sync(v)?;
+    /// let snap = blob.snapshot(v)?;
+    /// let mut buf = [0u8; 5];
+    /// snap.read_into(0, &mut buf)?; // no allocation per call
+    /// assert_eq!(&buf, b"reuse");
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn read_into(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         let request = ByteRange::new(offset, buf.len() as u64);
         self.check(request)?;
@@ -150,6 +231,23 @@ impl Snapshot {
     /// without assembling a contiguous buffer — the read-side dual of
     /// the zero-copy write path. For page-aligned ranges every segment
     /// aliases the stored page directly (pointer-identical `Bytes`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ByteRange;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let blob = store.create();
+    /// let v = blob.append(&vec![7u8; 2 * 4096])?;
+    /// blob.sync(v)?;
+    /// let snap = blob.snapshot(v)?;
+    /// let scatter = snap.read_scatter(ByteRange::new(0, 2 * 4096))?;
+    /// // One refcounted window per stored page; nothing was gathered.
+    /// assert_eq!(scatter.segments().len(), 2);
+    /// assert_eq!(scatter.len(), 2 * 4096);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn read_scatter(&self, range: ByteRange) -> Result<ScatterRead> {
         self.check(range)?;
         if range.is_empty() {
@@ -163,8 +261,29 @@ impl Snapshot {
 
     /// Vectored read: fetch every range of `requests`, planning them
     /// all in **one** segment-tree pass (shared upper tree levels are
-    /// fetched once, not once per range). Returns one [`ScatterRead`]
-    /// per request, in request order.
+    /// fetched once, not once per range) and fetching each distinct
+    /// page window **once** — overlapping requests that hit the same
+    /// window of the same page share a single provider fetch, every
+    /// request receiving a refcounted clone of the same buffer
+    /// (pointer-identical `Bytes`). Returns one [`ScatterRead`] per
+    /// request, in request order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ByteRange;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let blob = store.create();
+    /// let v = blob.append(&vec![1u8; 2 * 4096])?;
+    /// blob.sync(v)?;
+    /// let snap = blob.snapshot(v)?;
+    /// let reads = snap.readv(&[ByteRange::new(0, 4096), ByteRange::new(0, 4096)])?;
+    /// // Overlapping requests share one fetch of the common page.
+    /// let (a, b) = (&reads[0].segments()[0].data, &reads[1].segments()[0].data);
+    /// assert_eq!(a.as_ptr(), b.as_ptr());
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn readv(&self, requests: &[ByteRange]) -> Result<Vec<ScatterRead>> {
         for &r in requests {
             self.check(r)?;
@@ -175,18 +294,46 @@ impl Snapshot {
                 .map(|&range| ScatterRead { range, segments: Vec::new() })
                 .collect());
         }
-        read::plan_slices_multi(&self.engine, &self.lineage, self.root()?, requests)
-            .and_then(|plans| {
-                requests
+        let plans = read::plan_slices_multi(&self.engine, &self.lineage, self.root()?, requests)
+            .map_err(|e| self.refine_error(e))?;
+
+        // Dedup identical (page, window) fetches across requests.
+        let mut unique: Vec<PageSlice> = Vec::new();
+        let mut seen: HashMap<(PageId, u64, u64), usize> = HashMap::new();
+        let assignments: Vec<Vec<(u64, usize)>> = plans
+            .iter()
+            .map(|slices| {
+                slices
                     .iter()
-                    .zip(plans)
-                    .map(|(&range, slices)| {
-                        let segments = Self::fetch_segments(&self.engine, range, slices)?;
-                        Ok(ScatterRead { range, segments })
+                    .map(|s| {
+                        let key = (s.descriptor.pid, s.within.offset, s.within.size);
+                        let idx = *seen.entry(key).or_insert_with(|| {
+                            unique.push(*s);
+                            unique.len() - 1
+                        });
+                        (s.buffer_offset, idx)
                     })
                     .collect()
             })
-            .map_err(|e| self.refine_error(e))
+            .collect();
+        let fetched =
+            read::fetch_slices_data(&self.engine, unique).map_err(|e| self.refine_error(e))?;
+
+        Ok(requests
+            .iter()
+            .zip(assignments)
+            .map(|(&range, parts)| {
+                let mut segments: Vec<ScatterSegment> = parts
+                    .into_iter()
+                    .map(|(buffer_offset, idx)| ScatterSegment {
+                        offset: range.offset + buffer_offset,
+                        data: fetched[idx].clone(),
+                    })
+                    .collect();
+                segments.sort_by_key(|s| s.offset);
+                ScatterRead { range, segments }
+            })
+            .collect())
     }
 
     fn fetch_segments(
@@ -240,26 +387,105 @@ pub struct ScatterRead {
 
 impl ScatterRead {
     /// The byte range this read covers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ByteRange;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// # let v = blob.append(b"scatter")?;
+    /// # blob.sync(v)?;
+    /// # let snap = blob.snapshot(v)?;
+    /// let scatter = snap.read_scatter(ByteRange::new(2, 5))?;
+    /// assert_eq!(scatter.range(), ByteRange::new(2, 5));
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn range(&self) -> ByteRange {
         self.range
     }
 
     /// Total bytes covered (the sum of all segment lengths).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ByteRange;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// # let v = blob.append(b"scatter")?;
+    /// # blob.sync(v)?;
+    /// # let snap = blob.snapshot(v)?;
+    /// let scatter = snap.read_scatter(ByteRange::new(0, 7))?;
+    /// assert_eq!(scatter.len(), 7);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn len(&self) -> u64 {
         self.range.size
     }
 
     /// `true` when the read covered no bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ByteRange;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// # let v = blob.append(b"scatter")?;
+    /// # blob.sync(v)?;
+    /// # let snap = blob.snapshot(v)?;
+    /// assert!(snap.read_scatter(ByteRange::new(3, 0))?.is_empty());
+    /// assert!(!snap.read_scatter(ByteRange::new(0, 1))?.is_empty());
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn is_empty(&self) -> bool {
         self.range.is_empty()
     }
 
     /// The segments, ordered by offset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ByteRange;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// # let v = blob.append(b"scatter")?;
+    /// # blob.sync(v)?;
+    /// # let snap = blob.snapshot(v)?;
+    /// let scatter = snap.read_scatter(ByteRange::new(0, 7))?;
+    /// for seg in scatter.segments() {
+    ///     assert!(seg.offset + seg.data.len() as u64 <= 7);
+    /// }
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn segments(&self) -> &[ScatterSegment] {
         &self.segments
     }
 
     /// Iterate the segment payloads in offset order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ByteRange;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// # let v = blob.append(b"scatter")?;
+    /// # blob.sync(v)?;
+    /// # let snap = blob.snapshot(v)?;
+    /// let scatter = snap.read_scatter(ByteRange::new(0, 7))?;
+    /// // e.g. feed the windows to a vectored socket write.
+    /// let total: usize = scatter.iter().map(|b| b.len()).sum();
+    /// assert_eq!(total, 7);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn iter(&self) -> impl Iterator<Item = &Bytes> {
         self.segments.iter().map(|s| &s.data)
     }
@@ -267,6 +493,21 @@ impl ScatterRead {
     /// Gather into one contiguous buffer. Borrows the single-segment
     /// fast path: a read within one page returns the page window itself
     /// (still zero-copy).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ByteRange;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// # let v = blob.append(b"scatter")?;
+    /// # blob.sync(v)?;
+    /// # let snap = blob.snapshot(v)?;
+    /// let scatter = snap.read_scatter(ByteRange::new(0, 7))?;
+    /// assert_eq!(&scatter.into_bytes()[..], b"scatter");
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
     pub fn into_bytes(self) -> Bytes {
         match self.segments.len() {
             0 => Bytes::new(),

@@ -45,6 +45,33 @@ pub(crate) enum Target {
     Append,
 }
 
+/// Failure injection: the pipeline prefix after which a simulated
+/// writer dies ([`crate::Blob::crash_write`] /
+/// [`crate::Blob::crash_append`]). Each variant leaves the assigned
+/// version wedged — stored state up to the crash point, no
+/// version-manager notification — exactly like a client process dying
+/// there. The lease sweeper is what recovers the blob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die right after the caller-side half: interior pages stored and
+    /// the version assigned (its place in the total order is fixed).
+    AfterPrepare,
+    /// Die after storing the merged boundary pages, before any
+    /// metadata.
+    AfterBoundaryPages,
+    /// Die mid metadata store with only the *inner* tree nodes durable
+    /// — the parallel node store lost exactly the leaf puts. (A fixed
+    /// subset keeps injected crashes deterministic: leaves are what
+    /// give a dead version observable content, so "no leaves" makes
+    /// this point content-equivalent to [`CrashPoint::AfterPrepare`]
+    /// while still exercising repair against a partially-present
+    /// tree.)
+    AfterPartialMetadata,
+    /// Die with all metadata durable but the version manager never
+    /// notified.
+    BeforeNotify,
+}
+
 /// The caller-thread half of an update, produced by [`prepare`]:
 /// interior pages are stored and the version is assigned, fixing the
 /// update's place in the total order. Everything else ([`finish`]) can
@@ -88,9 +115,17 @@ pub(crate) fn prepare(
     };
     let assigned = engine.vm.assign(blob, kind)?;
 
-    // 1 (APPEND): the offset is now known.
+    // 1 (APPEND): the offset is now known. A failure here is *after*
+    // version assignment — retire the version instead of wedging the
+    // blob (best effort; the lease sweeper retries otherwise).
     if matches!(target, Target::Append) {
-        leaves = store_interior_pages(engine, &data, assigned.offset)?;
+        leaves = match store_interior_pages(engine, &data, assigned.offset) {
+            Ok(leaves) => leaves,
+            Err(e) => {
+                let _ = crate::abort::abort_version(engine, blob, assigned.vw);
+                return Err(e);
+            }
+        };
     }
     Ok(Prepared { assigned, data, leaves })
 }
@@ -102,12 +137,38 @@ pub(crate) fn prepare(
 /// strictly lower in-flight versions (boundary merges), never higher —
 /// so completions cannot deadlock each other.
 pub(crate) fn finish(engine: &Arc<Engine>, blob: BlobId, prepared: Prepared) -> Result<Version> {
+    finish_until(engine, blob, prepared, None)
+}
+
+/// [`finish`] with an optional crash injection point; see
+/// [`CrashPoint`]. The real path renews the writer's lease as it
+/// progresses — the renewal doubling as the fencing check that stops a
+/// presumed-dead (already aborted) writer from storing further state.
+pub(crate) fn finish_until(
+    engine: &Arc<Engine>,
+    blob: BlobId,
+    prepared: Prepared,
+    crash: Option<CrashPoint>,
+) -> Result<Version> {
     let Prepared { assigned, data, mut leaves } = prepared;
+
+    // Self-help sweep: if some lower version's writer died, this stage
+    // is about to block on its metadata — abort the blocker first
+    // (never a version ≥ our own: its repair would wait on *us*). The
+    // check is one atomic load while every lease is fresh, and locks
+    // only this blob otherwise.
+    if crash.is_none() && engine.vm.has_expired_below(blob, assigned.vw).unwrap_or(false) {
+        crate::abort::sweep_expired(engine, Some((blob, assigned.vw)));
+    }
+    engine.vm.renew_lease(blob, assigned.vw)?;
 
     // 3: boundary pages (head/tail partially covered by the update).
     let lineage = engine.vm.lineage(blob)?;
     leaves.extend(store_boundary_pages(engine, &lineage, &assigned, &data)?);
     leaves.sort_by_key(|pd| pd.page_index);
+    if crash == Some(CrashPoint::AfterBoundaryPages) {
+        return Ok(assigned.vw);
+    }
 
     // 4: build the new tree and store every node in parallel.
     let reader = TreeReader::new(&engine.meta, &lineage);
@@ -119,20 +180,40 @@ pub(crate) fn finish(engine: &Arc<Engine>, blob: BlobId, prepared: Prepared) -> 
         ref_root: assigned.ref_root,
     };
     let nodes = Arc::new(build_meta(&reader, &ctx, &leaves)?);
+    engine.vm.renew_lease(blob, assigned.vw)?;
+    // build_meta emits leaves first; AfterPartialMetadata drops exactly
+    // that prefix (see the enum docs).
+    let store_from = match crash {
+        Some(CrashPoint::AfterPartialMetadata) => leaves.len().min(nodes.len()),
+        _ => 0,
+    };
     let eng = Arc::clone(engine);
     let jobs = Arc::clone(&nodes);
-    try_parallel_jobs(&engine.pool, nodes.len(), engine.max_parallel_jobs(), move |i| {
-        let (key, node) = jobs[i];
-        eng.meta.put(key, node);
-        Ok::<_, BlobError>(())
-    })?;
+    // Insert-if-absent: nodes are immutable once visible, so the only
+    // way this key can already exist is an abort repair having placed
+    // it — a presumed-dead writer racing its own repair must lose.
+    try_parallel_jobs(
+        &engine.pool,
+        nodes.len() - store_from,
+        engine.max_parallel_jobs(),
+        move |i| {
+            let (key, node) = jobs[store_from + i];
+            eng.meta.put_new(key, node);
+            Ok::<_, BlobError>(())
+        },
+    )?;
+    if matches!(crash, Some(CrashPoint::AfterPartialMetadata) | Some(CrashPoint::BeforeNotify)) {
+        return Ok(assigned.vw);
+    }
 
     // 5: hand publication over to the version manager.
     engine.vm.complete(blob, assigned.vw)?;
     Ok(assigned.vw)
 }
 
-/// Run the full update pipeline; returns the assigned version.
+/// Run the full update pipeline; returns the assigned version. A
+/// failure after version assignment retires the version (no-op abort)
+/// instead of leaving a hole that wedges every later writer.
 pub(crate) fn update(
     engine: &Arc<Engine>,
     blob: BlobId,
@@ -140,7 +221,32 @@ pub(crate) fn update(
     target: Target,
 ) -> Result<Version> {
     let prepared = prepare(engine, blob, data, target)?;
-    finish(engine, blob, prepared)
+    let vw = prepared.assigned.vw;
+    finish(engine, blob, prepared).inspect_err(|e| {
+        // VersionAborted means the sweeper (or an explicit abort)
+        // already retired us; anything else is ours to clean up.
+        if !matches!(e, BlobError::VersionAborted { .. }) {
+            let _ = crate::abort::abort_version(engine, blob, vw);
+        }
+    })
+}
+
+/// Failure injection: run the pipeline only up to `point`, then
+/// "crash" — return the assigned (now wedged) version without
+/// notifying the version manager. See [`CrashPoint`].
+pub(crate) fn update_crashing(
+    engine: &Arc<Engine>,
+    blob: BlobId,
+    data: Bytes,
+    target: Target,
+    point: CrashPoint,
+) -> Result<Version> {
+    let prepared = prepare(engine, blob, data, target)?;
+    let vw = prepared.assigned.vw;
+    if point == CrashPoint::AfterPrepare {
+        return Ok(vw);
+    }
+    finish_until(engine, blob, prepared, Some(point))
 }
 
 /// Store every page *fully covered* by the update, in parallel
@@ -260,7 +366,7 @@ fn store_boundary_pages(
 /// cheap clones and *moves* the payload into the last target — no
 /// refcount bump, and (with zero-copy carving) no byte is ever copied
 /// per replica.
-fn store_one_replicated(
+pub(crate) fn store_one_replicated(
     engine: &Arc<Engine>,
     pid: blobseer_types::PageId,
     primary: ProviderId,

@@ -397,3 +397,51 @@ fn retired_snapshot_read_surfaces_typed_error() {
     let keep = blob.snapshot(v2).unwrap();
     keep.read(ByteRange::new(0, keep.len())).unwrap();
 }
+
+#[test]
+fn readv_shares_fetches_of_identical_page_windows() {
+    // ROADMAP item: overlapping vectored ranges hitting the same page
+    // window must share one provider fetch. Pointer identity across
+    // the returned segments proves both requests alias the single
+    // fetched buffer.
+    let s = store();
+    let blob = s.create();
+    let v = blob.append(&patterned(4 * PSIZE as usize)).unwrap();
+    blob.sync(v).unwrap();
+    let snap = blob.snapshot(v).unwrap();
+
+    // Both requests cover page 1 in full; the second also needs page 2.
+    let fetches_before: u64 = s.stats().providers.iter().map(|p| p.reads).sum();
+    let reads =
+        snap.readv(&[ByteRange::new(PSIZE, PSIZE), ByteRange::new(PSIZE, 2 * PSIZE)]).unwrap();
+    let fetches_after: u64 = s.stats().providers.iter().map(|p| p.reads).sum();
+    assert_eq!(fetches_after - fetches_before, 2, "page 1 read once, page 2 once");
+
+    let a = &reads[0].segments()[0].data;
+    let b = &reads[1].segments()[0].data;
+    assert_eq!(a.as_ptr(), b.as_ptr(), "identical windows must alias one fetch");
+    assert_eq!(a, b);
+    // Content is still exactly right for both requests.
+    let data = patterned(4 * PSIZE as usize);
+    assert_eq!(&reads[0].clone().into_bytes()[..], &data[PSIZE as usize..2 * PSIZE as usize]);
+    assert_eq!(&reads[1].clone().into_bytes()[..], &data[PSIZE as usize..3 * PSIZE as usize]);
+}
+
+#[test]
+fn readv_dedups_only_identical_windows() {
+    // Different sub-ranges of the same page stay separate fetches (the
+    // windows differ), and both come back correct.
+    let s = store();
+    let blob = s.create();
+    let v = blob.append(&patterned(2 * PSIZE as usize)).unwrap();
+    blob.sync(v).unwrap();
+    let snap = blob.snapshot(v).unwrap();
+    let data = patterned(2 * PSIZE as usize);
+    let reads = snap
+        .readv(&[ByteRange::new(8, 100), ByteRange::new(16, 100), ByteRange::new(8, 100)])
+        .unwrap();
+    assert_eq!(&reads[0].clone().into_bytes()[..], &data[8..108]);
+    assert_eq!(&reads[1].clone().into_bytes()[..], &data[16..116]);
+    // Identical requests 0 and 2 alias one fetch.
+    assert_eq!(reads[0].segments()[0].data.as_ptr(), reads[2].segments()[0].data.as_ptr());
+}

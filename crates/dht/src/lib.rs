@@ -158,6 +158,34 @@ where
         }
     }
 
+    /// Store a value only if the key is absent; returns `true` when
+    /// this call inserted. The write-fencing primitive behind version
+    /// abort repair: a repair must fill in the nodes a dead writer
+    /// never stored without clobbering the ones it did (readers may
+    /// already have woven content from them), and a zombie writer's
+    /// late stores must lose to an already-placed repair node. Wakes
+    /// readers parked on the key only when it actually inserted.
+    pub fn put_new(&self, key: K, value: V) -> bool {
+        let b = &self.buckets[self.bucket_of(&key)];
+        b.stats.record_put();
+        let inserted = {
+            let mut map = b.map.write();
+            match map.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(value);
+                    true
+                }
+            }
+        };
+        if inserted && b.waiters.load(Ordering::SeqCst) > 0 {
+            if let Some(q) = b.wait_queues.lock().get(&key) {
+                q.cv.notify_all();
+            }
+        }
+        inserted
+    }
+
     /// Fetch a value if present. Takes only a shared read guard:
     /// concurrent `get`s of published metadata never serialize on the
     /// bucket.
@@ -298,6 +326,24 @@ mod tests {
         dht.put(7, 2);
         assert_eq!(dht.get(&7), Some(2));
         assert_eq!(dht.len(), 1);
+    }
+
+    #[test]
+    fn put_new_inserts_only_once() {
+        let dht: Dht<u64, u64> = Dht::new(4);
+        assert!(dht.put_new(7, 1), "first store wins");
+        assert!(!dht.put_new(7, 2), "the loser's value is discarded");
+        assert_eq!(dht.get(&7), Some(1));
+    }
+
+    #[test]
+    fn put_new_wakes_waiters_on_insert() {
+        let dht: Arc<Dht<u64, u64>> = Arc::new(Dht::new(2));
+        let d2 = Arc::clone(&dht);
+        let waiter = std::thread::spawn(move || d2.get_wait(&9, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(dht.put_new(9, 42));
+        assert_eq!(waiter.join().unwrap(), Ok(42));
     }
 
     #[test]

@@ -65,6 +65,23 @@ impl MetaStore {
         }
     }
 
+    /// Store a tree node only if the key is absent; returns `true`
+    /// when this call inserted. Version-abort repair uses this to fill
+    /// in the nodes a dead writer never stored **without** replacing
+    /// the ones it did — nodes stay immutable once visible, so readers
+    /// that already wove content from a dead writer's node remain
+    /// consistent with the final tree. Parked `get_wait`ers wake only
+    /// on a real insert.
+    pub fn put_new(&self, key: NodeKey, node: TreeNode) -> bool {
+        let inserted = self.dht.put_new(key, node);
+        if inserted {
+            if let Some(cache) = &self.cache {
+                cache.insert(key, node);
+            }
+        }
+        inserted
+    }
+
     /// Fetch a node without blocking.
     pub fn get(&self, key: &NodeKey) -> Result<TreeNode> {
         if let Some(cache) = &self.cache {
@@ -173,6 +190,23 @@ mod tests {
         assert_eq!(store.get(&key(1, 0, 1)).unwrap(), n);
         assert!(store.contains(&key(1, 0, 1)));
         assert_eq!(store.node_count(), 1);
+    }
+
+    #[test]
+    fn put_new_preserves_the_first_store() {
+        // The abort-repair invariant: nodes are immutable once visible,
+        // so a repair (or a zombie writer) can only fill gaps.
+        let store = MetaStore::new(4, Duration::from_millis(50)).with_cache(10);
+        let real = TreeNode::Leaf { pid: PageId(1), provider: ProviderId(0), valid_len: 4 };
+        let repair = TreeNode::Leaf { pid: PageId(2), provider: ProviderId(1), valid_len: 4 };
+        assert!(store.put_new(key(1, 0, 1), real));
+        assert!(!store.put_new(key(1, 0, 1), repair), "dead writer's node stays");
+        assert_eq!(store.get(&key(1, 0, 1)).unwrap(), real);
+        // A rejected put must not poison the cache either.
+        assert_eq!(store.get_wait(&key(1, 0, 1)).unwrap(), real);
+        // And a genuine gap is fillable.
+        assert!(store.put_new(key(1, 1, 1), repair));
+        assert_eq!(store.get(&key(1, 1, 1)).unwrap(), repair);
     }
 
     #[test]

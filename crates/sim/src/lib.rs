@@ -12,7 +12,12 @@
 //! * [`pipelined_append_experiment`] — the Figure 4/5 overlap
 //!   scenario: a client keeps `depth` appends in flight (the engine's
 //!   `append_pipelined`), overlapping data transfers with metadata
-//!   work of lower versions.
+//!   work of lower versions;
+//! * [`crash_writer_experiment`] — beyond the paper (which defers
+//!   client failures to future work): one of the pipelined writers
+//!   dies right after registering a version, wedging publication until
+//!   the engine's writer lease expires and the version manager skips
+//!   the hole. Measures the stall and the recovery.
 //!
 //! Crucially, the *costs* fed into the simulator come from the real
 //! implementation, not from formulas baked into the benchmark:
@@ -32,10 +37,12 @@
 
 mod append;
 mod cluster;
+mod failure;
 mod params;
 mod read;
 
 pub use append::{append_experiment, pipelined_append_experiment, AppendPoint, PipelinedSummary};
 pub use cluster::Cluster;
+pub use failure::{crash_writer_experiment, CrashRecoverySummary};
 pub use params::SimParams;
 pub use read::{read_experiment, ReadSummary};

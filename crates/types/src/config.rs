@@ -52,6 +52,19 @@ pub struct StoreConfig {
     /// make progress at once (a stage may block on a lower in-flight
     /// version's metadata).
     pub pipeline_threads: usize,
+    /// Writer-lease TTL in version-manager **logical-clock ticks**. An
+    /// update holds a lease on its assigned version from `assign` until
+    /// `complete`; pipeline stages renew it as they progress. The clock
+    /// ticks on VM write-path operations (assign / renew / complete /
+    /// abort) and via explicit advancement, never on wall time — so
+    /// lease expiry is deterministic under test. A version whose lease
+    /// lapses for `lease_ttl_ticks` ticks is presumed dead: the sweeper
+    /// aborts it, the total order skips the hole, and every later
+    /// version publishes. Must be ≥ 1; size it to comfortably exceed
+    /// the number of VM operations a slow-but-alive writer can overlap
+    /// with (spurious expiry of a *live* writer aborts its update —
+    /// safe, but the writer gets [`crate::BlobError::VersionAborted`]).
+    pub lease_ttl_ticks: u64,
 }
 
 impl StoreConfig {
@@ -81,6 +94,9 @@ impl StoreConfig {
         if self.pipeline_threads == 0 {
             return Err("pipeline_threads must be at least 1".into());
         }
+        if self.lease_ttl_ticks == 0 {
+            return Err("lease_ttl_ticks must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -98,6 +114,7 @@ impl Default for StoreConfig {
             io_chunks_per_thread: 1,
             zero_copy_pages: true,
             pipeline_threads: 4,
+            lease_ttl_ticks: 1 << 20,
         }
     }
 }
@@ -140,6 +157,12 @@ mod tests {
     #[test]
     fn rejects_zero_pipeline_threads() {
         let cfg = StoreConfig { pipeline_threads: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_lease_ttl() {
+        let cfg = StoreConfig { lease_ttl_ticks: 0, ..Default::default() };
         assert!(cfg.validate().is_err());
     }
 }

@@ -45,6 +45,15 @@ pub enum BlobError {
     /// The version was reclaimed by garbage collection and can no
     /// longer be read.
     VersionRetired { blob: BlobId, version: Version },
+    /// The version was assigned to a writer that died (or explicitly
+    /// aborted) before completing its update. The version is skipped by
+    /// the total order: it never publishes, is never readable, and
+    /// later versions publish right over the hole.
+    VersionAborted { blob: BlobId, version: Version },
+    /// An abort cannot proceed: the version already completed its
+    /// metadata (publication is the version manager's job now), already
+    /// published, or was already aborted.
+    AbortConflict(String),
     /// Garbage collection cannot proceed (live branch pins the history,
     /// or updates are in flight).
     GcConflict(String),
@@ -90,6 +99,10 @@ impl fmt::Display for BlobError {
             BlobError::VersionRetired { blob, version } => {
                 write!(f, "{blob} {version} was retired by garbage collection")
             }
+            BlobError::VersionAborted { blob, version } => {
+                write!(f, "{blob} {version} was aborted (writer failed before completion)")
+            }
+            BlobError::AbortConflict(why) => write!(f, "abort blocked: {why}"),
             BlobError::GcConflict(why) => write!(f, "garbage collection blocked: {why}"),
             BlobError::MetadataMissing { blob, version } => {
                 write!(f, "metadata node missing for {blob} {version}")

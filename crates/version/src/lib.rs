@@ -24,8 +24,26 @@
 //! implementation, atomicity is easy to achieve, as the version manager
 //! is centralized"); distribution of the VM is explicitly future work
 //! there and is out of scope here too.
+//!
+//! ## Writer fault tolerance (beyond the paper)
+//!
+//! The paper defers client failures to future work; this VM does not.
+//! Every assignment grants the writer a **lease** measured on a
+//! deterministic logical clock ([`VersionManager::renew_lease`],
+//! [`VersionManager::advance_clock`]). A writer that dies mid-update
+//! stops renewing; once its lease lapses it can be **aborted**
+//! ([`VersionManager::begin_abort`] / [`VersionManager::commit_abort`]):
+//! a no-op *repair tree* — built from the [`AbortTicket`] — replaces
+//! the metadata the dead writer owed to later versions' border sets,
+//! and the total order then **skips the hole**, so every later version
+//! publishes. Aborted versions are never readable; racing readers get
+//! the typed `BlobError::VersionAborted`. See `docs/ARCHITECTURE.md`
+//! for the full failure model and the lease state machine.
 
 mod manager;
 mod state;
 
-pub use manager::{AssignedUpdate, ConcurrencyMode, ReadView, UpdateKind, VersionManager, VmStats};
+pub use manager::{
+    AbortTicket, AssignedUpdate, ConcurrencyMode, ReadView, UpdateKind, VersionManager, VmStats,
+    DEFAULT_LEASE_TTL_TICKS,
+};

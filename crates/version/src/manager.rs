@@ -10,7 +10,12 @@ use blobseer_meta::{Lineage, RootRef};
 use blobseer_types::{div_ceil, BlobError, BlobId, ByteRange, NodePos, PageRange, Result, Version};
 use parking_lot::RwLock;
 
-use crate::state::{BlobInner, BlobState, Inflight};
+use crate::state::{BlobInner, BlobState, Inflight, UpdateState};
+
+/// Default writer-lease TTL in logical ticks, matching
+/// `StoreConfig::default().lease_ttl_ticks` (the engine always passes
+/// its configured value through [`VersionManager::with_lease_ttl`]).
+pub const DEFAULT_LEASE_TTL_TICKS: u64 = 1 << 20;
 
 /// How writers interact with concurrent metadata builds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,8 +94,45 @@ pub struct ReadView {
     pub lineage: Lineage,
 }
 
+/// Everything an abort needs to build the **repair tree** of a dead
+/// writer's version: the exact node skeleton the writer was expected to
+/// create (later versions' border sets already point into it), with the
+/// weaving inputs recomputed as of abort time.
+///
+/// Returned by [`VersionManager::begin_abort`]; the caller stores a
+/// no-op tree for `vw` — snapshot `vw − 1`'s bytes over the assigned
+/// range, zero-extended to `new_size` — and then calls
+/// [`VersionManager::commit_abort`] so the total order can skip the
+/// hole.
+#[derive(Clone, Debug)]
+pub struct AbortTicket {
+    /// The version being aborted.
+    pub vw: Version,
+    /// Pages the dead update was assigned (the repair tree must create
+    /// exactly these leaves).
+    pub range: PageRange,
+    /// Root position of the dead update's tree.
+    pub new_root: NodePos,
+    /// Size of snapshot `vw − 1` in bytes.
+    pub prev_size: u64,
+    /// Size the dead update would have published (repair zero-extends
+    /// to it, so later appends keep their assigned offsets).
+    pub new_size: u64,
+    /// Border overrides recomputed as of abort time. Identical in
+    /// effect to what the dead writer was handed at assignment: both
+    /// resolve each border position to the newest version `< vw`
+    /// creating it — versions only move from in-flight to published,
+    /// never disappear (aborted ones leave a repair tree behind).
+    pub overrides: Vec<(NodePos, Version)>,
+    /// Root of the latest published snapshot (always `< vw`).
+    pub ref_root: Option<RootRef>,
+    /// Root of snapshot `vw − 1` (possibly still in flight).
+    pub prev_root: Option<RootRef>,
+}
+
 /// Counters exposed for the E6 micro-experiment (VM work is claimed to
-/// be "negligible when compared to the full operation", §4.3).
+/// be "negligible when compared to the full operation", §4.3) and for
+/// the writer-fault-tolerance experiments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VmStats {
     /// Blobs registered.
@@ -106,6 +148,11 @@ pub struct VmStats {
     /// reads must not move this counter after construction — asserted
     /// by the engine's tests.
     pub read_views: u64,
+    /// Versions aborted (writer died or explicitly aborted); these were
+    /// skipped by the total order, not published.
+    pub aborted: u64,
+    /// Lease renewals served to live writers.
+    pub lease_renewals: u64,
 }
 
 /// The centralized version manager.
@@ -113,12 +160,32 @@ pub struct VersionManager {
     psize: u64,
     mode: ConcurrencyMode,
     publish_wait: Duration,
+    lease_ttl: u64,
+    /// The lease clock: logical ticks, advanced by VM write-path
+    /// operations (assign / renew / complete / abort) and by explicit
+    /// [`VersionManager::advance_clock`] calls — never by wall time, so
+    /// lease expiry is deterministic under test.
+    clock: AtomicU64,
+    /// Conservative lower bound on the earliest expiry of any live
+    /// lease (`u64::MAX` when provably none). Lowered by `assign`;
+    /// raised only by a full scan, and only when nobody lowered it
+    /// meanwhile — so it may be stale-*low* (costing a spurious scan)
+    /// but never stale-high past a grant. Lets the hot-path expiry
+    /// check ([`VersionManager::has_expired_leases`] and friends) be a
+    /// single atomic load while every lease is within TTL.
+    lease_watermark: AtomicU64,
+    /// Versions currently stuck in `Aborting` (a begun-but-uncommitted
+    /// abort): sweep work that must stay visible regardless of the
+    /// watermark.
+    aborting: AtomicU64,
     blobs: RwLock<HashMap<BlobId, Arc<BlobState>>>,
     next_blob: AtomicU64,
     assigned: AtomicU64,
     published: AtomicU64,
     branches: AtomicU64,
     read_views: AtomicU64,
+    aborted: AtomicU64,
+    renewals: AtomicU64,
 }
 
 impl VersionManager {
@@ -129,13 +196,27 @@ impl VersionManager {
             psize,
             mode,
             publish_wait,
+            lease_ttl: DEFAULT_LEASE_TTL_TICKS,
+            clock: AtomicU64::new(0),
+            lease_watermark: AtomicU64::new(u64::MAX),
+            aborting: AtomicU64::new(0),
             blobs: RwLock::new(HashMap::new()),
             next_blob: AtomicU64::new(1),
             assigned: AtomicU64::new(0),
             published: AtomicU64::new(0),
             branches: AtomicU64::new(0),
             read_views: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            renewals: AtomicU64::new(0),
         }
+    }
+
+    /// Set the writer-lease TTL in logical ticks (builder style; must
+    /// be ≥ 1).
+    pub fn with_lease_ttl(mut self, ticks: u64) -> Self {
+        assert!(ticks >= 1, "lease TTL must be at least one tick");
+        self.lease_ttl = ticks;
+        self
     }
 
     /// Page size the VM was configured with.
@@ -146,6 +227,26 @@ impl VersionManager {
     /// Configured concurrency mode.
     pub fn mode(&self) -> ConcurrencyMode {
         self.mode
+    }
+
+    /// Configured lease TTL in logical ticks.
+    pub fn lease_ttl(&self) -> u64 {
+        self.lease_ttl
+    }
+
+    /// Current logical-clock reading.
+    pub fn now_ticks(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advance the lease clock by `ticks` (tests and deployments that
+    /// map wall time to ticks call this; VM write ops tick implicitly).
+    pub fn advance_clock(&self, ticks: u64) -> u64 {
+        self.clock.fetch_add(ticks, Ordering::Relaxed) + ticks
+    }
+
+    fn tick(&self) -> u64 {
+        self.advance_clock(1)
     }
 
     fn blob_state(&self, blob: BlobId) -> Result<Arc<BlobState>> {
@@ -165,6 +266,9 @@ impl VersionManager {
     pub fn branch(&self, blob: BlobId, at: Version) -> Result<BlobId> {
         let state = self.blob_state(blob)?;
         let mut parent = state.inner.lock();
+        if parent.is_aborted(at) {
+            return Err(BlobError::VersionAborted { blob, version: at });
+        }
         if at > parent.published {
             return Err(BlobError::VersionNotPublished { blob, version: at });
         }
@@ -182,8 +286,11 @@ impl VersionManager {
     }
 
     /// Register an update and assign it the next snapshot version
-    /// (Algorithm 2 line 10 plus the §4.2 border-set supply).
+    /// (Algorithm 2 line 10 plus the §4.2 border-set supply). The
+    /// assignment grants the writer a **lease** of the configured TTL;
+    /// see [`VersionManager::renew_lease`].
     pub fn assign(&self, blob: BlobId, kind: UpdateKind) -> Result<AssignedUpdate> {
+        let now = self.tick();
         let state = self.blob_state(blob)?;
         let mut inner = state.inner.lock();
 
@@ -230,7 +337,12 @@ impl VersionManager {
         }
 
         inner.sizes.push(new_size);
-        inner.inflight.insert(vw.raw(), Inflight { range, root: new_root, completed: false });
+        let lease_expires = now + self.lease_ttl;
+        inner.inflight.insert(
+            vw.raw(),
+            Inflight { range, root: new_root, state: UpdateState::Active, lease_expires },
+        );
+        self.lease_watermark.fetch_min(lease_expires, Ordering::Relaxed);
         self.assigned.fetch_add(1, Ordering::Relaxed);
 
         if self.mode == ConcurrencyMode::SerializedMetadata {
@@ -238,6 +350,10 @@ impl VersionManager {
             // published, so its border resolution needs no overrides.
             let deadline = Instant::now() + self.publish_wait;
             while inner.published.next() != vw {
+                if inner.is_aborted(vw) {
+                    // The sweeper presumed us dead while we waited.
+                    return Err(BlobError::VersionAborted { blob, version: vw });
+                }
                 if state.publish_cv.wait_until(&mut inner, deadline).timed_out() {
                     return Err(BlobError::Timeout("serialized publication order"));
                 }
@@ -263,42 +379,293 @@ impl VersionManager {
     /// Writer notification that metadata for `vw` is durable
     /// (Algorithm 2 line 12). The VM "takes the responsibility of
     /// eventually publishing vw": it publishes as soon as all lower
-    /// versions are published, preserving total order.
+    /// versions are published, preserving total order. Completion also
+    /// retires the writer's lease — a completed version can no longer
+    /// expire or abort. Fails with [`BlobError::VersionAborted`] when
+    /// the sweeper already presumed this writer dead.
     pub fn complete(&self, blob: BlobId, vw: Version) -> Result<()> {
+        self.tick();
         let state = self.blob_state(blob)?;
         let mut inner = state.inner.lock();
-        match inner.inflight.get_mut(&vw.raw()) {
-            Some(inf) if !inf.completed => inf.completed = true,
-            Some(_) => {
-                return Err(BlobError::Internal(format!("{vw} completed twice")));
+        if let Some(inf) = inner.inflight.get_mut(&vw.raw()) {
+            match inf.state {
+                UpdateState::Active => inf.state = UpdateState::Completed,
+                UpdateState::Completed => {
+                    return Err(BlobError::Internal(format!("{vw} completed twice")));
+                }
+                UpdateState::Aborting | UpdateState::Aborted => {
+                    return Err(BlobError::VersionAborted { blob, version: vw });
+                }
+            }
+        } else if inner.is_aborted(vw) {
+            return Err(BlobError::VersionAborted { blob, version: vw });
+        } else {
+            return Err(BlobError::VersionUnknown { blob, version: vw });
+        }
+        let (published, skipped) = inner.drain_publishable();
+        if published > 0 {
+            self.published.fetch_add(published as u64, Ordering::Relaxed);
+        }
+        if published + skipped > 0 {
+            state.publish_cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Renew the lease of an in-flight update. Pipeline stages call
+    /// this as they progress; any renewal pushes expiry a full TTL out.
+    /// Renewing an expired-but-not-yet-aborted lease *revives* it (the
+    /// writer beat the sweeper); renewing an aborted version fails with
+    /// [`BlobError::VersionAborted`] — the fencing signal telling a
+    /// presumed-dead writer to stop storing state. Renewing an
+    /// already-completed (or published) version is a harmless no-op.
+    pub fn renew_lease(&self, blob: BlobId, v: Version) -> Result<()> {
+        let now = self.tick();
+        let state = self.blob_state(blob)?;
+        let mut inner = state.inner.lock();
+        if let Some(inf) = inner.inflight.get_mut(&v.raw()) {
+            return match inf.state {
+                UpdateState::Active => {
+                    inf.lease_expires = now + self.lease_ttl;
+                    self.renewals.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                UpdateState::Completed => Ok(()),
+                UpdateState::Aborting | UpdateState::Aborted => {
+                    Err(BlobError::VersionAborted { blob, version: v })
+                }
+            };
+        }
+        if inner.is_aborted(v) {
+            Err(BlobError::VersionAborted { blob, version: v })
+        } else if v <= inner.published {
+            Ok(())
+        } else {
+            Err(BlobError::VersionUnknown { blob, version: v })
+        }
+    }
+
+    /// `true` when some writer's lease may have lapsed (or an earlier
+    /// abort is stuck mid-repair and wants a retry). One atomic load
+    /// in the common all-leases-fresh case — safe to call per
+    /// operation; the engine's sweeper gates on it.
+    pub fn has_expired_leases(&self) -> bool {
+        if self.aborting.load(Ordering::Relaxed) > 0 {
+            return true;
+        }
+        if self.now_ticks() < self.lease_watermark.load(Ordering::Relaxed) {
+            return false;
+        }
+        !self.scan_expired().is_empty()
+    }
+
+    /// The single-blob form of [`VersionManager::has_expired_leases`],
+    /// restricted to versions strictly below `v` — what a completion
+    /// stage asks before its boundary merge ("is anything I might
+    /// block on dead?"). Same one-atomic fast path; the slow path
+    /// locks only this blob.
+    pub fn has_expired_below(&self, blob: BlobId, v: Version) -> Result<bool> {
+        if self.aborting.load(Ordering::Relaxed) == 0
+            && self.now_ticks() < self.lease_watermark.load(Ordering::Relaxed)
+        {
+            return Ok(false);
+        }
+        let state = self.blob_state(blob)?;
+        let now = self.now_ticks();
+        let inner = state.inner.lock();
+        Ok(!inner.expired_leases(now, Some(v)).is_empty())
+    }
+
+    /// Every `(blob, version)` whose lease has lapsed as of the current
+    /// clock, plus any version stuck in a failed abort. Sorted, and
+    /// ascending per blob — aborts must run lowest-version-first so a
+    /// repair only ever waits on strictly lower versions.
+    pub fn expired_leases(&self) -> Vec<(BlobId, Version)> {
+        self.scan_expired()
+    }
+
+    /// The single-blob list behind [`VersionManager::has_expired_below`]:
+    /// expired (or abort-stuck) versions of `blob` strictly below `v`,
+    /// ascending. Locks only this blob.
+    pub fn expired_leases_below(&self, blob: BlobId, v: Version) -> Result<Vec<Version>> {
+        let state = self.blob_state(blob)?;
+        let now = self.now_ticks();
+        let inner = state.inner.lock();
+        Ok(inner.expired_leases(now, Some(v)))
+    }
+
+    /// Full scan behind the expiry checks. When nothing is due, raises
+    /// the watermark to the earliest live expiry — but never above
+    /// `now + ttl` (a lease granted mid-scan on an already-visited
+    /// blob expires no earlier than that) and only if no concurrent
+    /// `assign` lowered it meanwhile (the CAS); a lost race leaves the
+    /// watermark stale-low, which costs a spurious scan, never a
+    /// missed expiry.
+    fn scan_expired(&self) -> Vec<(BlobId, Version)> {
+        let wm_before = self.lease_watermark.load(Ordering::Relaxed);
+        let now = self.now_ticks();
+        let blobs: Vec<(BlobId, Arc<BlobState>)> =
+            self.blobs.read().iter().map(|(id, state)| (*id, Arc::clone(state))).collect();
+        let mut out = Vec::new();
+        let mut earliest = u64::MAX;
+        for (id, state) in blobs {
+            let inner = state.inner.lock();
+            out.extend(inner.expired_leases(now, None).into_iter().map(|v| (id, v)));
+            earliest = earliest.min(inner.earliest_expiry());
+        }
+        out.sort_unstable_by_key(|&(b, v)| (b.raw(), v.raw()));
+        if out.is_empty() {
+            let target = earliest.min(now.saturating_add(self.lease_ttl));
+            let _ = self.lease_watermark.compare_exchange(
+                wm_before,
+                target,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+        out
+    }
+
+    /// Begin aborting an assigned-but-unpublished version: mark it
+    /// aborted (racing readers and a racing `complete` now surface
+    /// [`BlobError::VersionAborted`]) and return the [`AbortTicket`]
+    /// describing the repair tree the caller must store before
+    /// [`VersionManager::commit_abort`]. Idempotent over a failed
+    /// repair (state `Aborting` re-issues the ticket); refuses —
+    /// typed, with nothing changed — once the version completed,
+    /// published, or fully aborted.
+    pub fn begin_abort(&self, blob: BlobId, v: Version) -> Result<AbortTicket> {
+        self.tick();
+        let state = self.blob_state(blob)?;
+        let mut inner = state.inner.lock();
+        if v > inner.last_assigned() {
+            return Err(BlobError::VersionUnknown { blob, version: v });
+        }
+        let prior = match inner.inflight.get(&v.raw()).map(|inf| inf.state) {
+            Some(s @ (UpdateState::Active | UpdateState::Aborting)) => s,
+            Some(UpdateState::Completed) => {
+                return Err(BlobError::AbortConflict(format!(
+                    "{v} already completed; publication is the version manager's job"
+                )));
+            }
+            Some(UpdateState::Aborted) => {
+                return Err(BlobError::AbortConflict(format!("{v} already aborted")));
+            }
+            None if inner.is_aborted(v) => {
+                return Err(BlobError::AbortConflict(format!("{v} already aborted")));
             }
             None => {
-                return Err(BlobError::VersionUnknown { blob, version: vw });
+                return Err(BlobError::AbortConflict(format!(
+                    "{v} already published; use garbage collection to drop history"
+                )));
+            }
+        };
+        let inf = {
+            let entry = inner.inflight.get_mut(&v.raw()).expect("checked above");
+            entry.state = UpdateState::Aborting;
+            *entry
+        };
+        if prior == UpdateState::Active {
+            // Keep the stuck-abort gauge exact across retries: one
+            // increment per version entering Aborting, one decrement
+            // at commit.
+            self.aborting.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.aborted.insert(v.raw());
+        // Wake SYNC waiters parked on the aborted version right away.
+        state.publish_cv.notify_all();
+
+        // Recompute the weaving inputs the dead writer was handed: for
+        // every border position, the newest version `< v` creating it —
+        // either still in flight (scanned here, aborted holes included:
+        // their repair trees create those nodes) or already published
+        // (resolved by descending `ref_root`).
+        let mut overrides = Vec::new();
+        for pos in border_positions(inf.range, inf.root) {
+            let mut best: Option<Version> = None;
+            for (&vk, other) in inner.inflight.iter() {
+                if vk >= v.raw() {
+                    break;
+                }
+                if creates_position(other.range, other.root, pos) {
+                    best = Some(Version(vk));
+                }
+            }
+            if let Some(creator) = best {
+                overrides.push((pos, creator));
             }
         }
-        let n = inner.drain_publishable();
-        if n > 0 {
-            self.published.fetch_add(n as u64, Ordering::Relaxed);
+        let prev = v.prev().expect("v ≥ 1: snapshot 0 is never in flight");
+        Ok(AbortTicket {
+            vw: v,
+            range: inf.range,
+            new_root: inf.root,
+            prev_size: inner.size_of(prev),
+            new_size: inner.size_of(v),
+            overrides,
+            ref_root: inner.root_of(inner.published, self.psize),
+            prev_root: inner.root_of(prev, self.psize),
+        })
+    }
+
+    /// Finish an abort after the repair tree is durable: the version
+    /// becomes skippable, and publication drains over the hole — every
+    /// completed later version publishes immediately.
+    pub fn commit_abort(&self, blob: BlobId, v: Version) -> Result<()> {
+        self.tick();
+        let state = self.blob_state(blob)?;
+        let mut inner = state.inner.lock();
+        match inner.inflight.get_mut(&v.raw()) {
+            Some(inf) if inf.state == UpdateState::Aborting => inf.state = UpdateState::Aborted,
+            Some(inf) => {
+                return Err(BlobError::AbortConflict(format!(
+                    "{v} is {:?}, not mid-abort",
+                    inf.state
+                )));
+            }
+            None => {
+                return Err(BlobError::AbortConflict(format!("{v} is not in flight")));
+            }
+        }
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+        self.aborting.fetch_sub(1, Ordering::Relaxed);
+        let (published, skipped) = inner.drain_publishable();
+        if published > 0 {
+            self.published.fetch_add(published as u64, Ordering::Relaxed);
+        }
+        if published + skipped > 0 {
             state.publish_cv.notify_all();
         }
         Ok(())
     }
 
     /// `GET_RECENT`: a recently published version (monotonic, hence ≥
-    /// every version published before the call).
+    /// every version published before the call). Aborted holes at the
+    /// head of the order are skipped — the result is always readable.
     pub fn get_recent(&self, blob: BlobId) -> Result<Version> {
-        Ok(self.blob_state(blob)?.inner.lock().published)
+        Ok(self.blob_state(blob)?.inner.lock().recent_readable())
     }
 
-    /// `true` when `v` is published for `blob`.
+    /// `true` when `v` is published for `blob` (aborted versions are
+    /// never published — the order skips them).
     pub fn is_published(&self, blob: BlobId, v: Version) -> Result<bool> {
-        Ok(v <= self.blob_state(blob)?.inner.lock().published)
+        let state = self.blob_state(blob)?;
+        let inner = state.inner.lock();
+        Ok(v <= inner.published && !inner.is_aborted(v))
+    }
+
+    /// `true` when `v` was aborted for `blob`.
+    pub fn is_aborted(&self, blob: BlobId, v: Version) -> Result<bool> {
+        Ok(self.blob_state(blob)?.inner.lock().is_aborted(v))
     }
 
     /// `GET_SIZE`: size of a *published* snapshot.
     pub fn get_size(&self, blob: BlobId, v: Version) -> Result<u64> {
         let state = self.blob_state(blob)?;
         let inner = state.inner.lock();
+        if inner.is_aborted(v) {
+            return Err(BlobError::VersionAborted { blob, version: v });
+        }
         if v > inner.published {
             return Err(BlobError::VersionNotPublished { blob, version: v });
         }
@@ -323,6 +690,9 @@ impl VersionManager {
         self.read_views.fetch_add(1, Ordering::Relaxed);
         let state = self.blob_state(blob)?;
         let inner = state.inner.lock();
+        if inner.is_aborted(v) {
+            return Err(BlobError::VersionAborted { blob, version: v });
+        }
         if v > inner.published {
             return Err(BlobError::VersionNotPublished { blob, version: v });
         }
@@ -336,7 +706,9 @@ impl VersionManager {
         })
     }
 
-    /// `SYNC`: block until `v` is published or `timeout` elapses.
+    /// `SYNC`: block until `v` is published or `timeout` elapses. A
+    /// reader racing an abort of `v` is woken as soon as the abort
+    /// begins and gets the typed [`BlobError::VersionAborted`].
     pub fn sync(&self, blob: BlobId, v: Version, timeout: Duration) -> Result<()> {
         let state = self.blob_state(blob)?;
         let mut inner = state.inner.lock();
@@ -344,12 +716,17 @@ impl VersionManager {
             return Err(BlobError::VersionUnknown { blob, version: v });
         }
         let deadline = Instant::now() + timeout;
-        while inner.published < v {
+        loop {
+            if inner.is_aborted(v) {
+                return Err(BlobError::VersionAborted { blob, version: v });
+            }
+            if inner.published >= v {
+                return Ok(());
+            }
             if state.publish_cv.wait_until(&mut inner, deadline).timed_out() {
                 return Err(BlobError::Timeout("snapshot publication"));
             }
         }
-        Ok(())
     }
 
     /// Begin garbage collection: retire every version `< keep_from`.
@@ -412,6 +789,8 @@ impl VersionManager {
             published: self.published.load(Ordering::Relaxed),
             branches: self.branches.load(Ordering::Relaxed),
             read_views: self.read_views.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            lease_renewals: self.renewals.load(Ordering::Relaxed),
         }
     }
 }
@@ -740,6 +1119,245 @@ mod tests {
         vm.get_size(b, a1.vw).unwrap();
         vm.get_recent(b).unwrap();
         assert_eq!(vm.stats().read_views, before + 2);
+    }
+
+    /// Drive a full abort at the VM level (the engine layers the repair
+    /// tree build between the two calls).
+    fn abort(vm: &VersionManager, b: BlobId, v: Version) -> AbortTicket {
+        let ticket = vm.begin_abort(b, v).unwrap();
+        vm.commit_abort(b, v).unwrap();
+        ticket
+    }
+
+    #[test]
+    fn leases_expire_on_the_logical_clock_only() {
+        let vm = VersionManager::new(PSIZE, ConcurrencyMode::Concurrent, Duration::from_secs(5))
+            .with_lease_ttl(10);
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        assert!(!vm.has_expired_leases());
+        assert!(vm.expired_leases().is_empty());
+        vm.advance_clock(9);
+        assert!(!vm.has_expired_leases(), "TTL not yet reached");
+        vm.advance_clock(1);
+        assert!(vm.has_expired_leases());
+        assert_eq!(vm.expired_leases(), vec![(b, a1.vw)]);
+        // Renewal revives an expired-but-unaborted lease.
+        vm.renew_lease(b, a1.vw).unwrap();
+        assert!(!vm.has_expired_leases());
+        assert_eq!(vm.stats().lease_renewals, 1);
+        // Completion retires the lease entirely.
+        vm.complete(b, a1.vw).unwrap();
+        vm.advance_clock(1_000);
+        assert!(!vm.has_expired_leases());
+    }
+
+    #[test]
+    fn abort_skips_the_hole_and_later_versions_publish() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        let a2 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap(); // dies
+        let a3 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        vm.complete(b, a1.vw).unwrap();
+        vm.complete(b, a3.vw).unwrap();
+        // v3 is complete but wedged behind the dead v2.
+        assert_eq!(vm.get_recent(b).unwrap(), Version(1));
+
+        let ticket = abort(&vm, b, a2.vw);
+        assert_eq!(ticket.vw, Version(2));
+        assert_eq!(ticket.range, PageRange::new(2, 2));
+        assert_eq!(ticket.prev_size, 8);
+        assert_eq!(ticket.new_size, 16);
+        assert_eq!(ticket.prev_root.unwrap().version, Version(1));
+
+        // The frontier drained over the hole; v3 is published.
+        assert_eq!(vm.get_recent(b).unwrap(), Version(3));
+        assert_eq!(vm.get_size(b, Version(3)).unwrap(), 24, "assigned offsets kept");
+        assert!(vm.is_published(b, Version(3)).unwrap());
+        // The hole is typed everywhere.
+        assert!(!vm.is_published(b, Version(2)).unwrap());
+        assert!(vm.is_aborted(b, Version(2)).unwrap());
+        assert!(matches!(vm.get_size(b, Version(2)), Err(BlobError::VersionAborted { .. })));
+        assert!(matches!(vm.snapshot_view(b, Version(2)), Err(BlobError::VersionAborted { .. })));
+        assert!(matches!(vm.branch(b, Version(2)), Err(BlobError::VersionAborted { .. })));
+        assert!(matches!(
+            vm.sync(b, Version(2), Duration::from_millis(5)),
+            Err(BlobError::VersionAborted { .. })
+        ));
+        let stats = vm.stats();
+        assert_eq!(stats.aborted, 1);
+        assert_eq!(stats.published, 2, "skipped versions are not counted as published");
+    }
+
+    #[test]
+    fn get_recent_walks_past_trailing_aborted_heads() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        vm.complete(b, a1.vw).unwrap();
+        let a2 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        abort(&vm, b, a2.vw);
+        // Frontier passed v2, but the newest *readable* version is v1.
+        assert_eq!(vm.get_recent(b).unwrap(), Version(1));
+        // A later writer publishes right over the hole.
+        let a3 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        vm.complete(b, a3.vw).unwrap();
+        assert_eq!(vm.get_recent(b).unwrap(), Version(3));
+    }
+
+    #[test]
+    fn abort_conflicts_are_typed_and_side_effect_free() {
+        let vm = vm();
+        let b = vm.create();
+        // Never-assigned versions are unknown.
+        assert!(matches!(vm.begin_abort(b, Version(7)), Err(BlobError::VersionUnknown { .. })));
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        // Completed updates cannot abort — publication is the VM's job.
+        vm.complete(b, a1.vw).unwrap();
+        assert!(matches!(vm.begin_abort(b, a1.vw), Err(BlobError::AbortConflict(_))));
+        assert_eq!(vm.get_recent(b).unwrap(), Version(1), "still published");
+        // Double aborts are conflicts too.
+        let a2 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        abort(&vm, b, a2.vw);
+        assert!(matches!(vm.begin_abort(b, a2.vw), Err(BlobError::AbortConflict(_))));
+        assert!(matches!(vm.commit_abort(b, a2.vw), Err(BlobError::AbortConflict(_))));
+        assert_eq!(vm.stats().aborted, 1);
+    }
+
+    #[test]
+    fn complete_racing_abort_is_fenced() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        // Sweeper begins the abort; the zombie writer's complete (and
+        // renew — the stage fencing check) must fail typed.
+        vm.begin_abort(b, a1.vw).unwrap();
+        assert!(matches!(vm.complete(b, a1.vw), Err(BlobError::VersionAborted { .. })));
+        assert!(matches!(vm.renew_lease(b, a1.vw), Err(BlobError::VersionAborted { .. })));
+        // A failed repair leaves the version retryable.
+        assert!(vm.has_expired_leases(), "Aborting state always wants a retry");
+        let ticket = vm.begin_abort(b, a1.vw).unwrap();
+        assert_eq!(ticket.vw, a1.vw);
+        vm.commit_abort(b, a1.vw).unwrap();
+        assert!(!vm.has_expired_leases());
+    }
+
+    #[test]
+    fn abort_ticket_recomputes_overrides_for_inflight_creators() {
+        // §4.2 scenario, with the middle writer dying: the repair tree
+        // of v3 must weave against v2's (in-flight) nodes exactly as
+        // the dead writer would have.
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 16 }).unwrap();
+        vm.complete(b, a1.vw).unwrap();
+        let _a2 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap(); // pages [4,6)
+        let a3 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap(); // pages [6,8), dies
+        let ticket = vm.begin_abort(b, a3.vw).unwrap();
+        assert_eq!(ticket.overrides, vec![(NodePos::new(4, 2), Version(2))]);
+        assert_eq!(ticket.ref_root.unwrap().version, Version(1));
+        assert_eq!(ticket.prev_root.unwrap().version, Version(2));
+        vm.commit_abort(b, a3.vw).unwrap();
+    }
+
+    #[test]
+    fn sync_racing_an_abort_wakes_with_the_typed_error() {
+        let vm = Arc::new(vm());
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        let vm2 = Arc::clone(&vm);
+        let reader = std::thread::spawn(move || vm2.sync(b, Version(1), Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        // begin_abort alone must wake the reader — it does not wait for
+        // the repair to finish.
+        vm.begin_abort(b, a1.vw).unwrap();
+        assert_eq!(
+            reader.join().unwrap(),
+            Err(BlobError::VersionAborted { blob: b, version: Version(1) })
+        );
+        vm.commit_abort(b, a1.vw).unwrap();
+    }
+
+    #[test]
+    fn branch_inherits_holes_but_not_later_ones() {
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        vm.complete(b, a1.vw).unwrap();
+        let a2 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        abort(&vm, b, a2.vw);
+        let a3 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        vm.complete(b, a3.vw).unwrap();
+        let c = vm.branch(b, Version(3)).unwrap();
+        // The shared hole is a hole in the child too.
+        assert!(matches!(vm.get_size(c, Version(2)), Err(BlobError::VersionAborted { .. })));
+        assert_eq!(vm.get_size(c, Version(3)).unwrap(), 12);
+        // The child's own updates are unaffected by the parent's hole.
+        let ac = vm.assign(c, UpdateKind::Append { size: 4 }).unwrap();
+        vm.complete(c, ac.vw).unwrap();
+        assert_eq!(vm.get_recent(c).unwrap(), Version(4));
+    }
+
+    #[test]
+    fn get_recent_stays_readable_when_gc_meets_a_trailing_hole() {
+        // Regression: retire up to a hole at the head of the order —
+        // GET_RECENT must fall through to the (readable, empty) v0,
+        // never to a retired version.
+        let vm = vm();
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        vm.complete(b, a1.vw).unwrap();
+        let a2 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        abort(&vm, b, a2.vw); // frontier passes v2; newest readable is v1
+        vm.begin_retire(b, Version(2)).unwrap(); // retires v1
+        let recent = vm.get_recent(b).unwrap();
+        assert_eq!(recent, Version::ZERO);
+        assert!(vm.snapshot_view(b, recent).is_ok(), "GET_RECENT must be readable");
+        // The blob keeps working past the degenerate state.
+        let a3 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        vm.complete(b, a3.vw).unwrap();
+        assert_eq!(vm.get_recent(b).unwrap(), Version(3));
+    }
+
+    #[test]
+    fn expiry_checks_are_watermark_gated() {
+        let vm = VersionManager::new(PSIZE, ConcurrencyMode::Concurrent, Duration::from_secs(5))
+            .with_lease_ttl(10);
+        let b = vm.create();
+        assert!(!vm.has_expired_leases(), "no leases, nothing expires");
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        // A scan before the TTL raises the stale-low watermark...
+        assert!(!vm.has_expired_leases());
+        assert!(!vm.has_expired_below(b, Version(9)).unwrap());
+        // ...but expiry is still detected exactly at the TTL.
+        vm.advance_clock(20);
+        assert!(vm.has_expired_leases());
+        assert!(vm.has_expired_below(b, Version(9)).unwrap());
+        assert!(!vm.has_expired_below(b, a1.vw).unwrap(), "strictly-below filter");
+        // A stuck abort stays visible regardless of the watermark.
+        vm.begin_abort(b, a1.vw).unwrap();
+        assert!(vm.has_expired_leases());
+        vm.commit_abort(b, a1.vw).unwrap();
+        assert!(!vm.has_expired_leases());
+    }
+
+    #[test]
+    fn serialized_mode_writer_unblocks_when_predecessor_aborts() {
+        let vm = Arc::new(
+            VersionManager::new(PSIZE, ConcurrencyMode::SerializedMetadata, Duration::from_secs(5))
+                .with_lease_ttl(5),
+        );
+        let b = vm.create();
+        let a1 = vm.assign(b, UpdateKind::Append { size: 4 }).unwrap();
+        let vm2 = Arc::clone(&vm);
+        let second = std::thread::spawn(move || vm2.assign(b, UpdateKind::Append { size: 4 }));
+        std::thread::sleep(Duration::from_millis(30));
+        abort(&vm, b, a1.vw);
+        let a2 = second.join().unwrap().unwrap();
+        assert_eq!(a2.vw, Version(2));
+        vm.complete(b, a2.vw).unwrap();
+        assert_eq!(vm.get_recent(b).unwrap(), Version(2));
     }
 
     #[test]

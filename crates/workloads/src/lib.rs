@@ -18,14 +18,18 @@
 //! `examples/concurrent_ingest.rs`. (The bench trajectory's
 //! `pipelined_append` hand-rolls the same window over one prebuilt
 //! buffer instead, so its A/B isolates the write path from chunk
-//! generation.)
+//! generation.) [`CrashyIngest`] is the same client under failure
+//! injection: every k-th writer dies mid-update and the engine's
+//! writer leases recover the blob.
 
 pub mod photo;
 
 mod chunks;
+mod crashy;
 mod driver;
 mod stream;
 
 pub use chunks::DisjointChunks;
+pub use crashy::{ChunkRecord, CrashReport, CrashyIngest};
 pub use driver::{IngestReport, PipelinedIngest};
 pub use stream::AppendStream;
