@@ -15,7 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use blobseer_bench::report::{
-    dht_micro, fig2a_append, json_pair, pipeline_unit_label, pipelined_append,
+    dht_micro, fig2a_append, json_pair, orphan_scrub, pipeline_unit_label, pipelined_append,
     snapshot_pinned_read, writer_crash_recovery, DhtCase, ReportParams, CRASH_EVERY,
 };
 
@@ -46,7 +46,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
-    let mut pr: u32 = 4;
+    let mut pr: u32 = 5;
     let mut out: Option<String> = None;
     let mut params = ReportParams::fast();
     let mut mode = "fast";
@@ -96,6 +96,8 @@ fn main() {
         "# bench_report: writer crash recovery (measured: 1-in-{CRASH_EVERY} writers die)..."
     );
     let crash_opt = writer_crash_recovery(&params);
+    eprintln!("# bench_report: orphan scrub (crash-ingest, then mark-and-sweep)...");
+    let (scrub_ingest, scrub) = orphan_scrub(&params);
 
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
     let methodology = format!(
@@ -126,7 +128,15 @@ fn main() {
          failure-free ingest, measured once, not re-run); ops/bytes count \
          survivors only, so the ratio prices a 1-in-{crash_every} writer-death rate per byte \
          of useful published data (expected slightly below 1.0 - recovery overhead, not a \
-         speedup). Ratios are the comparable quantity across hosts.",
+         speedup). orphan_scrub: the same crashy ingest via the CrashyIngest driver \
+         ({total_mib} MiB in {pipe_kib} KiB chunks, depth {depth}, every {crash_every}th \
+         writer dies at a rotating CrashPoint and is lease-swept), then one scrub_orphans \
+         pass; reported as absolute leak/reclaim numbers plus timings, not a ratio — the \
+         claims measured are completeness (leaked_bytes_after_scrub must be 0; the run \
+         asserts it and verifies content byte-for-byte) and cost (scrub_elapsed_s vs \
+         ingest_elapsed_s: the background-maintenance tax of reclaiming a \
+         1-in-{crash_every} death rate's garbage). Ratios are the comparable quantity \
+         across hosts.",
         reps = params.reps,
         unit_mib = params.append_unit >> 20,
         total_mib = params.append_total >> 20,
@@ -177,10 +187,38 @@ fn main() {
         json_pair("    ", &pipeline_unit_label(&params), &pipe_base, &pipe_opt)
     ));
     json.push_str(&format!(
-        "  \"writer_crash_recovery\": {{\n{}\n  }}\n}}\n",
+        "  \"writer_crash_recovery\": {{\n{}\n  }},\n",
         // Baseline: the pipelined_append optimized run — byte-identical
         // failure-free ingest, measured once above.
         json_pair("    ", &pipeline_unit_label(&params), &pipe_opt, &crash_opt)
+    ));
+    json.push_str(&format!(
+        "  \"orphan_scrub\": {{\n    \
+           \"unit\": \"{unit}\",\n    \
+           \"ingest\": {{ \"appends\": {appends}, \"crashed_writers\": {crashed}, \
+             \"surviving_bytes\": {survived}, \"elapsed_s\": {ingest_s:.4} }},\n    \
+           \"leak\": {{ \"stored_bytes_before_scrub\": {before}, \"leaked_pages\": {lpages}, \
+             \"leaked_bytes\": {lbytes}, \"stored_bytes_after_scrub\": {after}, \
+             \"leaked_bytes_after_scrub\": {lafter} }},\n    \
+           \"scrub\": {{ \"elapsed_s\": {scrub_s:.4}, \"pages_marked\": {marked}, \
+             \"pages_scanned\": {scanned}, \"reclaim_mb_per_s\": {reclaim_rate:.1}, \
+             \"scrub_to_ingest\": {tax:.4} }}\n  }}\n}}\n",
+        unit = pipeline_unit_label(&params),
+        appends = scrub_ingest.appends,
+        crashed = scrub_ingest.crashed,
+        survived = scrub_ingest.bytes,
+        ingest_s = scrub.ingest_elapsed.as_secs_f64(),
+        before = scrub.stored_bytes_before,
+        lpages = scrub.leaked_pages_before,
+        lbytes = scrub.leaked_bytes_before,
+        after = scrub.stored_bytes_after,
+        lafter = scrub.leaked_bytes_after,
+        scrub_s = scrub.scrub_elapsed.as_secs_f64(),
+        marked = scrub.pages_marked,
+        scanned = scrub.pages_scanned,
+        reclaim_rate =
+            scrub.leaked_bytes_before as f64 / 1e6 / scrub.scrub_elapsed.as_secs_f64().max(1e-9),
+        tax = scrub.scrub_elapsed.as_secs_f64() / scrub.ingest_elapsed.as_secs_f64().max(1e-9),
     ));
 
     std::fs::write(&out, &json).expect("write report");

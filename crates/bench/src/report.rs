@@ -363,6 +363,35 @@ pub fn writer_crash_recovery(p: &ReportParams) -> RunStats {
     }
 }
 
+/// The PR-5 orphan-scrub trajectory: a crash-injected pipelined ingest
+/// (every [`CRASH_EVERY`]-th writer dies at a rotating `CrashPoint`,
+/// recovered through lease expiry + sweep — the exact
+/// [`blobseer_workloads::CrashyIngest`] driver), then a full
+/// [`blobseer::BlobSeer::scrub_orphans`] pass. Reported as absolute
+/// leak/reclaim numbers plus timings rather than a baseline/optimized
+/// ratio: the interesting quantities are *leaked bytes before vs.
+/// after* (completeness — after must be 0) and *scrub seconds vs.
+/// ingest seconds* (the maintenance tax).
+pub fn orphan_scrub(
+    p: &ReportParams,
+) -> (blobseer_workloads::CrashReport, blobseer_workloads::ScrubTrajectory) {
+    let store = build_store(p, true);
+    let blob = store.create();
+    // Fixed-size chunks (the pipelined unit) keep the run deterministic
+    // and the per-crash leak a constant number of pages.
+    let mut stream =
+        blobseer_workloads::AppendStream::new(0x5eed_b10b, p.pipeline_unit, p.pipeline_unit);
+    let appends = (p.append_total / p.pipeline_unit) as u64;
+    let ingest = blobseer_workloads::CrashyIngest::new(p.pipeline_depth, CRASH_EVERY);
+    let (report, trajectory) =
+        ingest.run_then_scrub(&store, &blob, &mut stream, appends).expect("crashy ingest + scrub");
+    // The run self-verifies: content intact, leak fully reclaimed.
+    let snap = blob.snapshot(report.last).expect("published snapshot");
+    blobseer_workloads::CrashyIngest::verify(&snap, 0x5eed_b10b, &report).expect("content intact");
+    assert_eq!(trajectory.leaked_bytes_after, 0, "scrub must reclaim the whole leak");
+    (report, trajectory)
+}
+
 /// Minimal shared-kv surface so one driver measures both DHT designs.
 pub trait KvStore: Sync {
     /// Insert or overwrite.

@@ -53,10 +53,12 @@
 //! and the repair's use insert-if-absent — whichever side stores a
 //! position first wins and the tree never mixes *after* a reader saw
 //! it. What insert-if-absent cannot fix: pages (data, not metadata)
-//! the dead writer stored without their leaves ever landing are leaked
-//! until a provider-side scrub exists (ROADMAP), and repair pages that
-//! lost the leaf race leak the same way. Size `lease_ttl_ticks`
-//! generously — aborting a live writer is safe but costs its update.
+//! the dead writer stored without their leaves ever landing are
+//! leaked, and repair pages that lost the leaf race leak the same
+//! way — reclaiming both is the orphan scrubber's job
+//! ([`crate::BlobSeer::scrub_orphans`], `crate::scrub`). Size
+//! `lease_ttl_ticks` generously — aborting a live writer is safe but
+//! costs its update.
 
 use std::sync::Arc;
 
@@ -93,6 +95,10 @@ impl SweepReport {
 /// published or aborted; on a repair failure the version stays marked
 /// (readers already see `VersionAborted`) and the sweeper retries.
 pub(crate) fn abort_version(engine: &Arc<Engine>, blob: BlobId, v: Version) -> Result<()> {
+    // The repair stores pages before their leaves land; pin it with
+    // the scrubber's epoch cut (like any writer) so a concurrent
+    // `scrub_orphans` never reclaims repair pages mid-flight.
+    let _pin = engine.pin_update();
     let ticket = engine.vm.begin_abort(blob, v)?;
     repair(engine, blob, &ticket)?;
     match engine.vm.commit_abort(blob, v) {

@@ -114,6 +114,37 @@ impl Builder {
         self
     }
 
+    /// Opt-in wall-clock→tick mapping (see
+    /// [`StoreConfig::lease_tick_interval_ms`]): when `ms > 0`, a
+    /// background ticker thread advances the lease clock by one tick
+    /// every `ms` milliseconds and sweeps whenever something expired —
+    /// so a wedged writer in a fully *quiet* deployment is still
+    /// aborted after ~`lease_ttl_ticks × ms` milliseconds of real
+    /// time, with no traffic and no external
+    /// [`crate::BlobSeer::advance_lease_clock`] calls. Default `0`
+    /// (off): expiry then stays fully deterministic, which is what
+    /// tests want. The ticker holds only a weak reference and exits by
+    /// itself when the deployment is dropped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let store = blobseer::BlobSeer::builder()
+    ///     .data_providers(2)
+    ///     .metadata_providers(2)
+    ///     .io_threads(1)
+    ///     .pipeline_threads(1)
+    ///     .lease_ttl_ticks(10_000)
+    ///     .lease_tick_interval_ms(1) // wedged writers recover in ~10 s of wall time
+    ///     .build()?;
+    /// assert_eq!(store.config().lease_tick_interval_ms, 1);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn lease_tick_interval_ms(mut self, ms: u64) -> Self {
+        self.config.lease_tick_interval_ms = ms;
+        self
+    }
+
     /// Carve page payloads as refcounted slices of the update buffer
     /// (`true`, default) or as per-page copies (`false`, the ablation
     /// baseline measured by the bench trajectory harness).
@@ -153,10 +184,15 @@ impl Builder {
             order_locks: Default::default(),
             sweep_gate: Default::default(),
             sweep_queued: Default::default(),
+            update_pins: Default::default(),
             pidgen: PageIdGen::new(),
             config: self.config,
         };
-        Ok(BlobSeer { engine: Arc::new(engine) })
+        let store = BlobSeer { engine: Arc::new(engine) };
+        if store.engine.config.lease_tick_interval_ms > 0 {
+            spawn_lease_ticker(&store.engine);
+        }
+        Ok(store)
     }
 }
 
@@ -164,6 +200,32 @@ impl Default for Builder {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// The opt-in wall-clock lease ticker (`lease_tick_interval_ms > 0`):
+/// one tick per interval, plus a sweep whenever the cheap expiry check
+/// fires. Holds only a [`std::sync::Weak`] on the engine — the thread
+/// notices the deployment's drop within one interval and exits, so it
+/// is deliberately detached (nothing to join, no shutdown plumbing).
+fn spawn_lease_ticker(engine: &Arc<Engine>) {
+    let weak = Arc::downgrade(engine);
+    let interval = Duration::from_millis(engine.config.lease_tick_interval_ms);
+    let spawned = std::thread::Builder::new().name("blobseer-lease-tick".into()).spawn(move || {
+        loop {
+            std::thread::sleep(interval);
+            let Some(engine) = weak.upgrade() else { break };
+            engine.vm.advance_clock(1);
+            if engine.vm.has_expired_leases() {
+                let _ = crate::abort::sweep_expired(&engine, None);
+            }
+            // The upgrade may have made this thread the engine's last
+            // owner; dropping it here is safe (the pipeline pool is
+            // detached for exactly this kind of reason).
+        }
+    });
+    // Spawn failure (resource exhaustion) degrades to the documented
+    // logical-clock-only behaviour rather than failing the build.
+    let _ = spawned;
 }
 
 #[cfg(test)]
@@ -180,6 +242,38 @@ mod tests {
     fn invalid_config_rejected() {
         assert!(Builder::new().page_size(3000).build().is_err());
         assert!(Builder::new().data_providers(0).build().is_err());
+    }
+
+    #[test]
+    fn lease_ticker_recovers_a_quiet_wedged_deployment() {
+        // The ROADMAP "lease liveness in quiet deployments" scenario: a
+        // writer dies mid-update and *nothing else happens* — no
+        // traffic, no explicit clock advancement. With the wall-clock
+        // ticker on, the sweeper still aborts the dead version.
+        let store = Builder::new()
+            .page_size(1024)
+            .data_providers(2)
+            .metadata_providers(2)
+            .io_threads(1)
+            .pipeline_threads(1)
+            .lease_ttl_ticks(5)
+            .lease_tick_interval_ms(1)
+            .build()
+            .unwrap();
+        let blob = store.create();
+        let v = blob
+            .crash_append(crate::Bytes::from(vec![1u8; 1024]), crate::CrashPoint::AfterPrepare)
+            .unwrap();
+        // One-sided wait: the abort eventually lands (ttl * interval ≈
+        // 5 ms plus scheduling noise); the deadline only bounds a hang.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !store.engine.vm.is_aborted(blob.id(), v).unwrap() {
+            assert!(std::time::Instant::now() < deadline, "ticker never swept");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The blob is healthy again, with zero manual intervention.
+        let v2 = blob.append(&[2u8; 8]).unwrap();
+        blob.sync(v2).unwrap();
     }
 
     #[test]

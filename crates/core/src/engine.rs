@@ -1,6 +1,6 @@
 //! Deployment wiring: every paper role assembled in one process.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
@@ -8,7 +8,7 @@ use std::time::Duration;
 use blobseer_meta::MetaStore;
 use blobseer_provider::ProviderManager;
 use blobseer_rt::ThreadPool;
-use blobseer_types::{BlobId, PageIdGen, StoreConfig};
+use blobseer_types::{BlobId, PageId, PageIdGen, StoreConfig};
 use blobseer_version::VersionManager;
 use parking_lot::Mutex;
 
@@ -47,7 +47,70 @@ pub(crate) struct Engine {
     /// `true` while a background sweep job sits in the pipeline queue —
     /// keeps `maybe_sweep` from stacking redundant jobs.
     pub sweep_queued: AtomicBool,
+    /// Birth watermarks of operations currently storing pages (updates
+    /// and abort repairs), keyed by pin id — the engine-side half of
+    /// the orphan scrubber's **epoch cut** (see
+    /// [`Engine::scrub_pid_epoch`]).
+    pub update_pins: Mutex<UpdatePins>,
     pub pidgen: PageIdGen,
+}
+
+/// Registry behind [`Engine::pin_update`]: each live pin records the
+/// page-id watermark at the instant its operation began.
+#[derive(Default)]
+pub struct UpdatePins {
+    next: u64,
+    floors: BTreeMap<u64, PageId>,
+}
+
+/// RAII registration of a page-storing operation (an update pipeline or
+/// an abort repair) with the scrubber's epoch-cut registry. Held from
+/// *before* the operation allocates its first page id until its pages
+/// are either referenced by durable leaves or the operation is dead —
+/// dropping the pin is, to the scrubber, the writer's death
+/// certificate.
+pub struct UpdatePin {
+    engine: Arc<Engine>,
+    id: u64,
+}
+
+impl Drop for UpdatePin {
+    fn drop(&mut self) {
+        self.engine.update_pins.lock().floors.remove(&self.id);
+    }
+}
+
+impl Engine {
+    /// Register a page-storing operation with the epoch-cut registry.
+    /// Must be called **before** the operation's first
+    /// `pidgen.next_id()`: the pin's floor then lower-bounds every page
+    /// id the operation will ever store, which is what lets
+    /// [`Engine::scrub_pid_epoch`] exempt the operation's pages without
+    /// knowing their ids. The watermark read and the registration
+    /// happen under one lock so they cannot interleave with an epoch
+    /// read.
+    pub fn pin_update(self: &Arc<Self>) -> UpdatePin {
+        let mut pins = self.update_pins.lock();
+        let floor = self.pidgen.peek();
+        let id = pins.next;
+        pins.next += 1;
+        pins.floors.insert(id, floor);
+        UpdatePin { engine: Arc::clone(self), id }
+    }
+
+    /// The orphan scrubber's **epoch cut**: every page id `>= ` the
+    /// returned watermark is exempt from the sweep. Taken under the pin
+    /// lock as `min(every live pin's floor, the current watermark)`, so
+    /// it lower-bounds the page ids of (a) any operation registered
+    /// after this read (its floor is read later, hence higher) and (b)
+    /// any operation still alive from before it (its floor is in the
+    /// registry). Pages *below* the cut therefore belong to operations
+    /// that finished or died — exactly the set metadata can judge.
+    pub fn scrub_pid_epoch(&self) -> PageId {
+        let pins = self.update_pins.lock();
+        let now = self.pidgen.peek();
+        pins.floors.values().copied().min().map_or(now, |floor| floor.min(now))
+    }
 }
 
 impl Engine {

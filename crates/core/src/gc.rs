@@ -19,7 +19,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use blobseer_meta::{NodeKey, RootRef, TreeNode, TreeReader};
+use blobseer_meta::{collect_tree_pages, NodeKey, TreeReader};
 use blobseer_types::{BlobId, Result, Version};
 
 use crate::engine::Engine;
@@ -49,10 +49,14 @@ pub(crate) fn retire_versions(
     let reader = TreeReader::new(&engine.meta, &lineage);
 
     // 2. Mark: every node reachable from a retained root. Published
-    // trees are complete, so non-blocking fetches suffice.
+    // trees are complete, so non-blocking fetches suffice. The shared
+    // walk (`collect_tree_pages`, also the orphan scrubber's mark)
+    // fills `reachable` as its visited set; the leaves themselves are
+    // not needed here — the sweep derives orphaned pages from the
+    // removed leaf *nodes*.
     let mut reachable: HashSet<NodeKey> = HashSet::new();
     for root in &roots {
-        mark_tree(&reader, *root, &mut reachable)?;
+        collect_tree_pages(&reader, *root, &mut reachable, &mut |_, _| {})?;
     }
 
     // 3. Sweep nodes, then delete the orphaned pages on every replica.
@@ -80,28 +84,4 @@ pub(crate) fn retire_versions(
         }
     }
     Ok(GcReport { nodes_removed, pages_removed, bytes_reclaimed })
-}
-
-/// Depth-first mark of one snapshot tree.
-fn mark_tree(
-    reader: &TreeReader<'_>,
-    root: RootRef,
-    reachable: &mut HashSet<NodeKey>,
-) -> Result<()> {
-    let mut stack = vec![(root.version, root.pos)];
-    while let Some((version, pos)) = stack.pop() {
-        let key = reader.key_for(version, pos);
-        if !reachable.insert(key) {
-            continue; // shared subtree already marked
-        }
-        if let TreeNode::Inner { left, right } = reader.fetch(version, pos, false)? {
-            if let Some(v) = left {
-                stack.push((v, pos.left()));
-            }
-            if let Some(v) = right {
-                stack.push((v, pos.right()));
-            }
-        }
-    }
-    Ok(())
 }

@@ -94,9 +94,13 @@
 //! publishes. Failed or panicked updates abort themselves; explicit
 //! cancellation is [`Blob::abort`] / [`PendingWrite::abort`]; crash
 //! injection for tests is [`Blob::crash_write`] /
-//! [`Blob::crash_append`] with [`CrashPoint`]. See
-//! `docs/ARCHITECTURE.md` for the failure model and the lease state
-//! machine, and `docs/FAILURES.md` for the error cookbook.
+//! [`Blob::crash_append`] with [`CrashPoint`]. The storage dead
+//! writers leak — pages stored before their leaf nodes landed — is
+//! reclaimed by the **orphan scrubber**, [`BlobSeer::scrub_orphans`],
+//! a provider-side mark-and-sweep that is safe to run against live
+//! traffic. See `docs/ARCHITECTURE.md` for the failure model and the
+//! lease state machine, `docs/OPERATIONS.md` for the maintenance
+//! runbook, and `docs/FAILURES.md` for the error cookbook.
 
 mod abort;
 mod blob;
@@ -105,6 +109,7 @@ mod engine;
 mod gc;
 mod pending;
 mod read;
+mod scrub;
 mod snapshot;
 mod stats;
 mod write;
@@ -114,6 +119,7 @@ pub use blob::{Blob, BlobRef};
 pub use builder::Builder;
 pub use gc::GcReport;
 pub use pending::PendingWrite;
+pub use scrub::ScrubReport;
 pub use snapshot::{ScatterRead, ScatterSegment, Snapshot};
 pub use stats::StoreStats;
 pub use write::CrashPoint;
@@ -274,6 +280,49 @@ impl BlobSeer {
     /// [`Blob::abort`].
     pub fn abort(&self, blob: impl BlobRef, v: Version) -> Result<()> {
         abort::abort_version(&self.engine, blob.blob_id(), v)
+    }
+
+    /// Reclaim **orphaned pages**: a provider-side mark-and-sweep that
+    /// deletes every stored page referenced by no metadata leaf —
+    /// storage leaked by writers that died before their leaf nodes
+    /// landed, and by repair pages that lost the `put_new` leaf race.
+    /// Safe under full concurrency (no quiescence required): pages of
+    /// in-flight operations are exempted by a page-id **epoch cut**,
+    /// and the mark covers every retained version of every blob and
+    /// branch, committed-abort repair trees and durable in-flight
+    /// leaves included. Fails typed ([`BlobError::ScrubConflict`]) —
+    /// with nothing deleted — if the mark races a `retire_versions`
+    /// sweep; just rerun. Compose with
+    /// [`BlobSeer::sweep_expired_leases`] (run it first so dead
+    /// writers' versions are repaired and their leaks judged) and
+    /// [`BlobSeer::retire_versions`] (which reclaims *retired* history;
+    /// the scrubber reclaims what no history ever referenced). See
+    /// `docs/OPERATIONS.md` for the runbook and the safety argument.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::{Bytes, CrashPoint};
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1)
+    /// #     .lease_ttl_ticks(8).build()?;
+    /// # let blob = store.create();
+    /// let v1 = blob.append(&[7u8; 4096])?;
+    /// // A writer dies after storing its pages but before any
+    /// // metadata: the pages are leaked.
+    /// blob.crash_append(Bytes::from(vec![9u8; 4096]), CrashPoint::AfterPrepare)?;
+    /// store.advance_lease_clock(9);
+    /// store.sweep_expired_leases(); // abort + repair the dead version
+    /// let report = store.scrub_orphans()?;
+    /// assert_eq!(report.pages_reclaimed, 1);
+    /// assert_eq!(report.bytes_reclaimed, 4096);
+    /// // Live data is untouched, and a second pass finds nothing.
+    /// assert_eq!(&blob.snapshot(v1)?.read(blobseer::ByteRange::new(0, 4096))?[..4], [7u8; 4]);
+    /// assert_eq!(store.scrub_orphans()?.pages_reclaimed, 0);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn scrub_orphans(&self) -> Result<ScrubReport> {
+        scrub::scrub_orphans(&self.engine)
     }
 
     /// Run a lease sweep *now*, synchronously: abort every in-flight

@@ -80,6 +80,13 @@ pub(crate) struct Prepared {
     pub assigned: AssignedUpdate,
     data: Bytes,
     leaves: Vec<PageDescriptor>,
+    /// Epoch-cut registration: taken before the first page id was
+    /// allocated, held until the update's fate is settled (leaves
+    /// durable, or the writer "died" — including the crash-injection
+    /// early returns, whose drop of `Prepared` is the simulated
+    /// process death). Protects the update's stored-but-unreferenced
+    /// pages from a concurrent orphan scrub.
+    pin: crate::engine::UpdatePin,
 }
 
 /// Steps 1–2 of the pipeline: pre-store every fully-covered page and
@@ -100,6 +107,9 @@ pub(crate) fn prepare(
     if data.is_empty() {
         return Err(BlobError::EmptyUpdate);
     }
+    // Register with the scrubber's epoch cut before any page id is
+    // allocated; see `Prepared::pin`.
+    let pin = engine.pin_update();
     let size = data.len() as u64;
 
     // 1 (WRITE): interior pages need no version, store them now.
@@ -127,7 +137,7 @@ pub(crate) fn prepare(
             }
         };
     }
-    Ok(Prepared { assigned, data, leaves })
+    Ok(Prepared { assigned, data, leaves, pin })
 }
 
 /// Steps 3–5 of the pipeline: complete boundary pages, build and store
@@ -150,7 +160,10 @@ pub(crate) fn finish_until(
     prepared: Prepared,
     crash: Option<CrashPoint>,
 ) -> Result<Version> {
-    let Prepared { assigned, data, mut leaves } = prepared;
+    // `_pin` keeps the epoch-cut registration alive for the whole
+    // stage — including the crash-injection early returns, where its
+    // drop is precisely the simulated writer death.
+    let Prepared { assigned, data, mut leaves, pin: _pin } = prepared;
 
     // Self-help sweep: if some lower version's writer died, this stage
     // is about to block on its metadata — abort the blocker first

@@ -37,5 +37,5 @@ pub use cache::NodeCache;
 pub use lineage::Lineage;
 pub use node::{NodeKey, RootRef, TreeNode};
 pub use plan::{read_plan, update_plan, ReadPlan, UpdatePlan};
-pub use read::{read_meta, read_meta_multi, TreeReader};
+pub use read::{collect_tree_pages, read_meta, read_meta_multi, TreeReader};
 pub use store::MetaStore;

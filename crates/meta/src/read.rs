@@ -1,6 +1,11 @@
-//! Tree traversal: `READ_META` (paper Algorithm 3) and point lookups.
+//! Tree traversal: `READ_META` (paper Algorithm 3), point lookups, and
+//! whole-tree page enumeration (the GC/scrub mark phase).
 
-use blobseer_types::{BlobError, ByteRange, NodePos, PageDescriptor, Result, Version};
+use std::collections::HashSet;
+
+use blobseer_types::{
+    BlobError, ByteRange, NodePos, PageDescriptor, PageId, ProviderId, Result, Version,
+};
 
 use crate::lineage::Lineage;
 use crate::node::{NodeKey, RootRef, TreeNode};
@@ -190,6 +195,48 @@ pub fn read_meta_multi(
     Ok(out)
 }
 
+/// Whole-tree enumeration for the mark phase of garbage collection and
+/// the orphan scrubber: visit every node reachable from `root`
+/// (non-blocking fetches — the caller guarantees the tree is complete,
+/// which holds for every published or committed-abort version) and
+/// report each leaf's page to `on_leaf`.
+///
+/// `visited` carries the node keys already walked: subtrees shared with
+/// previously enumerated roots are skipped, so marking all retained
+/// roots of a lineage costs each physical node exactly once — the same
+/// sharing that makes versioning cheap makes marking cheap. The set
+/// doubles as GC's reachability answer.
+///
+/// A missing node surfaces as an error ([`BlobError::MetadataMissing`])
+/// rather than being skipped: under-marking would let a sweep delete
+/// live pages, so the caller must abort its pass instead.
+pub fn collect_tree_pages(
+    reader: &TreeReader<'_>,
+    root: RootRef,
+    visited: &mut HashSet<NodeKey>,
+    on_leaf: &mut dyn FnMut(PageId, ProviderId),
+) -> Result<()> {
+    let mut stack = vec![(root.version, root.pos)];
+    while let Some((version, pos)) = stack.pop() {
+        let key = reader.key_for(version, pos);
+        if !visited.insert(key) {
+            continue; // shared subtree already enumerated
+        }
+        match reader.fetch(version, pos, false)? {
+            TreeNode::Leaf { pid, provider, .. } => on_leaf(pid, provider),
+            TreeNode::Inner { left, right } => {
+                if let Some(v) = left {
+                    stack.push((v, pos.left()));
+                }
+                if let Some(v) = right {
+                    stack.push((v, pos.right()));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +323,48 @@ mod tests {
         let single = read_meta(&reader, root, ByteRange::new(5, 6), 4).unwrap();
         let multi = read_meta_multi(&reader, root, &[ByteRange::new(5, 6)], 4).unwrap();
         assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn collect_tree_pages_enumerates_leaves_once_across_shared_roots() {
+        let (store, lineage) = fig1a_store();
+        // A v2 tree overwriting page 0 only, sharing v1's right half.
+        let k = |v: u64, o: u64, s: u64| NodeKey {
+            blob: BlobId(1),
+            version: Version(v),
+            pos: NodePos::new(o, s),
+        };
+        store.put(
+            k(2, 0, 1),
+            TreeNode::Leaf { pid: PageId(200), provider: ProviderId(0), valid_len: 4 },
+        );
+        store.put(k(2, 0, 2), TreeNode::Inner { left: Some(Version(2)), right: Some(Version(1)) });
+        store.put(k(2, 0, 4), TreeNode::Inner { left: Some(Version(2)), right: Some(Version(1)) });
+        let reader = TreeReader::new(&store, &lineage);
+
+        let mut visited = HashSet::new();
+        let mut pids = Vec::new();
+        let mut on_leaf = |pid: PageId, _prov: ProviderId| pids.push(pid.raw());
+        let root1 = RootRef { version: Version(1), pos: NodePos::new(0, 4) };
+        let root2 = RootRef { version: Version(2), pos: NodePos::new(0, 4) };
+        collect_tree_pages(&reader, root1, &mut visited, &mut on_leaf).unwrap();
+        collect_tree_pages(&reader, root2, &mut visited, &mut on_leaf).unwrap();
+        pids.sort_unstable();
+        // v1's four leaves plus v2's one new leaf — the shared right
+        // half is walked exactly once.
+        assert_eq!(pids, vec![100, 101, 102, 103, 200]);
+        assert_eq!(visited.len(), 7 + 3, "v1's 7 nodes + v2's 3 new ones");
+    }
+
+    #[test]
+    fn collect_tree_pages_surfaces_missing_nodes() {
+        let store = MetaStore::new(2, Duration::from_millis(10));
+        let lineage = Lineage::root(BlobId(3));
+        let reader = TreeReader::new(&store, &lineage);
+        let root = RootRef { version: Version(1), pos: NodePos::new(0, 2) };
+        let mut visited = HashSet::new();
+        let err = collect_tree_pages(&reader, root, &mut visited, &mut |_, _| {}).unwrap_err();
+        assert!(matches!(err, BlobError::MetadataMissing { .. }));
     }
 
     #[test]

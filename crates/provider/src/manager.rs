@@ -77,6 +77,13 @@ impl ProviderManager {
         self.providers.write().push(provider);
     }
 
+    /// Every registered provider, in registry order — the sweep list of
+    /// the orphan scrubber (which must visit *all* providers, available
+    /// or not, and report the offline ones as skipped).
+    pub fn all_providers(&self) -> Vec<Arc<DataProvider>> {
+        self.providers.read().clone()
+    }
+
     /// Look up a provider by id.
     pub fn provider(&self, id: ProviderId) -> Result<Arc<DataProvider>> {
         self.providers

@@ -23,6 +23,9 @@ pub struct DataProvider {
     writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    scrub_passes: AtomicU64,
+    pages_scrubbed: AtomicU64,
+    bytes_scrubbed: AtomicU64,
 }
 
 impl DataProvider {
@@ -36,6 +39,9 @@ impl DataProvider {
             writes: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            scrub_passes: AtomicU64::new(0),
+            pages_scrubbed: AtomicU64::new(0),
+            bytes_scrubbed: AtomicU64::new(0),
         }
     }
 
@@ -113,6 +119,68 @@ impl DataProvider {
         self.store.delete(pid)
     }
 
+    /// Enumerate the pages stored here as `(pid, payload bytes)` pairs
+    /// (weakly consistent under concurrency; see [`PageStore::scan`]).
+    /// Like every request, fails typed while the provider is offline.
+    pub fn scan_pages(&self) -> Result<Vec<(PageId, u64)>> {
+        self.check_available()?;
+        self.store.scan()
+    }
+
+    /// The orphan-scrub hook: scan this provider's store and delete
+    /// every page `condemned` says is dead. The predicate is consulted
+    /// once per stored page; deletions racing concurrent writers are
+    /// safe because pages are immutable and `condemned` is required
+    /// (by the caller's mark/epoch protocol) to never condemn a page a
+    /// live tree references. Returns this pass's outcome and bumps the
+    /// provider's lifetime scrub counters ([`ProviderStats`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use blobseer_provider::{DataProvider, MemoryPageStore};
+    /// use blobseer_types::{PageId, ProviderId};
+    ///
+    /// let p = DataProvider::new(ProviderId(0), Arc::new(MemoryPageStore::new()));
+    /// p.store_page(PageId(1), bytes::Bytes::from_static(b"live"))?;
+    /// p.store_page(PageId(2), bytes::Bytes::from_static(b"orphan"))?;
+    /// let pass = p.scrub(&|pid| pid == PageId(2))?;
+    /// assert_eq!((pass.pages_scanned, pass.pages_reclaimed, pass.bytes_reclaimed), (2, 1, 6));
+    /// assert!(p.has_page(PageId(1)) && !p.has_page(PageId(2)));
+    /// # Ok::<(), blobseer_types::BlobError>(())
+    /// ```
+    pub fn scrub(&self, condemned: &(dyn Fn(PageId) -> bool + Sync)) -> Result<ScrubPass> {
+        self.check_available()?;
+        let mut pass = ScrubPass::default();
+        for (pid, _) in self.store.scan()? {
+            pass.pages_scanned += 1;
+            if !condemned(pid) {
+                continue;
+            }
+            // The store's own accounting (delete returns the payload
+            // length) is authoritative — the scanned length could be
+            // stale if the page raced an overwrite-retry. A delete
+            // *error* must not abort the pass: earlier deletions
+            // already happened, and dropping them from the outcome
+            // would corrupt every byte count downstream. Count the
+            // failure and keep sweeping; the page is retried next
+            // pass.
+            match self.store.delete(pid) {
+                Ok(Some(bytes)) => {
+                    pass.pages_reclaimed += 1;
+                    pass.bytes_reclaimed += bytes;
+                }
+                Ok(None) => {}
+                Err(_) => pass.pages_failed += 1,
+            }
+        }
+        self.scrub_passes.fetch_add(1, Ordering::Relaxed);
+        self.pages_scrubbed.fetch_add(pass.pages_reclaimed, Ordering::Relaxed);
+        self.bytes_scrubbed.fetch_add(pass.bytes_reclaimed, Ordering::Relaxed);
+        Ok(pass)
+    }
+
     /// Pages currently stored.
     pub fn page_count(&self) -> usize {
         self.store.page_count()
@@ -133,6 +201,9 @@ impl DataProvider {
             writes: self.writes.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            scrub_passes: self.scrub_passes.load(Ordering::Relaxed),
+            pages_scrubbed: self.pages_scrubbed.load(Ordering::Relaxed),
+            bytes_scrubbed: self.bytes_scrubbed.load(Ordering::Relaxed),
         }
     }
 }
@@ -163,6 +234,27 @@ pub struct ProviderStats {
     pub bytes_read: u64,
     /// Lifetime bytes accepted from writers.
     pub bytes_written: u64,
+    /// Lifetime orphan-scrub passes over this provider.
+    pub scrub_passes: u64,
+    /// Lifetime pages deleted by orphan scrubs.
+    pub pages_scrubbed: u64,
+    /// Lifetime payload bytes reclaimed by orphan scrubs.
+    pub bytes_scrubbed: u64,
+}
+
+/// Outcome of one [`DataProvider::scrub`] pass over one provider.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubPass {
+    /// Pages the pass inspected.
+    pub pages_scanned: u64,
+    /// Condemned pages actually deleted.
+    pub pages_reclaimed: u64,
+    /// Payload bytes those deletions freed.
+    pub bytes_reclaimed: u64,
+    /// Condemned pages whose delete *errored* (storage-level I/O
+    /// failure, not "already gone"). They stay stored and are retried
+    /// by the next pass; reclaimed counts above stay exact either way.
+    pub pages_failed: u64,
 }
 
 #[cfg(test)]
@@ -208,6 +300,56 @@ mod tests {
         assert!(!p.has_page(PageId(5)));
         p.store_page(PageId(5), Bytes::from_static(b"x")).unwrap();
         assert!(p.has_page(PageId(5)));
+    }
+
+    #[test]
+    fn scrub_deletes_condemned_pages_and_counts() {
+        let p = provider();
+        p.store_page(PageId(1), Bytes::from_static(b"live")).unwrap();
+        p.store_page(PageId(2), Bytes::from_static(b"orphaned!")).unwrap();
+        p.store_page(PageId(3), Bytes::from_static(b"dead")).unwrap();
+        let mut scanned = p.scan_pages().unwrap();
+        scanned.sort_unstable();
+        assert_eq!(scanned, vec![(PageId(1), 4), (PageId(2), 9), (PageId(3), 4)]);
+
+        let pass = p.scrub(&|pid| pid != PageId(1)).unwrap();
+        assert_eq!(
+            pass,
+            ScrubPass {
+                pages_scanned: 3,
+                pages_reclaimed: 2,
+                bytes_reclaimed: 13,
+                pages_failed: 0
+            }
+        );
+        assert!(p.has_page(PageId(1)));
+        assert!(!p.has_page(PageId(2)));
+        assert_eq!(p.stored_bytes(), 4);
+
+        // A second pass finds nothing condemned; lifetime counters
+        // accumulate across passes.
+        let pass2 = p.scrub(&|pid| pid != PageId(1)).unwrap();
+        assert_eq!(
+            pass2,
+            ScrubPass { pages_scanned: 1, pages_reclaimed: 0, bytes_reclaimed: 0, pages_failed: 0 }
+        );
+        let s = p.stats();
+        assert_eq!(s.scrub_passes, 2);
+        assert_eq!(s.pages_scrubbed, 2);
+        assert_eq!(s.bytes_scrubbed, 13);
+    }
+
+    #[test]
+    fn offline_provider_rejects_scan_and_scrub() {
+        let p = provider();
+        p.store_page(PageId(1), Bytes::from_static(b"kept")).unwrap();
+        p.fail();
+        assert!(matches!(p.scan_pages(), Err(BlobError::ProviderUnavailable(_))));
+        assert!(matches!(p.scrub(&|_| true), Err(BlobError::ProviderUnavailable(_))));
+        p.recover();
+        // The failed pass did not count and the data survived.
+        assert_eq!(p.stats().scrub_passes, 0);
+        assert!(p.has_page(PageId(1)));
     }
 
     #[test]

@@ -45,6 +45,19 @@ pub trait PageStore: Send + Sync {
     /// the page was not stored here. (The garbage-collection hook.)
     fn delete(&self, pid: PageId) -> Result<Option<u64>>;
 
+    /// Enumerate every stored page as `(pid, payload bytes)` pairs —
+    /// the provider-side half of the orphan scrubber's sweep. The
+    /// snapshot is **weakly consistent** under concurrency: pages
+    /// stored or deleted while the scan runs may or may not appear,
+    /// which is sufficient for mark-and-sweep (the scrubber's epoch cut
+    /// exempts everything stored after its mark began, and deleting an
+    /// already-deleted page is a no-op). A store that cannot enumerate
+    /// at all (unreadable backing directory) must **error**, not
+    /// return an empty list — "nothing stored" and "nothing visible"
+    /// are different answers, and the scrubber reports them
+    /// differently (clean sweep vs. skipped provider).
+    fn scan(&self) -> Result<Vec<(PageId, u64)>>;
+
     /// Number of pages stored.
     fn page_count(&self) -> usize;
 
@@ -116,6 +129,16 @@ impl PageStore for MemoryPageStore {
         }
     }
 
+    fn scan(&self) -> Result<Vec<(PageId, u64)>> {
+        // Shard by shard under the shared guard: writers to other
+        // shards proceed; the per-shard view is a consistent snapshot.
+        let mut out = Vec::with_capacity(self.page_count());
+        for shard in &self.shards {
+            out.extend(shard.read().iter().map(|(&pid, data)| (pid, data.len() as u64)));
+        }
+        Ok(out)
+    }
+
     fn page_count(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
@@ -155,6 +178,16 @@ impl FilePageStore {
 
     fn path_of(&self, pid: PageId) -> PathBuf {
         self.dir.join(format!("{:032x}.page", pid.raw()))
+    }
+
+    /// Inverse of [`FilePageStore::path_of`]: the pid encoded in a page
+    /// file name, or `None` for foreign files in the directory.
+    fn pid_of(name: &str) -> Option<PageId> {
+        let hex = name.strip_suffix(".page")?;
+        if hex.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(hex, 16).ok().map(PageId)
     }
 }
 
@@ -217,6 +250,28 @@ impl PageStore for FilePageStore {
         }
     }
 
+    fn scan(&self) -> Result<Vec<(PageId, u64)>> {
+        // Directory listing. Foreign files — and files racing a
+        // concurrent delete, whose metadata vanishes mid-walk — are
+        // skipped (weak consistency is all sweep needs), but an
+        // unreadable directory is a hard error: an empty answer would
+        // make the scrubber report a clean sweep over pages it never
+        // saw.
+        let mut out = Vec::with_capacity(self.page_count());
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let Some(pid) = entry.file_name().to_str().and_then(Self::pid_of) else {
+                continue;
+            };
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    out.push((pid, meta.len()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn page_count(&self) -> usize {
         self.pages.load(Ordering::Relaxed) as usize
     }
@@ -241,6 +296,9 @@ mod tests {
         assert_eq!(store.page_count(), 2);
         assert_eq!(store.stored_bytes(), 16);
         assert_eq!(store.fetch(pid(1)).unwrap(), Bytes::from_static(b"hello world!"));
+        let mut scanned = store.scan().unwrap();
+        scanned.sort_unstable();
+        assert_eq!(scanned, vec![(pid(1), 12), (pid(2), 4)]);
         assert_eq!(store.fetch_range(pid(1), 6, 5).unwrap(), Bytes::from_static(b"world"));
         assert!(store.contains(pid(2)));
         assert!(!store.contains(pid(3)));
@@ -255,6 +313,7 @@ mod tests {
         assert_eq!(store.delete(pid(2)).unwrap(), None);
         assert_eq!(store.page_count(), 1);
         assert_eq!(store.stored_bytes(), 12);
+        assert_eq!(store.scan().unwrap(), vec![(pid(1), 12)]);
     }
 
     #[test]

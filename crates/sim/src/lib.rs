@@ -18,6 +18,10 @@
 //!   dies right after registering a version, wedging publication until
 //!   the engine's writer lease expires and the version manager skips
 //!   the hole. Measures the stall and the recovery.
+//! * [`scrub_experiment`] — the other half of running versioned
+//!   storage as a long-lived service: the cost of the provider-side
+//!   orphan mark-and-sweep (PR 5) over the end state of a
+//!   crash-injected ingest, priced against the ingest itself.
 //!
 //! Crucially, the *costs* fed into the simulator come from the real
 //! implementation, not from formulas baked into the benchmark:
@@ -40,9 +44,11 @@ mod cluster;
 mod failure;
 mod params;
 mod read;
+mod scrub;
 
 pub use append::{append_experiment, pipelined_append_experiment, AppendPoint, PipelinedSummary};
 pub use cluster::Cluster;
 pub use failure::{crash_writer_experiment, CrashRecoverySummary};
 pub use params::SimParams;
 pub use read::{read_experiment, ReadSummary};
+pub use scrub::{scrub_experiment, ScrubSimSummary};

@@ -1,0 +1,246 @@
+//! The scrub-cost experiment: what does the provider-side orphan
+//! mark-and-sweep cost, relative to the crash-injected ingest it
+//! cleans up after?
+//!
+//! The modelled deployment state is the end state of a crashy ingest
+//! (`blobseer_workloads::CrashyIngest` on the real engine): `appends`
+//! page-aligned appends of which every `crash_every`-th writer died
+//! after storing its pages and was repaired by the lease sweeper. The
+//! state is derived from the **real** planners, not formulas: every
+//! append — survivor or repaired hole — created exactly the tree nodes
+//! of [`blobseer_meta::plan::update_plan`], and its pages landed
+//! round-robin, so the scrubber's fetch set and per-provider scan load
+//! follow the real tree math and the real placement. Each crashed
+//! append contributes its page count twice on the data providers: the
+//! repair's copies (live) and the dead writer's copies (the leak).
+//!
+//! The scrubber process then executes the engine's two phases on the
+//! simulated cluster:
+//!
+//! * **mark** — fetch every live tree node from its metadata provider
+//!   (shared nodes once; the fetch set *is* the created-node set,
+//!   because `retire_versions` has not run), with the client's bounded
+//!   RPC window. This prices the phase that scales with *metadata*
+//!   size and hits the same DHT hotspots as reads;
+//! * **sweep** — one scan RPC per data provider, whose service time is
+//!   per-page enumeration ([`crate::SimParams::provider_scan_overhead`])
+//!   plus a storage-mutation charge per deleted page; providers scan in
+//!   parallel, which is exactly the engine's one-job-per-provider
+//!   fan-out.
+//!
+//! The headline number is `scrub_to_ingest`: virtual scrub seconds per
+//! virtual ingest second — the background-maintenance tax of running
+//! BlobSeer-style versioned storage as a long-lived service.
+
+use std::sync::{Arc, Mutex};
+
+use blobseer_meta::plan::update_plan;
+use blobseer_simnet::{
+    to_secs, Activity, Engine, Nanos, Network, NodeId, Process, Stage, Step, TransferSpec,
+};
+use blobseer_types::{div_ceil, NodePos, PageRange};
+
+use crate::append::append_experiment;
+use crate::cluster::Cluster;
+use crate::params::SimParams;
+
+/// Aggregate result of one scrub-cost run.
+#[derive(Clone, Copy, Debug)]
+pub struct ScrubSimSummary {
+    /// Tree nodes the mark phase fetched (every node the ingest
+    /// created, shared subtrees counted once).
+    pub nodes_fetched: u64,
+    /// Page copies scanned across all providers (live + leaked).
+    pub pages_scanned: u64,
+    /// Leaked copies deleted.
+    pub pages_deleted: u64,
+    /// Virtual seconds spent in the mark phase …
+    pub mark_seconds: f64,
+    /// … and in the parallel provider sweep.
+    pub sweep_seconds: f64,
+    /// Total virtual scrub time (mark + sweep).
+    pub scrub_seconds: f64,
+    /// Virtual time the equivalent sequential ingest took (from
+    /// [`append_experiment`] on the same cluster parameters).
+    pub ingest_seconds: f64,
+    /// The maintenance tax: `scrub_seconds / ingest_seconds`.
+    pub scrub_to_ingest: f64,
+}
+
+/// Run the scrub-cost experiment; see the module docs. `crash_every ==
+/// 0` disables failure injection (a leak-free scrub: pure mark + scan
+/// cost). Deterministic.
+pub fn scrub_experiment(
+    params: SimParams,
+    providers: usize,
+    page_size: u64,
+    append_bytes: u64,
+    total_pages: u64,
+    crash_every: u64,
+) -> ScrubSimSummary {
+    assert!(append_bytes.is_multiple_of(page_size), "appends are page-aligned in this workload");
+    let pages_per_append = append_bytes / page_size;
+    let appends = div_ceil(total_pages, pages_per_append);
+
+    // Replay the ingest's metadata growth through the real planner:
+    // every append (survivors and repaired holes alike — a repair tree
+    // has the dead writer's exact skeleton) created these nodes.
+    let mut nodes: Vec<NodePos> = Vec::new();
+    for k in 0..appends {
+        let range = PageRange::new(k * pages_per_append, pages_per_append);
+        let root = NodePos::root_for((k + 1) * pages_per_append);
+        for span in &update_plan(range, root).levels {
+            nodes.extend(span.positions());
+        }
+    }
+
+    // Per-provider sweep load: live pages land round-robin by page
+    // index; each crashed append adds a second, leaked copy of its
+    // pages (the dead writer's), placed the same way.
+    let mut net = Network::new(params.latency);
+    let cluster = Cluster::build(&mut net, providers, 1)
+        .with_centralized_metadata(params.centralized_metadata);
+    let mut scanned = vec![0u64; providers];
+    let mut deleted = vec![0u64; providers];
+    for page in 0..appends * pages_per_append {
+        let slot = (page % providers as u64) as usize;
+        scanned[slot] += 1; // the live copy (survivor's or repair's)
+        let append_index = page / pages_per_append + 1;
+        if crash_every > 0 && append_index.is_multiple_of(crash_every) {
+            scanned[slot] += 1; // the dead writer's leaked copy …
+            deleted[slot] += 1; // … which the sweep deletes
+        }
+    }
+    let sweep_load: Vec<(NodeId, u64, u64)> =
+        (0..providers).map(|i| (cluster.providers[i], scanned[i], deleted[i])).collect();
+
+    let nodes_fetched = nodes.len() as u64;
+    let pages_scanned: u64 = scanned.iter().sum();
+    let pages_deleted: u64 = deleted.iter().sum();
+
+    let mark_done = Arc::new(Mutex::new(None));
+    let mut engine = Engine::new(net);
+    engine.spawn(Box::new(Scrubber {
+        params,
+        client: cluster.clients[0],
+        cluster,
+        nodes,
+        sweep_load,
+        phase: Phase::Mark,
+        mark_done: Arc::clone(&mark_done),
+    }));
+    let end = engine.run();
+    drop(engine);
+
+    let mark_ns: Nanos = mark_done.lock().expect("no poison").expect("mark phase ran");
+    let scrub_seconds = to_secs(end);
+    let ingest_seconds: f64 =
+        append_experiment(params, providers, page_size, append_bytes, appends * pages_per_append)
+            .iter()
+            .map(|pt| pt.seconds)
+            .sum();
+    ScrubSimSummary {
+        nodes_fetched,
+        pages_scanned,
+        pages_deleted,
+        mark_seconds: to_secs(mark_ns),
+        sweep_seconds: scrub_seconds - to_secs(mark_ns),
+        scrub_seconds,
+        ingest_seconds,
+        scrub_to_ingest: scrub_seconds / ingest_seconds,
+    }
+}
+
+enum Phase {
+    Mark,
+    Sweep,
+    Finish,
+}
+
+struct Scrubber {
+    params: SimParams,
+    cluster: Cluster,
+    client: NodeId,
+    nodes: Vec<NodePos>,
+    /// `(provider node, pages scanned there, pages deleted there)`.
+    sweep_load: Vec<(NodeId, u64, u64)>,
+    phase: Phase,
+    mark_done: Arc<Mutex<Option<Nanos>>>,
+}
+
+impl Scrubber {
+    /// One mark fetch: request out, DHT service, node back — the same
+    /// shape as a reader's node fetch.
+    fn node_fetch(&self, pos: NodePos) -> Activity {
+        let p = &self.params;
+        let dst = self.cluster.meta_provider_of(pos);
+        Activity::new(vec![
+            Stage::Transfer(TransferSpec {
+                src: self.client,
+                dst,
+                bytes: p.ctl_bytes,
+                src_overhead: p.client_send_overhead,
+                dst_overhead: 0,
+            }),
+            Stage::Service { node: dst, duration: p.rpc_service },
+            Stage::Transfer(TransferSpec {
+                src: dst,
+                dst: self.client,
+                bytes: p.node_bytes,
+                src_overhead: p.meta_read_overhead,
+                dst_overhead: p.client_recv_ctl_overhead,
+            }),
+        ])
+    }
+
+    /// One provider's sweep: a scan RPC whose service time is per-page
+    /// enumeration plus a storage-mutation charge per deletion, then a
+    /// small outcome report back.
+    fn provider_sweep(&self, node: NodeId, scanned: u64, deleted: u64) -> Activity {
+        let p = &self.params;
+        let service = p.rpc_service
+            + scanned * p.provider_scan_overhead
+            + deleted * p.provider_store_overhead;
+        Activity::new(vec![
+            Stage::Transfer(TransferSpec {
+                src: self.client,
+                dst: node,
+                bytes: p.ctl_bytes,
+                src_overhead: p.client_send_overhead,
+                dst_overhead: 0,
+            }),
+            Stage::Service { node, duration: service },
+            Stage::Transfer(TransferSpec {
+                src: node,
+                dst: self.client,
+                bytes: p.ctl_bytes,
+                src_overhead: 0,
+                dst_overhead: p.client_recv_ctl_overhead,
+            }),
+        ])
+    }
+}
+
+impl Process for Scrubber {
+    fn step(&mut self, now: Nanos) -> Step {
+        match self.phase {
+            Phase::Mark => {
+                self.phase = Phase::Sweep;
+                let batch: Vec<Activity> =
+                    self.nodes.iter().map(|&pos| self.node_fetch(pos)).collect();
+                Step::AwaitWindow { activities: batch, window: self.params.fetch_window }
+            }
+            Phase::Sweep => {
+                *self.mark_done.lock().expect("no poison") = Some(now);
+                self.phase = Phase::Finish;
+                let batch: Vec<Activity> = self
+                    .sweep_load
+                    .iter()
+                    .map(|&(node, scanned, deleted)| self.provider_sweep(node, scanned, deleted))
+                    .collect();
+                Step::Await(batch)
+            }
+            Phase::Finish => Step::Done,
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use blobseer_sim::{
     append_experiment, crash_writer_experiment, pipelined_append_experiment, read_experiment,
-    SimParams,
+    scrub_experiment, SimParams,
 };
 
 #[test]
@@ -183,4 +183,38 @@ fn longer_leases_stall_longer() {
     assert!(long.stall_seconds > short.stall_seconds);
     assert!(long.total_seconds >= short.total_seconds);
     assert_eq!(long.published, short.published, "the TTL changes when, not what");
+}
+
+#[test]
+fn scrub_cost_is_a_small_fraction_of_ingest() {
+    let s = scrub_experiment(SimParams::default(), 10, 64 * 1024, 1 << 20, 256, 8);
+    // 16 appends of 16 pages; every 8th crashed → 2 leaks of 16 pages.
+    assert_eq!(s.pages_deleted, 32);
+    assert_eq!(s.pages_scanned, 256 + 32);
+    assert!(s.nodes_fetched > 256, "at least one node per page plus inner levels");
+    assert!(s.mark_seconds > 0.0 && s.sweep_seconds > 0.0);
+    assert!((s.scrub_seconds - (s.mark_seconds + s.sweep_seconds)).abs() < 1e-9);
+    // The whole point of a background scrubber: far cheaper than the
+    // ingest it cleans up after.
+    assert!(
+        s.scrub_to_ingest < 0.5,
+        "scrub should be a fraction of ingest, got {}",
+        s.scrub_to_ingest
+    );
+}
+
+#[test]
+fn scrub_experiment_is_deterministic_and_scales_with_leaks() {
+    let p = SimParams::default();
+    let a = scrub_experiment(p, 10, 64 * 1024, 1 << 20, 256, 4);
+    let b = scrub_experiment(p, 10, 64 * 1024, 1 << 20, 256, 4);
+    assert_eq!(a.scrub_seconds, b.scrub_seconds);
+    assert_eq!(a.pages_deleted, b.pages_deleted);
+    // No failure injection → nothing to delete, but mark + scan still
+    // cost something.
+    let clean = scrub_experiment(p, 10, 64 * 1024, 1 << 20, 256, 0);
+    assert_eq!(clean.pages_deleted, 0);
+    assert!(clean.scrub_seconds > 0.0);
+    assert!(clean.scrub_seconds < a.scrub_seconds, "leaks add sweep work");
+    assert!(clean.pages_scanned < a.pages_scanned);
 }

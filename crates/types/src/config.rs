@@ -65,6 +65,17 @@ pub struct StoreConfig {
     /// with (spurious expiry of a *live* writer aborts its update —
     /// safe, but the writer gets [`crate::BlobError::VersionAborted`]).
     pub lease_ttl_ticks: u64,
+    /// Opt-in wall-clock→tick mapping for the lease clock: when
+    /// non-zero, a background ticker advances the version manager's
+    /// logical clock by one tick every `lease_tick_interval_ms`
+    /// milliseconds and runs a lease sweep whenever something expired.
+    /// This closes the "quiet deployment" liveness gap — a wedged
+    /// writer is aborted after roughly `lease_ttl_ticks *
+    /// lease_tick_interval_ms` ms even with zero traffic. **Default 0
+    /// (off)**: the clock then moves only with VM operations and
+    /// explicit advancement, keeping lease expiry deterministic under
+    /// test. See `docs/OPERATIONS.md` for tuning guidance.
+    pub lease_tick_interval_ms: u64,
 }
 
 impl StoreConfig {
@@ -115,6 +126,7 @@ impl Default for StoreConfig {
             zero_copy_pages: true,
             pipeline_threads: 4,
             lease_ttl_ticks: 1 << 20,
+            lease_tick_interval_ms: 0,
         }
     }
 }

@@ -57,6 +57,12 @@ pub enum BlobError {
     /// Garbage collection cannot proceed (live branch pins the history,
     /// or updates are in flight).
     GcConflict(String),
+    /// An orphan scrub aborted before sweeping anything: the mark phase
+    /// could not assemble a consistent live set (typically a concurrent
+    /// `retire_versions` swept tree nodes out from under the mark walk).
+    /// Nothing was deleted; rerun the scrub once the interfering
+    /// operation finished.
+    ScrubConflict(String),
     /// A metadata tree node was not found (and waiting was not allowed
     /// or timed out).
     MetadataMissing { blob: BlobId, version: Version },
@@ -104,6 +110,7 @@ impl fmt::Display for BlobError {
             }
             BlobError::AbortConflict(why) => write!(f, "abort blocked: {why}"),
             BlobError::GcConflict(why) => write!(f, "garbage collection blocked: {why}"),
+            BlobError::ScrubConflict(why) => write!(f, "orphan scrub aborted: {why}"),
             BlobError::MetadataMissing { blob, version } => {
                 write!(f, "metadata node missing for {blob} {version}")
             }

@@ -151,6 +151,28 @@ impl PageIdGen {
         let lo = self.seq.fetch_add(1, Ordering::Relaxed);
         PageId(((self.namespace as u128) << 64) | lo as u128)
     }
+
+    /// The **watermark**: the id the next [`PageIdGen::next_id`] call
+    /// would return. Ids are handed out in strictly increasing order
+    /// within a generator, so every id issued at or after a `peek` is
+    /// `>= ` the peeked value — the property the orphan scrubber's
+    /// epoch cut relies on ("pages stored after the mark began are
+    /// exempt"). The watermark itself is never issued *before* the
+    /// peek, only (possibly) after it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let gen = blobseer_types::PageIdGen::new();
+    /// let watermark = gen.peek();
+    /// assert!(gen.next_id() >= watermark);
+    /// assert!(gen.peek() > watermark);
+    /// ```
+    #[inline]
+    pub fn peek(&self) -> PageId {
+        let lo = self.seq.load(Ordering::Relaxed);
+        PageId(((self.namespace as u128) << 64) | lo as u128)
+    }
 }
 
 impl Default for PageIdGen {
@@ -186,6 +208,18 @@ mod tests {
         let g = PageIdGen::new();
         let ids: HashSet<_> = (0..10_000).map(|_| g.next_id()).collect();
         assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn peek_bounds_future_ids_from_below() {
+        let g = PageIdGen::new();
+        let before = g.next_id();
+        let watermark = g.peek();
+        assert!(before < watermark, "issued ids sit below the watermark");
+        for _ in 0..100 {
+            assert!(g.next_id() >= watermark, "future ids sit at or above it");
+        }
+        assert!(g.peek() > watermark, "the watermark is monotonic");
     }
 
     #[test]

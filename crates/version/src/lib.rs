@@ -44,6 +44,6 @@ mod manager;
 mod state;
 
 pub use manager::{
-    AbortTicket, AssignedUpdate, ConcurrencyMode, ReadView, UpdateKind, VersionManager, VmStats,
-    DEFAULT_LEASE_TTL_TICKS,
+    AbortTicket, AssignedUpdate, BlobScrubCut, ConcurrencyMode, ReadView, UpdateKind,
+    VersionManager, VmStats, DEFAULT_LEASE_TTL_TICKS,
 };

@@ -130,6 +130,34 @@ pub struct AbortTicket {
     pub prev_root: Option<RootRef>,
 }
 
+/// One blob's slice of the orphan scrubber's **mark cut**, captured
+/// atomically under that blob's lock by [`VersionManager::scrub_cut`]:
+/// everything the mark phase needs to enumerate the blob's live pages.
+///
+/// * [`BlobScrubCut::roots`] — trees the frontier has passed. These are
+///   guaranteed complete (published versions by construction; aborted
+///   versions only pass the frontier after their repair committed), so
+///   the mark walks them with non-blocking fetches.
+/// * [`BlobScrubCut::inflight`] — assigned-but-unpublished updates, in
+///   *any* state (active, completed-waiting, aborting, aborted-but-
+///   blocked). Their trees may be arbitrarily incomplete; the scrubber
+///   probes each update's leaf positions directly and marks whatever
+///   landed, because a durable leaf's page is referenced forever
+///   (repair fills gaps, never overwrites).
+#[derive(Clone, Debug)]
+pub struct BlobScrubCut {
+    /// The blob this cut describes.
+    pub blob: BlobId,
+    /// Its lineage, for metadata key resolution across branches.
+    pub lineage: Lineage,
+    /// Roots of every retained version the frontier has passed,
+    /// ascending by version.
+    pub roots: Vec<RootRef>,
+    /// In-flight updates as `(version, assigned page range)` pairs,
+    /// ascending by version.
+    pub inflight: Vec<(Version, PageRange)>,
+}
+
 /// Counters exposed for the E6 micro-experiment (VM work is claimed to
 /// be "negligible when compared to the full operation", §4.3) and for
 /// the writer-fault-tolerance experiments.
@@ -770,6 +798,37 @@ impl VersionManager {
         Ok(roots)
     }
 
+    /// The orphan scrubber's **metadata cut**: for every registered
+    /// blob, the retained roots to mark and the in-flight updates to
+    /// probe (see [`BlobScrubCut`]). Each blob's slice is captured
+    /// atomically under its own lock; the cut is *not* atomic across
+    /// blobs, which is sound because anything assigned after a blob's
+    /// slice was taken stores its pages at or above the scrubber's
+    /// page-id epoch and is exempt from the sweep (the engine takes
+    /// the epoch **before** calling this).
+    pub fn scrub_cut(&self) -> Vec<BlobScrubCut> {
+        let blobs: Vec<(BlobId, Arc<BlobState>)> =
+            self.blobs.read().iter().map(|(id, state)| (*id, Arc::clone(state))).collect();
+        let mut cuts: Vec<BlobScrubCut> = blobs
+            .into_iter()
+            .map(|(id, state)| {
+                let inner = state.inner.lock();
+                // Versions below `retired_before` were reclaimed; v0 is
+                // empty. Aborted versions the frontier passed keep
+                // their (complete) repair trees and are marked too.
+                let first = inner.retired_before.raw().max(1);
+                let roots = (first..=inner.published.raw())
+                    .filter_map(|v| inner.root_of(Version(v), self.psize))
+                    .collect();
+                let inflight =
+                    inner.inflight.iter().map(|(&v, inf)| (Version(v), inf.range)).collect();
+                BlobScrubCut { blob: id, lineage: inner.lineage.clone(), roots, inflight }
+            })
+            .collect();
+        cuts.sort_by_key(|c| c.blob.raw());
+        cuts
+    }
+
     /// The earliest readable version of `blob` (`v0` when nothing has
     /// been retired).
     pub fn retired_before(&self, blob: BlobId) -> Result<Version> {
@@ -1358,6 +1417,40 @@ mod tests {
         assert_eq!(a2.vw, Version(2));
         vm.complete(b, a2.vw).unwrap();
         assert_eq!(vm.get_recent(b).unwrap(), Version(2));
+    }
+
+    #[test]
+    fn scrub_cut_captures_roots_holes_and_inflight() {
+        let vm = vm();
+        let b = vm.create();
+        // v1 published, v2 aborted (frontier passes it), v3 published,
+        // v4 in flight, then retire v1.
+        let a1 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        vm.complete(b, a1.vw).unwrap();
+        let a2 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        abort(&vm, b, a2.vw);
+        let a3 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+        vm.complete(b, a3.vw).unwrap();
+        vm.begin_retire(b, Version(2)).unwrap(); // GC needs quiescence
+        let a4 = vm.assign(b, UpdateKind::Append { size: 8 }).unwrap();
+
+        let cuts = vm.scrub_cut();
+        assert_eq!(cuts.len(), 1);
+        let cut = &cuts[0];
+        assert_eq!(cut.blob, b);
+        // Retained roots: v2 (the aborted hole's complete repair tree)
+        // and v3; the retired v1 is gone, v4 is not yet a root.
+        let root_versions: Vec<Version> = cut.roots.iter().map(|r| r.version).collect();
+        assert_eq!(root_versions, vec![Version(2), Version(3)]);
+        assert_eq!(cut.inflight, vec![(a4.vw, a4.range)]);
+        assert_eq!(cut.lineage.owner_of(Version(3)), b);
+        // A fresh empty blob contributes an empty cut, not an absence.
+        let b2 = vm.create();
+        let cuts = vm.scrub_cut();
+        assert_eq!(cuts.len(), 2);
+        let empty = cuts.iter().find(|c| c.blob == b2).unwrap();
+        assert!(empty.roots.is_empty());
+        assert!(empty.inflight.is_empty());
     }
 
     #[test]

@@ -30,6 +30,6 @@ mod driver;
 mod stream;
 
 pub use chunks::DisjointChunks;
-pub use crashy::{ChunkRecord, CrashReport, CrashyIngest};
+pub use crashy::{ChunkRecord, CrashReport, CrashyIngest, ScrubTrajectory};
 pub use driver::{IngestReport, PipelinedIngest};
 pub use stream::AppendStream;

@@ -73,4 +73,21 @@ fn main() {
         report.bytes,
         store.stats().vm.aborted
     );
+
+    // Every one of those deaths leaked pages no tree references (the
+    // dead writers' pre-leaf stores). The orphan scrubber takes them
+    // back — and a second pass proves nothing live was touched.
+    let before = store.stats().physical_bytes;
+    let scrub = store.scrub_orphans().expect("scrub");
+    println!(
+        "scrub: reclaimed {} orphaned pages / {} bytes (storage {before} -> {} bytes)",
+        scrub.pages_reclaimed,
+        scrub.bytes_reclaimed,
+        store.stats().physical_bytes
+    );
+    assert!(scrub.pages_reclaimed > 0, "writer deaths must have leaked");
+    assert_eq!(store.scrub_orphans().expect("rescrub").pages_reclaimed, 0, "fixpoint");
+    CrashyIngest::verify(&blob2.snapshot(report.last).expect("published"), 7, &report)
+        .expect("content intact after the scrub");
+    println!("all surviving content re-verified after the scrub");
 }

@@ -1,0 +1,168 @@
+//! Offline markdown link checker over `README.md` + `docs/*.md` (and
+//! the other root-level documents): every relative link must point at
+//! a file that exists in the repository, and every `#fragment` must
+//! match a heading in its target file. External (`http[s]://`,
+//! `mailto:`) links are *not* fetched — the build container is
+//! offline, and rot there is a different problem — but everything the
+//! repo can verify about its own doc graph is verified here, so the
+//! growing doc set cannot silently break. Runs with tier-1
+//! `cargo test`; CI's docs job calls it via `tools/check-links.sh`.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+/// Strip fenced code blocks (``` ... ```) so `[x](y)` inside examples
+/// is not treated as a link, and so headings inside fences are not
+/// collected as anchors.
+fn strip_fences(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            out.push('\n');
+            continue;
+        }
+        if !in_fence {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// GitHub-style anchor slugs of every heading in `text`.
+fn anchors(text: &str) -> HashSet<String> {
+    let mut slugs = HashSet::new();
+    for line in strip_fences(text).lines() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('#') {
+            continue;
+        }
+        let title = trimmed.trim_start_matches('#').trim();
+        let mut slug = String::new();
+        for c in title.chars() {
+            match c {
+                ' ' => slug.push('-'),
+                c if c.is_alphanumeric() => slug.extend(c.to_lowercase()),
+                '-' | '_' => slug.push(c),
+                _ => {} // punctuation (backticks, dots, colons, …) drops
+            }
+        }
+        slugs.insert(slug);
+    }
+    slugs
+}
+
+/// Every inline-link target `[...](target)` in `text`, with nesting
+///-aware bracket matching (link texts here often contain `` ` `` and
+/// `[]`-free code, but be permissive).
+fn link_targets(text: &str) -> Vec<String> {
+    let stripped = strip_fences(text);
+    let bytes = stripped.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            // Find the matching close bracket.
+            let mut depth = 1;
+            let mut j = i + 1;
+            while j < bytes.len() && depth > 0 {
+                match bytes[j] {
+                    b'[' => depth += 1,
+                    b']' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // An inline link needs `](` immediately after.
+            if depth == 0 && j < bytes.len() && bytes[j] == b'(' {
+                if let Some(close) = stripped[j + 1..].find(')') {
+                    targets.push(stripped[j + 1..j + 1 + close].to_string());
+                    i = j + 1 + close;
+                    continue;
+                }
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    targets
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<PathBuf> = ["README.md", "ROADMAP.md", "PAPER.md", "CHANGES.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.exists())
+        .collect();
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs/ exists") {
+        let path = entry.expect("readable docs entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    assert!(files.len() >= 5, "expected README + root docs + docs/*.md, found {files:?}");
+
+    let mut broken: Vec<String> = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("readable markdown");
+        let dir = file.parent().expect("file has a parent");
+        for target in link_targets(&text) {
+            let target = target.trim();
+            // Split an optional title: [x](path "title") — none used
+            // here, but cheap to tolerate.
+            let target = target.split_whitespace().next().unwrap_or("");
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, fragment) = match target.split_once('#') {
+                Some((p, f)) => (p, Some(f)),
+                None => (target, None),
+            };
+            let resolved: PathBuf = if path_part.is_empty() {
+                file.clone() // same-file anchor
+            } else {
+                dir.join(path_part)
+            };
+            if !resolved.exists() {
+                broken.push(format!("{}: link '{target}' → missing {resolved:?}", file.display()));
+                continue;
+            }
+            if let Some(fragment) = fragment {
+                let anchor_text = if path_part.is_empty() {
+                    text.clone()
+                } else {
+                    std::fs::read_to_string(&resolved).expect("readable link target")
+                };
+                if !anchors(&anchor_text).contains(fragment) {
+                    broken.push(format!(
+                        "{}: link '{target}' → no heading '#{fragment}' in {resolved:?}",
+                        file.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken markdown links:\n  {}", broken.join("\n  "));
+}
+
+#[test]
+fn checker_sees_through_its_own_machinery() {
+    // The checker is itself code that can rot: pin its parsing rules.
+    let text = "# My Heading: `code`!\n\
+                [ok](#my-heading-code)\n\
+                ```rust\n[not_a_link](ignored.md)\nfn x() {}\n```\n\
+                see [`docs`](README.md) and ![img](logo.png)\n\
+                plain [brackets] and (parens) alone";
+    let targets = link_targets(text);
+    assert_eq!(targets, vec!["#my-heading-code", "README.md", "logo.png"]);
+    assert!(anchors(text).contains("my-heading-code"));
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Offline markdown link checker over README.md, the root documents and
+# docs/*.md: relative targets must exist, #fragments must match a
+# heading. The check itself is the root package's `docs_links` test,
+# so it also runs under tier-1 `cargo test`; this script is the
+# standalone entry point used by CI's docs job and by hand:
+#
+#   tools/check-links.sh
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo test -q --test docs_links
