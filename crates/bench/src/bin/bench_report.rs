@@ -15,8 +15,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use blobseer_bench::report::{
-    dht_micro, fig2a_append, json_pair, orphan_scrub, pipeline_unit_label, pipelined_append,
-    snapshot_pinned_read, writer_crash_recovery, DhtCase, ReportParams, CRASH_EVERY,
+    dht_micro, fig2a_append, json_latency, json_pair, latency_percentiles, metrics_overhead_append,
+    orphan_scrub, pipeline_unit_label, pipelined_append, snapshot_pinned_read,
+    writer_crash_recovery, DhtCase, ReportParams, CRASH_EVERY,
 };
 
 /// Counts every heap allocation in the process, so the report can state
@@ -46,7 +47,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
-    let mut pr: u32 = 5;
+    let mut pr: u32 = 6;
     let mut out: Option<String> = None;
     let mut params = ReportParams::fast();
     let mut mode = "fast";
@@ -98,6 +99,12 @@ fn main() {
     let crash_opt = writer_crash_recovery(&params);
     eprintln!("# bench_report: orphan scrub (crash-ingest, then mark-and-sweep)...");
     let (scrub_ingest, scrub) = orphan_scrub(&params);
+    eprintln!("# bench_report: metrics overhead (baseline: latency metrics off)...");
+    let metrics_base = metrics_overhead_append(&params, false);
+    eprintln!("# bench_report: metrics overhead (optimized: latency metrics on)...");
+    let metrics_inst = metrics_overhead_append(&params, true);
+    eprintln!("# bench_report: latency percentiles (mixed instrumented workload)...");
+    let tails = latency_percentiles(&params);
 
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
     let methodology = format!(
@@ -135,8 +142,18 @@ fn main() {
          claims measured are completeness (leaked_bytes_after_scrub must be 0; the run \
          asserts it and verifies content byte-for-byte) and cost (scrub_elapsed_s vs \
          ingest_elapsed_s: the background-maintenance tax of reclaiming a \
-         1-in-{crash_every} death rate's garbage). Ratios are the comparable quantity \
+         1-in-{crash_every} death rate's garbage). metrics_overhead_append: the fig2a \
+         optimized append workload with latency histograms off (baseline) vs on (optimized — \
+         the shipping default; two Instant::now calls, one coarse-clock fetch_max and one \
+         relaxed histogram increment per op); the ratio prices the observability tax and \
+         should sit at ~1.0. percentiles: lifetime tail digests from stats_snapshot() after \
+         a mixed instrumented workload ({total_mib} MiB appended half blocking / half \
+         depth-{depth} pipelined in {pipe_kib} KiB chunks, then {pct_reads} pinned \
+         {read_kib} KiB reads and 64 scatter reads); values are nanosecond bucket edges of \
+         a base-2 log-linear histogram (relative error <= 1/128) — compare shapes across \
+         runs, not absolute values across hosts. Ratios are the comparable quantity \
          across hosts.",
+        pct_reads = params.pinned_reads / 10,
         reps = params.reps,
         unit_mib = params.append_unit >> 20,
         total_mib = params.append_total >> 20,
@@ -202,7 +219,7 @@ fn main() {
              \"leaked_bytes_after_scrub\": {lafter} }},\n    \
            \"scrub\": {{ \"elapsed_s\": {scrub_s:.4}, \"pages_marked\": {marked}, \
              \"pages_scanned\": {scanned}, \"reclaim_mb_per_s\": {reclaim_rate:.1}, \
-             \"scrub_to_ingest\": {tax:.4} }}\n  }}\n}}\n",
+             \"scrub_to_ingest\": {tax:.4} }}\n  }},\n",
         unit = pipeline_unit_label(&params),
         appends = scrub_ingest.appends,
         crashed = scrub_ingest.crashed,
@@ -219,6 +236,22 @@ fn main() {
         reclaim_rate =
             scrub.leaked_bytes_before as f64 / 1e6 / scrub.scrub_elapsed.as_secs_f64().max(1e-9),
         tax = scrub.scrub_elapsed.as_secs_f64() / scrub.ingest_elapsed.as_secs_f64().max(1e-9),
+    ));
+    json.push_str(&format!(
+        "  \"metrics_overhead_append\": {{\n{}\n  }},\n",
+        // "optimized" = instrumented (the shipping default): the ratio
+        // prices the observability tax and should sit at ~1.0.
+        json_pair("    ", "append of 1 MiB", &metrics_base, &metrics_inst)
+    ));
+    json.push_str(&format!(
+        "  \"percentiles\": {{\n    \
+           \"unit\": \"nanoseconds, lifetime nearest-rank bucket edges (error <= 1/128)\",\n    \
+           {},\n    {},\n    {},\n    {},\n    {}\n  }}\n}}\n",
+        json_latency("append", &tails.append),
+        json_latency("read", &tails.read),
+        json_latency("read_scatter", &tails.read_scatter),
+        json_latency("write_prepare", &tails.write_prepare),
+        json_latency("dht_get_wait", &tails.dht_get_wait),
     ));
 
     std::fs::write(&out, &json).expect("write report");

@@ -392,6 +392,109 @@ pub fn orphan_scrub(
     (report, trajectory)
 }
 
+/// The PR-6 observability-tax case: the exact [`fig2a_append`]
+/// optimized workload, run with latency metrics off (baseline) vs on
+/// (optimized — the shipping default). The instrumented side pays two
+/// `Instant::now` calls, one coarse-clock `fetch_max` and one relaxed
+/// histogram increment per operation; the ratio should be ~1.0 —
+/// this case exists to *keep* it there.
+pub fn metrics_overhead_append(p: &ReportParams, instrumented: bool) -> RunStats {
+    let unit: Bytes = Bytes::from((0..p.append_unit).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+    let appends = (p.append_total / p.append_unit) as u64;
+
+    // The effect measured is nanoseconds per op against a ~50 µs op:
+    // extra best-of reps, or the A/B ratio is timer noise, not tax.
+    let mut best = Duration::MAX;
+    for _ in 0..p.reps * 4 {
+        let store = BlobSeer::builder()
+            .page_size(p.page_size)
+            .data_providers(16)
+            .metadata_providers(16)
+            .io_threads(4)
+            .latency_metrics(instrumented)
+            .build()
+            .expect("valid bench config");
+        let blob = store.create();
+        let t0 = Instant::now();
+        let mut last = None;
+        for _ in 0..appends {
+            last = Some(blob.append_bytes(unit.clone()).expect("append"));
+        }
+        blob.sync(last.expect("at least one append")).expect("sync");
+        best = best.min(t0.elapsed());
+    }
+    RunStats {
+        ops: appends,
+        bytes: p.append_total as u64,
+        elapsed: best,
+        io_jobs: None,
+        allocs: None,
+    }
+}
+
+/// The PR-6 tail-latency trajectory: a mixed instrumented workload —
+/// blocking appends, depth-bounded pipelined appends, pinned snapshot
+/// reads and scatter reads — on one store, then the store's own
+/// [`blobseer::BlobSeer::stats_snapshot`]. The *product under test* is
+/// the measurement pipeline itself: the trajectory file records the
+/// percentiles the registry reports, so a regression in either the
+/// hot paths or the histogram math shows up as moved (or vanished)
+/// tails.
+pub fn latency_percentiles(p: &ReportParams) -> blobseer::StatsSnapshot {
+    use std::collections::VecDeque;
+
+    let store = build_store(p, true);
+    let blob = store.create();
+    let unit: Bytes =
+        Bytes::from((0..p.pipeline_unit).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+    let appends = (p.append_total / p.pipeline_unit) as u64;
+
+    // Half blocking, half pipelined: both update spans land in the
+    // same append histogram.
+    let mut last = blobseer::Version(0);
+    for _ in 0..appends / 2 {
+        last = blob.append_bytes(unit.clone()).expect("append");
+    }
+    let mut inflight = VecDeque::with_capacity(p.pipeline_depth);
+    for _ in appends / 2..appends {
+        inflight.push_back(blob.append_pipelined(unit.clone()).expect("append"));
+        if inflight.len() == p.pipeline_depth {
+            let oldest: blobseer::PendingWrite = inflight.pop_front().expect("non-empty");
+            last = last.max(oldest.wait().expect("complete"));
+        }
+    }
+    for pending in inflight {
+        last = last.max(pending.wait().expect("complete"));
+    }
+    blob.sync(last).expect("sync");
+
+    // Read side: pinned sub-page reads plus zero-copy scatter reads.
+    let snap = blob.snapshot(last).expect("published");
+    let slots = snap.len() / p.pinned_read_bytes;
+    let mut buf = vec![0u8; p.pinned_read_bytes as usize];
+    let mut x = 0x2545F4914F6CDD1Du64;
+    for _ in 0..p.pinned_reads / 10 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let offset = ((x >> 33) % slots) * p.pinned_read_bytes;
+        snap.read_into(offset, &mut buf).expect("read");
+    }
+    for i in 0..64u64 {
+        let offset = (i % slots) * p.pinned_read_bytes;
+        snap.read_scatter(blobseer::ByteRange::new(offset, p.pinned_read_bytes)).expect("scatter");
+    }
+    std::hint::black_box(&buf);
+    store.stats_snapshot()
+}
+
+/// Format one [`blobseer::OpLatency`] as a JSON object line.
+pub fn json_latency(name: &str, lat: &blobseer::OpLatency) -> String {
+    format!(
+        "\"{name}\": {{ \"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+         \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {} }}",
+        lat.count, lat.mean_ns, lat.p50_ns, lat.p90_ns, lat.p99_ns, lat.p999_ns, lat.max_ns
+    )
+}
+
 /// Minimal shared-kv surface so one driver measures both DHT designs.
 pub trait KvStore: Sync {
     /// Insert or overwrite.

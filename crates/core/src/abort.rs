@@ -220,9 +220,14 @@ pub(crate) fn sweep_expired(engine: &Arc<Engine>, below: Option<(BlobId, Version
         return report;
     }
     let _gate = engine.sweep_gate.lock();
+    // Timed from gate acquisition (scan + repairs, not the wait for a
+    // concurrent sweeper): the duration operators can act on when the
+    // `lease_sweep` tail grows — see docs/OBSERVABILITY.md.
+    let sweep_timer = engine.metrics.timer();
     for (blob, v) in engine.vm.expired_leases() {
         run(blob, v, &mut report);
     }
+    crate::metrics::EngineMetrics::record(sweep_timer, &engine.metrics.lease_sweep_latency);
     report
 }
 

@@ -10,6 +10,7 @@ use blobseer_types::{BlobError, PageIdGen, Result, StoreConfig};
 use blobseer_version::{ConcurrencyMode, VersionManager};
 
 use crate::engine::Engine;
+use crate::metrics::EngineMetrics;
 use crate::BlobSeer;
 
 /// Configures and builds a [`BlobSeer`] deployment.
@@ -145,6 +146,31 @@ impl Builder {
         self
     }
 
+    /// Record per-operation latency histograms (see
+    /// [`StoreConfig::latency_metrics`]). Default `true`; turn off for
+    /// an uninstrumented A/B baseline. DHT block-time recording is
+    /// unaffected.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let store = blobseer::BlobSeer::builder()
+    ///     .data_providers(2)
+    ///     .metadata_providers(2)
+    ///     .io_threads(1)
+    ///     .pipeline_threads(1)
+    ///     .latency_metrics(false)
+    ///     .build()?;
+    /// let blob = store.create();
+    /// blob.append(&[0u8; 64])?;
+    /// assert_eq!(store.stats_snapshot().append.count, 0); // not recorded
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn latency_metrics(mut self, enabled: bool) -> Self {
+        self.config.latency_metrics = enabled;
+        self
+    }
+
     /// Carve page payloads as refcounted slices of the update buffer
     /// (`true`, default) or as per-page copies (`false`, the ablation
     /// baseline measured by the bench trajectory harness).
@@ -170,11 +196,14 @@ impl Builder {
     pub fn build(self) -> Result<BlobSeer> {
         self.config.validate().map_err(BlobError::Storage)?;
         let wait = Duration::from_millis(self.config.metadata_wait_ms);
+        let meta = MetaStore::new(self.config.metadata_providers, wait)
+            .with_cache(self.config.metadata_cache_entries);
+        let metrics = EngineMetrics::new(self.config.latency_metrics, meta.wait_latency());
         let engine = Engine {
             vm: VersionManager::new(self.config.page_size, self.mode, wait)
                 .with_lease_ttl(self.config.lease_ttl_ticks),
-            meta: MetaStore::new(self.config.metadata_providers, wait)
-                .with_cache(self.config.metadata_cache_entries),
+            meta,
+            metrics,
             providers: ProviderManager::with_memory_providers(
                 self.config.data_providers,
                 self.strategy,
@@ -203,18 +232,35 @@ impl Default for Builder {
 }
 
 /// The opt-in wall-clock lease ticker (`lease_tick_interval_ms > 0`):
-/// one tick per interval, plus a sweep whenever the cheap expiry check
-/// fires. Holds only a [`std::sync::Weak`] on the engine — the thread
-/// notices the deployment's drop within one interval and exits, so it
-/// is deliberately detached (nothing to join, no shutdown plumbing).
+/// maps *absolute elapsed time* to ticks, plus a sweep whenever the
+/// cheap expiry check fires. Holds only a [`std::sync::Weak`] on the
+/// engine — the thread notices the deployment's drop within one
+/// interval and exits, so it is deliberately detached (nothing to
+/// join, no shutdown plumbing).
+///
+/// Each wakeup advances the clock to `elapsed / interval` rather than
+/// by one: an oversleeping ticker (loaded box, coarse OS timer versus
+/// a 1 ms interval) then *catches up* instead of silently stretching
+/// every tick, so `lease_ttl_ticks × interval` stays an honest
+/// wall-clock bound on wedged-writer recovery. Elapsed time is read
+/// off the metrics crate's monotone clock ([`clock::refresh`]), whose
+/// coarse reading the rest of the system shares.
 fn spawn_lease_ticker(engine: &Arc<Engine>) {
+    use blobseer_metrics::clock;
     let weak = Arc::downgrade(engine);
     let interval = Duration::from_millis(engine.config.lease_tick_interval_ms);
+    let interval_ns = interval.as_nanos() as u64;
     let spawned = std::thread::Builder::new().name("blobseer-lease-tick".into()).spawn(move || {
+        let t0 = clock::refresh();
+        let mut ticked = 0u64;
         loop {
             std::thread::sleep(interval);
             let Some(engine) = weak.upgrade() else { break };
-            engine.vm.advance_clock(1);
+            let target = (clock::refresh() - t0) / interval_ns;
+            if target > ticked {
+                engine.vm.advance_clock(target - ticked);
+                ticked = target;
+            }
             if engine.vm.has_expired_leases() {
                 let _ = crate::abort::sweep_expired(&engine, None);
             }

@@ -22,6 +22,9 @@ pub(crate) struct Engine {
     pub config: StoreConfig,
     pub vm: VersionManager,
     pub meta: MetaStore,
+    /// Per-engine metric registry (counters + latency histograms); see
+    /// `crate::metrics` and `docs/OBSERVABILITY.md`.
+    pub metrics: crate::metrics::EngineMetrics,
     pub providers: ProviderManager,
     pub pool: ThreadPool,
     /// Completion stages of pipelined updates run here, *not* on

@@ -107,6 +107,7 @@ mod blob;
 mod builder;
 mod engine;
 mod gc;
+mod metrics;
 mod pending;
 mod read;
 mod scrub;
@@ -121,7 +122,7 @@ pub use gc::GcReport;
 pub use pending::PendingWrite;
 pub use scrub::ScrubReport;
 pub use snapshot::{ScatterRead, ScatterSegment, Snapshot};
-pub use stats::StoreStats;
+pub use stats::{OpLatency, StatsSnapshot, StoreStats};
 pub use write::CrashPoint;
 
 // Re-export the vocabulary a user needs to drive the API.
@@ -366,6 +367,79 @@ impl BlobSeer {
     /// and per-component counters (used by the E3/E5/E6 experiments).
     pub fn stats(&self) -> StoreStats {
         stats::collect(&self.engine)
+    }
+
+    /// Tail-latency digests for every instrumented operation — append,
+    /// write, snapshot reads, DHT block time, lease sweeps, scrub
+    /// phases — as nearest-rank percentiles over the store's lifetime.
+    /// Percentiles are histogram bucket edges, within 1/128 above the
+    /// true sample; recording costs one relaxed atomic increment per
+    /// operation and can be disabled with
+    /// [`Builder::latency_metrics`] (DHT block time stays recorded).
+    /// See `docs/OBSERVABILITY.md` for how to read the tails.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// let v = blob.append(&[0u8; 8192])?;
+    /// blob.snapshot(v)?.read(blobseer::ByteRange::new(0, 8192))?;
+    ///
+    /// let snap = store.stats_snapshot();
+    /// assert_eq!(snap.append.count, 1);
+    /// assert_eq!(snap.read.count, 1);
+    /// assert!(snap.append.p50_ns > 0);
+    /// assert!(snap.append.p999_ns >= snap.append.p50_ns);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        stats::snapshot(&self.engine)
+    }
+
+    /// Prometheus-style text exposition of every registered metric:
+    /// operation counters (`blobseer_*_ops_total`) and latency
+    /// summaries (`blobseer_*_seconds{quantile="..."}` in seconds),
+    /// plus deployment gauges (physical bytes/pages, metadata nodes).
+    /// Scrape-ready: serve the returned string verbatim. The metric
+    /// reference is `docs/OBSERVABILITY.md`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// # let blob = store.create();
+    /// blob.append(&[0u8; 4096])?;
+    /// let text = store.metrics_text();
+    /// assert!(text.contains("blobseer_append_ops_total 1"));
+    /// assert!(text.contains("# TYPE blobseer_append_latency_seconds summary"));
+    /// assert!(text.contains("blobseer_physical_bytes 4096"));
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.engine.metrics.render();
+        let stats = stats::collect(&self.engine);
+        blobseer_metrics::write_gauge(
+            &mut out,
+            "blobseer_physical_bytes",
+            "payload bytes physically stored across all providers",
+            stats.physical_bytes as i64,
+        );
+        blobseer_metrics::write_gauge(
+            &mut out,
+            "blobseer_physical_pages",
+            "pages physically stored across all providers",
+            stats.physical_pages as i64,
+        );
+        blobseer_metrics::write_gauge(
+            &mut out,
+            "blobseer_metadata_nodes",
+            "metadata tree nodes stored in the DHT",
+            stats.metadata_nodes as i64,
+        );
+        out
     }
 }
 

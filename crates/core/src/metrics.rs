@@ -1,0 +1,127 @@
+//! Per-engine metric registry: every hot-path latency histogram and
+//! operation counter, wired once at build time.
+//!
+//! One `EngineMetrics` per [`Engine`](crate::engine::Engine) — not
+//! process-global — so a test spinning up many stores gets independent
+//! registries. Operation *counters* always count (one relaxed
+//! `fetch_add`); latency *timers* are gated on
+//! `StoreConfig::latency_metrics` so benches can run an uninstrumented
+//! A/B baseline. The DHT's own block-time histogram is created by the
+//! DHT and merely registered here for exposition — its recording is
+//! never gated (a blocking wait dwarfs its own timestamping).
+//!
+//! Metric names and semantics are documented in `docs/OBSERVABILITY.md`.
+
+use std::sync::Arc;
+
+use blobseer_metrics::{Counter, Registry, Timer, WindowedHistogram};
+
+pub(crate) struct EngineMetrics {
+    enabled: bool,
+    registry: Registry,
+    pub append_ops: Arc<Counter>,
+    pub write_ops: Arc<Counter>,
+    pub read_ops: Arc<Counter>,
+    pub read_scatter_ops: Arc<Counter>,
+    pub readv_ops: Arc<Counter>,
+    pub append_latency: Arc<WindowedHistogram>,
+    pub write_latency: Arc<WindowedHistogram>,
+    pub read_latency: Arc<WindowedHistogram>,
+    pub read_scatter_latency: Arc<WindowedHistogram>,
+    pub readv_latency: Arc<WindowedHistogram>,
+    pub write_prepare_latency: Arc<WindowedHistogram>,
+    pub dht_get_wait_latency: Arc<WindowedHistogram>,
+    pub lease_sweep_latency: Arc<WindowedHistogram>,
+    pub scrub_mark_latency: Arc<WindowedHistogram>,
+    pub scrub_sweep_latency: Arc<WindowedHistogram>,
+}
+
+impl EngineMetrics {
+    /// Build and register the full metric set. `dht_wait` is the
+    /// metadata DHT's shared block-time histogram.
+    pub fn new(enabled: bool, dht_wait: Arc<WindowedHistogram>) -> EngineMetrics {
+        let r = Registry::new();
+        let append_ops = r.counter("blobseer_append_ops_total", "appends published");
+        let write_ops = r.counter("blobseer_write_ops_total", "writes published");
+        let read_ops = r.counter("blobseer_read_ops_total", "contiguous snapshot reads served");
+        let read_scatter_ops =
+            r.counter("blobseer_read_scatter_ops_total", "zero-copy scatter reads served");
+        let readv_ops = r.counter("blobseer_readv_ops_total", "vectored snapshot reads served");
+        let append_latency = r.histogram_seconds(
+            "blobseer_append_latency_seconds",
+            "append: version assignment to publication",
+        );
+        let write_latency = r.histogram_seconds(
+            "blobseer_write_latency_seconds",
+            "write: version assignment to publication",
+        );
+        let read_latency =
+            r.histogram_seconds("blobseer_read_latency_seconds", "contiguous snapshot read");
+        let read_scatter_latency = r.histogram_seconds(
+            "blobseer_read_scatter_latency_seconds",
+            "zero-copy scatter snapshot read",
+        );
+        let readv_latency =
+            r.histogram_seconds("blobseer_readv_latency_seconds", "vectored snapshot read");
+        let write_prepare_latency = r.histogram_seconds(
+            "blobseer_write_prepare_latency_seconds",
+            "update prepare: interior page store + version assignment",
+        );
+        r.register_histogram_seconds(
+            "blobseer_dht_get_wait_seconds",
+            "time blocked waiting for in-flight metadata to materialise",
+            Arc::clone(&dht_wait),
+        );
+        let lease_sweep_latency = r.histogram_seconds(
+            "blobseer_lease_sweep_latency_seconds",
+            "expired-lease sweep: scan plus repairs",
+        );
+        let scrub_mark_latency = r.histogram_seconds(
+            "blobseer_scrub_mark_latency_seconds",
+            "orphan scrub mark phase: epoch cut + live-page walk",
+        );
+        let scrub_sweep_latency = r.histogram_seconds(
+            "blobseer_scrub_sweep_latency_seconds",
+            "orphan scrub sweep phase: provider-side deletion",
+        );
+        EngineMetrics {
+            enabled,
+            registry: r,
+            append_ops,
+            write_ops,
+            read_ops,
+            read_scatter_ops,
+            readv_ops,
+            append_latency,
+            write_latency,
+            read_latency,
+            read_scatter_latency,
+            readv_latency,
+            write_prepare_latency,
+            dht_get_wait_latency: dht_wait,
+            lease_sweep_latency,
+            scrub_mark_latency,
+            scrub_sweep_latency,
+        }
+    }
+
+    /// A started timer, or `None` when latency recording is off. Pair
+    /// with [`EngineMetrics::record`] at the end of the operation.
+    #[inline]
+    pub fn timer(&self) -> Option<Timer> {
+        self.enabled.then(Timer::start)
+    }
+
+    /// Stop `timer` (when latency recording is on) into `hist`.
+    #[inline]
+    pub fn record(timer: Option<Timer>, hist: &WindowedHistogram) {
+        if let Some(t) = timer {
+            t.stop(hist);
+        }
+    }
+
+    /// Prometheus-style text exposition of every registered metric.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}

@@ -73,6 +73,10 @@ impl PendingWrite {
         // stages still weave metadata concurrently (§4.2).
         let order = engine.order_lock(blob);
         let _ordered = order.lock();
+        // Latency of a pipelined update spans submission to completion
+        // (not publication): the same span `wait()` would cover.
+        let op_timer = engine.metrics.timer();
+        let is_append = matches!(target, Target::Append);
         let prepared: Prepared = write::prepare(engine, blob, data, target)?;
         let version = prepared.assigned.vw;
         let cell = Arc::new(Cell { done: Mutex::new(None), cv: Condvar::new() });
@@ -94,6 +98,9 @@ impl PendingWrite {
                     let _ = crate::abort::abort_version(&eng, blob, version);
                 }
             });
+            if result.is_ok() {
+                write::record_update(&eng, is_append, op_timer);
+            }
             *c.done.lock() = Some(result);
             c.cv.notify_all();
             // Completion stages double as the lease sweeper's heartbeat.

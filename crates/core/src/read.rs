@@ -31,6 +31,7 @@ pub(crate) fn read(
     offset: u64,
     buf: &mut [u8],
 ) -> Result<()> {
+    let op_timer = engine.metrics.timer();
     let size = buf.len() as u64;
     let view = engine.vm.snapshot_view(blob, v)?;
     if offset + size > view.size {
@@ -47,7 +48,10 @@ pub(crate) fn read(
     let root = view
         .root
         .ok_or_else(|| BlobError::Internal("non-empty snapshot without a tree root".into()))?;
-    read_at_root_into(engine, &view.lineage, root, ByteRange::new(offset, size), buf)
+    read_at_root_into(engine, &view.lineage, root, ByteRange::new(offset, size), buf)?;
+    engine.metrics.read_ops.increment();
+    crate::metrics::EngineMetrics::record(op_timer, &engine.metrics.read_latency);
+    Ok(())
 }
 
 /// Read `request` from the snapshot rooted at `root`, blocking on

@@ -95,6 +95,10 @@ struct SweepShared {
 }
 
 pub(crate) fn scrub_orphans(engine: &Arc<Engine>) -> Result<ScrubReport> {
+    // Phases are timed separately (mark = metadata-bound, sweep =
+    // provider-bound): which tail grows tells an operator *where* a
+    // slow scrub spends its time — see docs/OBSERVABILITY.md.
+    let mark_timer = engine.metrics.timer();
     // 1. Epoch cut strictly before the metadata cut (module docs).
     let epoch = engine.scrub_pid_epoch();
     let cuts = engine.vm.scrub_cut();
@@ -134,6 +138,8 @@ pub(crate) fn scrub_orphans(engine: &Arc<Engine>) -> Result<ScrubReport> {
         }
     }
     let pages_marked = live.len();
+    crate::metrics::EngineMetrics::record(mark_timer, &engine.metrics.scrub_mark_latency);
+    let sweep_timer = engine.metrics.timer();
 
     // 3. Sweep, one job per provider on the I/O pool.
     let providers = engine.providers.all_providers();
@@ -176,5 +182,6 @@ pub(crate) fn scrub_orphans(engine: &Arc<Engine>) -> Result<ScrubReport> {
             None => report.providers_skipped += 1,
         }
     }
+    crate::metrics::EngineMetrics::record(sweep_timer, &engine.metrics.scrub_sweep_latency);
     Ok(report)
 }

@@ -195,7 +195,10 @@ impl Snapshot {
     /// # Ok::<(), blobseer::BlobError>(())
     /// ```
     pub fn read(&self, range: ByteRange) -> Result<Bytes> {
-        let scatter = self.read_scatter(range)?;
+        let op_timer = self.engine.metrics.timer();
+        let scatter = self.scatter_inner(range)?;
+        self.engine.metrics.read_ops.increment();
+        crate::metrics::EngineMetrics::record(op_timer, &self.engine.metrics.read_latency);
         Ok(scatter.into_bytes())
     }
 
@@ -217,6 +220,7 @@ impl Snapshot {
     /// # Ok::<(), blobseer::BlobError>(())
     /// ```
     pub fn read_into(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let op_timer = self.engine.metrics.timer();
         let request = ByteRange::new(offset, buf.len() as u64);
         self.check(request)?;
         if request.is_empty() {
@@ -224,7 +228,10 @@ impl Snapshot {
         }
         read::plan_slices(&self.engine, &self.lineage, self.root()?, request)
             .and_then(|slices| read::fetch_slices_into(&self.engine, slices, buf))
-            .map_err(|e| self.refine_error(e))
+            .map_err(|e| self.refine_error(e))?;
+        self.engine.metrics.read_ops.increment();
+        crate::metrics::EngineMetrics::record(op_timer, &self.engine.metrics.read_latency);
+        Ok(())
     }
 
     /// Zero-copy scatter read: fetch `range` as refcounted page windows
@@ -249,6 +256,17 @@ impl Snapshot {
     /// # Ok::<(), blobseer::BlobError>(())
     /// ```
     pub fn read_scatter(&self, range: ByteRange) -> Result<ScatterRead> {
+        let op_timer = self.engine.metrics.timer();
+        let scatter = self.scatter_inner(range)?;
+        self.engine.metrics.read_scatter_ops.increment();
+        crate::metrics::EngineMetrics::record(op_timer, &self.engine.metrics.read_scatter_latency);
+        Ok(scatter)
+    }
+
+    /// Shared body of [`Snapshot::read`] and [`Snapshot::read_scatter`]
+    /// — factored out so each public entry point records its *own*
+    /// counter and latency histogram exactly once.
+    fn scatter_inner(&self, range: ByteRange) -> Result<ScatterRead> {
         self.check(range)?;
         if range.is_empty() {
             return Ok(ScatterRead { range, segments: Vec::new() });
@@ -285,6 +303,7 @@ impl Snapshot {
     /// # Ok::<(), blobseer::BlobError>(())
     /// ```
     pub fn readv(&self, requests: &[ByteRange]) -> Result<Vec<ScatterRead>> {
+        let op_timer = self.engine.metrics.timer();
         for &r in requests {
             self.check(r)?;
         }
@@ -318,6 +337,8 @@ impl Snapshot {
             .collect();
         let fetched =
             read::fetch_slices_data(&self.engine, unique).map_err(|e| self.refine_error(e))?;
+        self.engine.metrics.readv_ops.increment();
+        crate::metrics::EngineMetrics::record(op_timer, &self.engine.metrics.readv_latency);
 
         Ok(requests
             .iter()

@@ -1,6 +1,13 @@
 //! Deployment-wide statistics.
+//!
+//! Two views live here: [`StoreStats`] — footprint and component
+//! counters (bytes, pages, tree nodes) — and [`StatsSnapshot`] — the
+//! tail-latency view built from the engine's metric registry
+//! (`crate::metrics`). The first answers "how much", the second
+//! "how slow"; `docs/OBSERVABILITY.md` is the reference for both.
 
 use blobseer_dht::DhtStats;
+use blobseer_metrics::HistogramSnapshot;
 use blobseer_provider::ProviderStats;
 use blobseer_version::VmStats;
 
@@ -43,5 +50,109 @@ pub(crate) fn collect(engine: &Engine) -> StoreStats {
         physical_pages: engine.providers.total_pages(),
         metadata_nodes: engine.meta.node_count(),
         io_jobs_dispatched: engine.pool.jobs_dispatched(),
+    }
+}
+
+/// Latency digest of one instrumented operation: sample count, mean
+/// and nearest-rank percentiles, in nanoseconds. Percentiles are upper
+/// bucket edges of a base-2 log-linear histogram — within 1/128
+/// (≈ 0.8 %) above the true sample (see `blobseer_metrics`). All
+/// fields are zero when the operation never ran or latency recording
+/// is off ([`crate::Builder::latency_metrics`]).
+///
+/// # Examples
+///
+/// ```
+/// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+/// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+/// # let blob = store.create();
+/// blob.append(&[1u8; 4096])?;
+/// let lat = store.stats_snapshot().append;
+/// assert_eq!(lat.count, 1);
+/// assert!(lat.p50_ns > 0 && lat.p50_ns <= lat.p999_ns);
+/// assert!(lat.max_ns >= lat.p999_ns);
+/// # Ok::<(), blobseer::BlobError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpLatency {
+    /// Samples recorded since the store was built.
+    pub count: u64,
+    /// Mean latency in nanoseconds (0 when `count == 0`).
+    pub mean_ns: u64,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile — the tail the paper's "heavy access
+    /// concurrency" claims live or die on.
+    pub p999_ns: u64,
+    /// Largest recorded sample's bucket edge, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl OpLatency {
+    fn from_snapshot(s: &HistogramSnapshot) -> OpLatency {
+        OpLatency {
+            count: s.count(),
+            mean_ns: s.mean(),
+            p50_ns: s.p50(),
+            p90_ns: s.p90(),
+            p99_ns: s.p99(),
+            p999_ns: s.p999(),
+            max_ns: s.max(),
+        }
+    }
+}
+
+/// Point-in-time latency digests for every instrumented operation,
+/// from [`crate::BlobSeer::stats_snapshot`]. Lifetime view: every
+/// sample since the store was built (the Prometheus exposition,
+/// [`crate::BlobSeer::metrics_text`], carries the same data plus
+/// operation counters). Field-by-field semantics — and how to read a
+/// rising tail — are in `docs/OBSERVABILITY.md`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// `APPEND`: version assignment to publication (blocking) or
+    /// submission to completion (pipelined).
+    pub append: OpLatency,
+    /// `WRITE`: same spans as `append`.
+    pub write: OpLatency,
+    /// Contiguous snapshot reads (`Snapshot::read` / `read_into` and
+    /// the flat facade).
+    pub read: OpLatency,
+    /// Zero-copy scatter reads ([`crate::Snapshot::read_scatter`]).
+    pub read_scatter: OpLatency,
+    /// Vectored reads ([`crate::Snapshot::readv`]).
+    pub readv: OpLatency,
+    /// Update prepare half: interior page store + version assignment.
+    pub write_prepare: OpLatency,
+    /// Time blocked in the metadata DHT waiting for in-flight nodes —
+    /// the paper's concurrency seam. Recorded even when
+    /// [`crate::Builder::latency_metrics`] is off.
+    pub dht_get_wait: OpLatency,
+    /// Expired-lease sweep (scan + repairs, gate wait excluded).
+    pub lease_sweep: OpLatency,
+    /// Orphan-scrub mark phase (metadata-bound).
+    pub scrub_mark: OpLatency,
+    /// Orphan-scrub sweep phase (provider-bound).
+    pub scrub_sweep: OpLatency,
+}
+
+pub(crate) fn snapshot(engine: &Engine) -> StatsSnapshot {
+    let m = &engine.metrics;
+    let op = |h: &blobseer_metrics::WindowedHistogram| OpLatency::from_snapshot(&h.snapshot());
+    StatsSnapshot {
+        append: op(&m.append_latency),
+        write: op(&m.write_latency),
+        read: op(&m.read_latency),
+        read_scatter: op(&m.read_scatter_latency),
+        readv: op(&m.readv_latency),
+        write_prepare: op(&m.write_prepare_latency),
+        dht_get_wait: op(&m.dht_get_wait_latency),
+        lease_sweep: op(&m.lease_sweep_latency),
+        scrub_mark: op(&m.scrub_mark_latency),
+        scrub_sweep: op(&m.scrub_sweep_latency),
     }
 }

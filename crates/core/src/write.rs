@@ -107,6 +107,7 @@ pub(crate) fn prepare(
     if data.is_empty() {
         return Err(BlobError::EmptyUpdate);
     }
+    let prepare_timer = engine.metrics.timer();
     // Register with the scrubber's epoch cut before any page id is
     // allocated; see `Prepared::pin`.
     let pin = engine.pin_update();
@@ -137,6 +138,7 @@ pub(crate) fn prepare(
             }
         };
     }
+    crate::metrics::EngineMetrics::record(prepare_timer, &engine.metrics.write_prepare_latency);
     Ok(Prepared { assigned, data, leaves, pin })
 }
 
@@ -233,15 +235,37 @@ pub(crate) fn update(
     data: Bytes,
     target: Target,
 ) -> Result<Version> {
+    let op_timer = engine.metrics.timer();
+    let is_append = matches!(target, Target::Append);
     let prepared = prepare(engine, blob, data, target)?;
     let vw = prepared.assigned.vw;
-    finish(engine, blob, prepared).inspect_err(|e| {
+    let published = finish(engine, blob, prepared).inspect_err(|e| {
         // VersionAborted means the sweeper (or an explicit abort)
         // already retired us; anything else is ours to clean up.
         if !matches!(e, BlobError::VersionAborted { .. }) {
             let _ = crate::abort::abort_version(engine, blob, vw);
         }
-    })
+    })?;
+    record_update(engine, is_append, op_timer);
+    Ok(published)
+}
+
+/// Count a published update and record its end-to-end latency (only on
+/// success: failed updates would pollute the tail with abort timing).
+/// Shared by the blocking path above and the pipelined completion stage
+/// in `crate::pending`.
+pub(crate) fn record_update(
+    engine: &Engine,
+    is_append: bool,
+    timer: Option<blobseer_metrics::Timer>,
+) {
+    if is_append {
+        engine.metrics.append_ops.increment();
+        crate::metrics::EngineMetrics::record(timer, &engine.metrics.append_latency);
+    } else {
+        engine.metrics.write_ops.increment();
+        crate::metrics::EngineMetrics::record(timer, &engine.metrics.write_latency);
+    }
 }
 
 /// Failure injection: run the pipeline only up to `point`, then

@@ -55,6 +55,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use blobseer_metrics::{Timer, WindowedHistogram};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 /// Errors from blocking DHT operations.
@@ -114,6 +115,13 @@ impl<K, V> Bucket<K, V> {
 /// thread-safe; `put` wakes any `get_wait`ers for that bucket.
 pub struct Dht<K, V> {
     buckets: Vec<Bucket<K, V>>,
+    /// Block-time distribution of `get_wait` calls that actually
+    /// parked. Always recorded (never gated on a config flag): a
+    /// blocking metadata wait is milliseconds-scale, so the one timer
+    /// read it costs is noise — and the p999 of this histogram is the
+    /// single best indicator of writer-pipeline stalls
+    /// (`docs/OBSERVABILITY.md`).
+    wait_latency: Arc<WindowedHistogram>,
 }
 
 impl<K, V> Dht<K, V>
@@ -124,7 +132,17 @@ where
     /// Create a DHT spread over `buckets` metadata providers.
     pub fn new(buckets: usize) -> Self {
         assert!(buckets > 0, "DHT needs at least one bucket");
-        Dht { buckets: (0..buckets).map(|_| Bucket::new()).collect() }
+        Dht {
+            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
+            wait_latency: Arc::new(WindowedHistogram::new()),
+        }
+    }
+
+    /// The shared block-time histogram of [`Dht::get_wait`] (nanoseconds
+    /// per blocking call). Handed to a metrics registry so the store
+    /// can expose `dht_get_wait` percentiles.
+    pub fn wait_latency(&self) -> Arc<WindowedHistogram> {
+        Arc::clone(&self.wait_latency)
     }
 
     /// Number of buckets (metadata providers).
@@ -219,15 +237,17 @@ where
             q.parked += 1;
             Arc::clone(&q.cv)
         };
-        let mut blocked = false;
+        let mut block_timer: Option<Timer> = None;
         let result = loop {
             if let Some(v) = b.map.read().get(key) {
                 break Ok(v.clone());
             }
-            if !blocked {
+            if block_timer.is_none() {
                 // Exactly one recorded wait per blocking call, however
-                // many (possibly spurious) wakeups follow.
-                blocked = true;
+                // many (possibly spurious) wakeups follow. The timer
+                // spans first park to loop exit, so its histogram
+                // sample counts the whole block including re-parks.
+                block_timer = Some(Timer::start());
                 b.stats.record_wait();
             }
             if cv.wait_until(&mut queues, deadline).timed_out() {
@@ -245,6 +265,9 @@ where
             }
         }
         b.waiters.fetch_sub(1, Ordering::SeqCst);
+        if let Some(timer) = block_timer {
+            timer.stop(&self.wait_latency);
+        }
         result
     }
 
@@ -457,6 +480,28 @@ mod tests {
         // Non-blocking calls record no wait at all.
         assert_eq!(dht.get_wait(&1, Duration::from_secs(1)), Ok(11));
         assert_eq!(dht.stats().total_waits, 1);
+    }
+
+    #[test]
+    fn wait_duration_recorded_once_and_spans_the_block() {
+        // The latency histogram mirrors the wait counter's invariant:
+        // one sample per blocking call — and the sample covers the
+        // whole block, spurious wakeups included.
+        let dht: Arc<Dht<u64, u64>> = Arc::new(Dht::new(1));
+        let d = Arc::clone(&dht);
+        let waiter = std::thread::spawn(move || d.get_wait(&1, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(25));
+        dht.put(99, 99); // spurious wakeup: must not split the sample
+        std::thread::sleep(Duration::from_millis(25));
+        dht.put(1, 11);
+        assert_eq!(waiter.join().unwrap(), Ok(11));
+        let snap = dht.wait_latency().snapshot();
+        assert_eq!(snap.count(), 1);
+        assert!(snap.sum() >= 50_000_000, "blocked ~50ms but recorded {}ns", snap.sum());
+
+        // Fast-path (non-blocking) calls record nothing.
+        assert_eq!(dht.get_wait(&1, Duration::from_secs(1)), Ok(11));
+        assert_eq!(dht.wait_latency().snapshot().count(), 1);
     }
 
     #[test]

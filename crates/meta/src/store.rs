@@ -162,6 +162,12 @@ impl MetaStore {
     pub fn provider_count(&self) -> usize {
         self.dht.bucket_count()
     }
+
+    /// The DHT's block-time histogram (nanoseconds per blocking
+    /// `get_wait`), for registration in a store-level metrics registry.
+    pub fn wait_latency(&self) -> Arc<blobseer_metrics::WindowedHistogram> {
+        self.dht.wait_latency()
+    }
 }
 
 impl std::fmt::Debug for MetaStore {

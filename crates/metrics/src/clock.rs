@@ -1,0 +1,154 @@
+//! The coarse cached clock and the precise [`Timer`].
+//!
+//! Hot paths want *a* recent timestamp (to place a sample in the right
+//! sliding-window slice) far more often than they want a *precise* one
+//! (to measure a duration). The split here mirrors clocksource's
+//! `AtomicInstant` recipe:
+//!
+//! * durations are measured with a precise `Instant` pair
+//!   ([`Timer::start`] / [`Timer::stop`]) — the two real clock reads an
+//!   operation was going to pay anyway;
+//! * the coarse clock is a process-wide atomic holding "nanoseconds
+//!   since process epoch", refreshed as a **side effect** of every
+//!   `Timer::stop` (which just read the real clock) and readable with
+//!   one relaxed load ([`coarse_now`]) everywhere else.
+//!
+//! Consumers that only need bucketing granularity — sliding-window
+//! rotation, the lease ticker's wall-clock→tick mapping — read the
+//! coarse clock; nothing in a hot path ever takes a lock for time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process epoch: all clock readings are nanoseconds since the
+/// first use of this module.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The cached coarse reading (ns since [`epoch`]).
+static COARSE: AtomicU64 = AtomicU64::new(0);
+
+/// Precise nanoseconds since the process epoch (a real clock read).
+///
+/// # Examples
+///
+/// ```
+/// let a = blobseer_metrics::clock::precise_now();
+/// let b = blobseer_metrics::clock::precise_now();
+/// assert!(b >= a);
+/// ```
+pub fn precise_now() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// The cached coarse reading: one relaxed atomic load, no clock read.
+/// Advances only when something calls [`refresh`] (every
+/// [`Timer::stop`] does), so it can lag the real clock by however long
+/// the process went without measuring anything — by design: its
+/// consumers need bucketing granularity, not precision.
+///
+/// # Examples
+///
+/// ```
+/// let refreshed = blobseer_metrics::clock::refresh();
+/// assert!(blobseer_metrics::clock::coarse_now() >= refreshed);
+/// ```
+pub fn coarse_now() -> u64 {
+    COARSE.load(Ordering::Relaxed)
+}
+
+/// Read the real clock and publish it as the new coarse reading.
+/// Returns the fresh reading. Monotone: a concurrent refresh that read
+/// a later instant wins (`fetch_max`), so [`coarse_now`] never goes
+/// backwards.
+///
+/// # Examples
+///
+/// ```
+/// let now = blobseer_metrics::clock::refresh();
+/// assert!(blobseer_metrics::clock::coarse_now() >= now);
+/// ```
+pub fn refresh() -> u64 {
+    let now = precise_now();
+    COARSE.fetch_max(now, Ordering::Relaxed);
+    now
+}
+
+/// A precise duration measurement that feeds a [`WindowedHistogram`]
+/// and refreshes the coarse clock for free on the way out.
+///
+/// [`WindowedHistogram`]: crate::WindowedHistogram
+///
+/// # Examples
+///
+/// ```
+/// use blobseer_metrics::{Timer, WindowedHistogram};
+///
+/// let hist = WindowedHistogram::new();
+/// let timer = Timer::start();
+/// let elapsed_ns = timer.stop(&hist);
+/// let snap = hist.snapshot();
+/// assert_eq!(snap.count(), 1);
+/// assert!(snap.sum() >= elapsed_ns.min(1));
+/// ```
+#[derive(Debug)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start timing (a precise clock read).
+    pub fn start() -> Timer {
+        Timer { start: Instant::now() }
+    }
+
+    /// Stop timing: record the elapsed nanoseconds into `hist` (stamped
+    /// with a freshly refreshed coarse reading, so the sample lands in
+    /// the current window slice) and return them.
+    pub fn stop(self, hist: &crate::WindowedHistogram) -> u64 {
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        let now = refresh();
+        hist.record_at(now, elapsed);
+        elapsed
+    }
+
+    /// Elapsed nanoseconds so far, without consuming the timer.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_clock_is_monotone_and_tracks_refresh() {
+        let a = refresh();
+        let cached = coarse_now();
+        assert!(cached >= a);
+        let b = refresh();
+        assert!(b >= a);
+        assert!(coarse_now() >= cached);
+    }
+
+    #[test]
+    fn precise_now_is_monotone() {
+        let a = precise_now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(precise_now() > a);
+    }
+
+    #[test]
+    fn timer_records_plausible_duration() {
+        let hist = crate::WindowedHistogram::new();
+        let t = Timer::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let ns = t.stop(&hist);
+        assert!(ns >= 2_000_000, "slept 2ms but measured {ns}ns");
+        assert_eq!(hist.snapshot().count(), 1);
+    }
+}

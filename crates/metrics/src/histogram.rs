@@ -1,0 +1,515 @@
+//! Base-2 sub-bucketed atomic histograms with sliding windows.
+//!
+//! The bucket layout is the classic "h2" scheme (as used by pelikan's
+//! rustcommon and hdrhistogram-family designs), parameterised by a
+//! **grouping power** `p`:
+//!
+//! * values below `2^(p+1)` get one bucket each (exact);
+//! * every power-of-two range `[2^h, 2^(h+1))` above that is split into
+//!   `2^p` equal sub-buckets of width `2^(h-p)`.
+//!
+//! A bucket's width is therefore never more than `2^-p` of the values
+//! it holds, so any percentile read off the bucket edges carries a
+//! bounded **relative error ≤ 2^-p** (default `p = 7`: ≤ 1/128 ≈
+//! 0.8%). Recording is one index computation plus one relaxed
+//! `fetch_add` — no locks, no floating point.
+//!
+//! [`WindowedHistogram`] layers a sliding window on top: an all-time
+//! histogram plus a ring of interval slices rotated by the coarse
+//! clock. Lifetime percentiles come from the all-time histogram
+//! ([`WindowedHistogram::snapshot`]); recent-traffic percentiles merge
+//! the live slices ([`WindowedHistogram::window_snapshot`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use crate::clock;
+
+/// Default grouping power: 128 sub-buckets per power of two, bounding
+/// relative error at 1/128 (≈ 0.8%).
+pub const DEFAULT_GROUPING_POWER: u32 = 7;
+
+/// Buckets needed for grouping power `p` over the full `u64` range.
+fn bucket_count(p: u32) -> usize {
+    (1usize << (p + 1)) + (63 - p as usize) * (1usize << p)
+}
+
+/// The bucket index of `value` under grouping power `p`.
+#[inline]
+fn index_of(p: u32, value: u64) -> usize {
+    let h = 63 - (value | 1).leading_zeros();
+    if h <= p {
+        value as usize
+    } else {
+        let g = h - p; // sub-bucket width within [2^h, 2^(h+1)) is 2^g
+        (1usize << (p + 1)) + ((g as usize - 1) << p) + ((value >> g) as usize - (1usize << p))
+    }
+}
+
+/// The largest value mapping to bucket `i` under grouping power `p`.
+fn bucket_high(p: u32, i: usize) -> u64 {
+    let exact = 1usize << (p + 1);
+    if i < exact {
+        i as u64
+    } else {
+        let rel = i - exact;
+        let g = (rel >> p) as u32 + 1;
+        let b = (rel & ((1usize << p) - 1)) as u64;
+        let low = (1u64 << (p + g)) + (b << g);
+        low + ((1u64 << g) - 1)
+    }
+}
+
+/// A lock-free histogram over the full `u64` value range.
+///
+/// See the [crate docs](crate) for the bucket scheme and error bound.
+/// All recording is relaxed atomics; snapshots taken while writers are
+/// recording are approximate (a concurrent record may be split between
+/// `sum` and its bucket).
+///
+/// # Examples
+///
+/// ```
+/// use blobseer_metrics::AtomicHistogram;
+///
+/// let h = AtomicHistogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 100);
+/// // Values below 2^(p+1) = 256 sit in exact buckets.
+/// assert_eq!(snap.percentile(50.0), Some(50));
+/// assert_eq!(snap.percentile(99.0), Some(99));
+/// ```
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    grouping_power: u32,
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// A histogram with the default grouping power
+    /// ([`DEFAULT_GROUPING_POWER`]).
+    pub fn new() -> AtomicHistogram {
+        Self::with_grouping_power(DEFAULT_GROUPING_POWER)
+    }
+
+    /// A histogram with `2^p` sub-buckets per power of two (relative
+    /// error ≤ `2^-p`). Panics unless `1 ≤ p ≤ 15`.
+    pub fn with_grouping_power(p: u32) -> AtomicHistogram {
+        assert!((1..=15).contains(&p), "grouping power {p} outside 1..=15");
+        let buckets = (0..bucket_count(p)).map(|_| AtomicU64::new(0)).collect();
+        AtomicHistogram { grouping_power: p, buckets, sum: AtomicU64::new(0) }
+    }
+
+    /// The configured grouping power.
+    pub fn grouping_power(&self) -> u32 {
+        self.grouping_power
+    }
+
+    /// Record one observation of `value`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[index_of(self.grouping_power, value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Zero every bucket (used by window rotation). Not atomic as a
+    /// whole: concurrent records may land before or after individual
+    /// bucket clears — bounded slop at slice boundaries, by design.
+    fn reset(&self) {
+        self.sum.store(0, Ordering::Relaxed);
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            grouping_power: self.grouping_power,
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Accumulate this histogram's counts into `snap` (same grouping
+    /// power required).
+    fn merge_into(&self, snap: &mut HistogramSnapshot) {
+        assert_eq!(self.grouping_power, snap.grouping_power, "grouping powers must match");
+        snap.sum = snap.sum.wrapping_add(self.sum.load(Ordering::Relaxed));
+        for (dst, src) in snap.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst += src.load(Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A non-atomic copy of a histogram's state, with percentile readout.
+///
+/// Percentiles are read off bucket **upper edges**: the reported value
+/// is ≥ the true percentile and within one bucket width of it, i.e.
+/// within a relative error of `2^-p` for values above the exact region
+/// (and exact below it).
+///
+/// # Examples
+///
+/// ```
+/// use blobseer_metrics::AtomicHistogram;
+///
+/// let h = AtomicHistogram::new();
+/// for _ in 0..99 {
+///     h.record(1_000);
+/// }
+/// h.record(1_000_000); // one slow outlier
+/// let snap = h.snapshot();
+/// let p50 = snap.percentile(50.0).unwrap();
+/// let p999 = snap.percentile(99.9).unwrap();
+/// assert!((p50 as f64 - 1_000.0).abs() / 1_000.0 < 0.01);
+/// assert!((p999 as f64 - 1_000_000.0).abs() / 1_000_000.0 < 0.01);
+/// assert_eq!(snap.count(), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    grouping_power: u32,
+    sum: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (used for histograms that never recorded).
+    pub(crate) fn empty(grouping_power: u32) -> HistogramSnapshot {
+        HistogramSnapshot { grouping_power, sum: 0, buckets: vec![0; bucket_count(grouping_power)] }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all recorded values (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean recorded value, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The value at percentile `pct` (0–100), or `None` when empty.
+    /// Reported as the upper edge of the bucket holding that rank; see
+    /// the type docs for the error bound.
+    pub fn percentile(&self, pct: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 || !pct.is_finite() {
+            return None;
+        }
+        let pct = pct.clamp(0.0, 100.0);
+        let rank = ((pct / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_high(self.grouping_power, i));
+            }
+        }
+        None // unreachable: ranks are clamped to the total
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0).unwrap_or(0)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0).unwrap_or(0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0).unwrap_or(0)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9).unwrap_or(0)
+    }
+
+    /// Upper edge of the highest occupied bucket (≈ the maximum
+    /// recorded value, within the bucket error bound); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| bucket_high(self.grouping_power, i))
+    }
+}
+
+/// An all-time histogram plus a sliding window of interval slices.
+///
+/// Recording goes to both the lifetime histogram and the slice for the
+/// sample's time period; slices are recycled in a ring, so
+/// [`WindowedHistogram::window_snapshot`] always covers roughly the
+/// last `slices × slice_duration` of traffic. Rotation is driven by
+/// the timestamps recorders pass in (normally the [coarse
+/// clock](crate::clock)) — there is no background thread.
+///
+/// The window is approximate at slice boundaries: a recorder holding a
+/// stale timestamp may record into a slice that a concurrent rotation
+/// is clearing. The all-time histogram is never rotated and never
+/// loses a sample.
+///
+/// Bucket storage is **lazily allocated** on first record: registering
+/// many windowed histograms costs nothing until a hot path actually
+/// records into one.
+///
+/// # Examples
+///
+/// ```
+/// use blobseer_metrics::WindowedHistogram;
+///
+/// // 4 slices of 1 ms: a ~4 ms sliding window.
+/// let h = WindowedHistogram::with_config(7, std::time::Duration::from_millis(1), 4);
+/// h.record_at(0, 100);
+/// // 10 ms later the old slice has rotated out of the window...
+/// h.record_at(10_000_000, 900);
+/// assert_eq!(h.window_snapshot_at(10_000_000).count(), 1);
+/// // ...but the all-time histogram keeps everything.
+/// assert_eq!(h.snapshot().count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    grouping_power: u32,
+    slice_ns: u64,
+    num_slices: usize,
+    inner: OnceLock<Windows>,
+}
+
+#[derive(Debug)]
+struct Windows {
+    live: AtomicHistogram,
+    slices: Vec<AtomicHistogram>,
+    /// The slice period the ring has been rotated up to.
+    period: AtomicU64,
+}
+
+impl WindowedHistogram {
+    /// Default configuration: grouping power 7, four 1-second slices
+    /// (a ~4 s sliding window).
+    pub fn new() -> WindowedHistogram {
+        Self::with_config(DEFAULT_GROUPING_POWER, Duration::from_secs(1), 4)
+    }
+
+    /// A window of `num_slices` slices of `slice` each, at the given
+    /// grouping power. Panics when `slice` is zero, `num_slices < 2`,
+    /// or the grouping power is outside `1..=15`.
+    pub fn with_config(
+        grouping_power: u32,
+        slice: Duration,
+        num_slices: usize,
+    ) -> WindowedHistogram {
+        let slice_ns = slice.as_nanos() as u64;
+        assert!(slice_ns > 0, "slice duration must be non-zero");
+        assert!(num_slices >= 2, "a window needs at least 2 slices");
+        assert!((1..=15).contains(&grouping_power), "grouping power outside 1..=15");
+        WindowedHistogram { grouping_power, slice_ns, num_slices, inner: OnceLock::new() }
+    }
+
+    /// The configured grouping power.
+    pub fn grouping_power(&self) -> u32 {
+        self.grouping_power
+    }
+
+    /// The total window span (`slices × slice_duration`).
+    pub fn window(&self) -> Duration {
+        Duration::from_nanos(self.slice_ns.saturating_mul(self.num_slices as u64))
+    }
+
+    fn windows(&self) -> &Windows {
+        self.inner.get_or_init(|| Windows {
+            live: AtomicHistogram::with_grouping_power(self.grouping_power),
+            slices: (0..self.num_slices)
+                .map(|_| AtomicHistogram::with_grouping_power(self.grouping_power))
+                .collect(),
+            period: AtomicU64::new(0),
+        })
+    }
+
+    /// Advance the ring to `now`, clearing every slice whose period
+    /// expired. Exactly one racing recorder wins the CAS and clears.
+    fn rotate(&self, w: &Windows, now_ns: u64) {
+        let period = now_ns / self.slice_ns;
+        let cur = w.period.load(Ordering::Acquire);
+        if period > cur
+            && w.period.compare_exchange(cur, period, Ordering::AcqRel, Ordering::Acquire).is_ok()
+        {
+            let first = (cur + 1).max(period.saturating_sub(self.num_slices as u64 - 1));
+            for q in first..=period {
+                w.slices[(q % self.num_slices as u64) as usize].reset();
+            }
+        }
+    }
+
+    /// Record `value` stamped with the current [coarse
+    /// clock](crate::clock::coarse_now) reading.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_at(clock::coarse_now(), value);
+    }
+
+    /// Record `value` stamped with an explicit timestamp (nanoseconds
+    /// since the process epoch). Tests drive this directly to make
+    /// window rotation deterministic.
+    pub fn record_at(&self, now_ns: u64, value: u64) {
+        let w = self.windows();
+        self.rotate(w, now_ns);
+        w.live.record(value);
+        w.slices[((now_ns / self.slice_ns) % self.num_slices as u64) as usize].record(value);
+    }
+
+    /// All-time snapshot: every sample ever recorded.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match self.inner.get() {
+            Some(w) => w.live.snapshot(),
+            None => HistogramSnapshot::empty(self.grouping_power),
+        }
+    }
+
+    /// Sliding-window snapshot as of the coarse clock: roughly the
+    /// last [`WindowedHistogram::window`] of traffic.
+    pub fn window_snapshot(&self) -> HistogramSnapshot {
+        self.window_snapshot_at(clock::coarse_now())
+    }
+
+    /// [`WindowedHistogram::window_snapshot`] with an explicit
+    /// timestamp (nanoseconds since the process epoch).
+    pub fn window_snapshot_at(&self, now_ns: u64) -> HistogramSnapshot {
+        let Some(w) = self.inner.get() else {
+            return HistogramSnapshot::empty(self.grouping_power);
+        };
+        self.rotate(w, now_ns);
+        let mut snap = HistogramSnapshot::empty(self.grouping_power);
+        for slice in &w.slices {
+            slice.merge_into(&mut snap);
+        }
+        snap
+    }
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_exact() {
+        let p = DEFAULT_GROUPING_POWER;
+        for v in 0..(1u64 << (p + 1)) {
+            let i = index_of(p, v);
+            assert_eq!(bucket_high(p, i), v, "value {v} must map to its own bucket");
+        }
+    }
+
+    #[test]
+    fn indexes_are_monotone_and_dense() {
+        // Walking the bucket high edges must visit every bucket once,
+        // in order, ending at u64::MAX.
+        let p = 3;
+        let n = bucket_count(p);
+        let mut prev = None;
+        for i in 0..n {
+            let high = bucket_high(p, i);
+            assert_eq!(index_of(p, high), i, "high edge of bucket {i} must map back");
+            if let Some(prev) = prev {
+                assert!(high > prev);
+                assert_eq!(index_of(p, prev + 1), i, "buckets must tile without gaps");
+            }
+            prev = Some(high);
+        }
+        assert_eq!(prev, Some(u64::MAX));
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let p = DEFAULT_GROUPING_POWER;
+        let bound = 1.0 / (1u64 << p) as f64;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let high = bucket_high(p, index_of(p, v));
+            assert!(high >= v);
+            let err = (high - v) as f64 / v as f64;
+            assert!(err <= bound, "value {v}: bucket edge {high} errs by {err}");
+            v = v.wrapping_mul(3).wrapping_add(7);
+        }
+    }
+
+    #[test]
+    fn extremes_record() {
+        let h = AtomicHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.percentile(0.0), Some(0));
+        assert_eq!(snap.max(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_percentiles() {
+        let snap = AtomicHistogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.percentile(50.0), None);
+        assert_eq!(snap.mean(), 0);
+        assert_eq!(snap.max(), 0);
+    }
+
+    #[test]
+    fn window_rotation_expires_old_slices() {
+        let ms = 1_000_000u64;
+        let h = WindowedHistogram::with_config(7, Duration::from_millis(1), 4);
+        h.record_at(0, 10);
+        h.record_at(2 * ms, 20);
+        // Both still inside the 4 ms window (periods 0..=2).
+        assert_eq!(h.window_snapshot_at(2 * ms).count(), 2);
+        // 5 ms: the window covers periods 2..=5, so the slice holding
+        // `10` (period 0) has been recycled and `20` (period 2) kept.
+        let snap = h.window_snapshot_at(5 * ms);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.percentile(50.0), Some(20));
+        // Far future: everything expired, all-time unaffected.
+        assert_eq!(h.window_snapshot_at(100 * ms).count(), 0);
+        assert_eq!(h.snapshot().count(), 2);
+    }
+
+    #[test]
+    fn window_handles_large_time_jumps() {
+        let h = WindowedHistogram::with_config(7, Duration::from_millis(1), 4);
+        h.record_at(0, 1);
+        // A jump of many periods must clear at most num_slices slices
+        // (and not wrap or panic).
+        h.record_at(u64::MAX / 2, 2);
+        assert_eq!(h.window_snapshot_at(u64::MAX / 2).count(), 1);
+        assert_eq!(h.snapshot().count(), 2);
+    }
+
+    #[test]
+    fn lazy_allocation_defers_buckets() {
+        let h = WindowedHistogram::new();
+        assert!(h.inner.get().is_none(), "no record yet: no buckets");
+        assert_eq!(h.snapshot().count(), 0);
+        h.record_at(0, 5);
+        assert!(h.inner.get().is_some());
+    }
+}

@@ -1,0 +1,58 @@
+//! Tail-latency observability primitives for BlobSeer.
+//!
+//! The paper's evaluation (§5) reasons in aggregate throughput; a
+//! deployment serving heavy traffic is judged on **tail latency**. This
+//! crate provides the measurement layer, in the spirit of pelikan-io's
+//! rustcommon stack (metriken-style registered metrics, clocksource's
+//! coarse cached clock, base-2 sub-bucketed histograms):
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free relaxed atomics, safe to bump
+//!   from any hot path;
+//! * [`AtomicHistogram`] — a base-2-bucketed atomic histogram whose
+//!   relative error is bounded by the *grouping power* (default 7 →
+//!   ≤ 1/128 ≈ 0.8%), recording in O(1) with a single `fetch_add`;
+//! * [`WindowedHistogram`] — an all-time histogram plus a ring of
+//!   interval slices, so snapshots can report both lifetime and
+//!   recent-window percentiles (p50/p90/p99/p999);
+//! * [`clock`] — a coarse cached clock ([`clock::coarse_now`]): one
+//!   relaxed atomic load where `Instant::now()` would be a syscall-ish
+//!   vDSO call, refreshed for free by every [`Timer`] stop;
+//! * [`Registry`] — named metric registration and a Prometheus-style
+//!   text exposition ([`Registry::render`]).
+//!
+//! Everything is safe under full concurrency; recording never takes a
+//! lock. Snapshots taken while writers are recording are approximate in
+//! the usual relaxed-atomics sense (a snapshot may split a concurrent
+//! record between `_sum` and its bucket) — fine for observability,
+//! documented so nobody builds an invariant on it.
+//!
+//! # Examples
+//!
+//! ```
+//! use blobseer_metrics::{Registry, Timer};
+//!
+//! let registry = Registry::new();
+//! let ops = registry.counter("myapp_ops_total", "operations served");
+//! let latency =
+//!     registry.histogram_seconds("myapp_op_latency_seconds", "operation latency");
+//!
+//! let timer = Timer::start();
+//! ops.increment();
+//! timer.stop(&latency); // records elapsed nanoseconds
+//!
+//! let text = registry.render();
+//! assert!(text.contains("# TYPE myapp_ops_total counter"));
+//! assert!(text.contains("# TYPE myapp_op_latency_seconds summary"));
+//! ```
+
+pub mod clock;
+mod histogram;
+mod metric;
+mod registry;
+
+pub use clock::Timer;
+pub use histogram::{
+    AtomicHistogram, HistogramSnapshot, WindowedHistogram, DEFAULT_GROUPING_POWER,
+};
+pub use metric::{Counter, Gauge};
+pub use registry::{write_counter, write_gauge, write_summary_seconds, Registry};

@@ -1,0 +1,126 @@
+//! Lock-free scalar metrics: [`Counter`] and [`Gauge`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter. All operations are relaxed
+/// atomics — safe (and cheap) to bump from any hot path.
+///
+/// # Examples
+///
+/// ```
+/// use blobseer_metrics::Counter;
+///
+/// let c = Counter::new();
+/// c.increment();
+/// c.add(2);
+/// assert_eq!(c.value(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn increment(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, in-flight operations).
+///
+/// # Examples
+///
+/// ```
+/// use blobseer_metrics::Gauge;
+///
+/// let g = Gauge::new();
+/// g.add(5);
+/// g.sub(2);
+/// assert_eq!(g.value(), 3);
+/// g.set(-1);
+/// assert_eq!(g.value(), -1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge { value: AtomicI64::new(0) }
+    }
+
+    /// Increase by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, n: i64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts_across_threads() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.increment();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+    }
+
+    #[test]
+    fn gauge_tracks_level() {
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.value(), 7);
+        g.set(0);
+        assert_eq!(g.value(), 0);
+    }
+}

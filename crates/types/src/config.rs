@@ -76,6 +76,16 @@ pub struct StoreConfig {
     /// explicit advancement, keeping lease expiry deterministic under
     /// test. See `docs/OPERATIONS.md` for tuning guidance.
     pub lease_tick_interval_ms: u64,
+    /// Record per-operation latency histograms (append/write, reads,
+    /// metadata prepare, sweeps, scrubs) for
+    /// `BlobSeer::stats_snapshot`. **Default true**: recording is one
+    /// precise clock read plus one relaxed `fetch_add` per operation —
+    /// noise next to a page round-trip (`BENCH_PR6.json` checks in the
+    /// overhead ratio). Turn off to run an uninstrumented A/B baseline.
+    /// DHT block-time recording stays on regardless: a blocking
+    /// metadata wait is already orders of magnitude slower than its
+    /// own timestamping. See `docs/OBSERVABILITY.md`.
+    pub latency_metrics: bool,
 }
 
 impl StoreConfig {
@@ -127,6 +137,7 @@ impl Default for StoreConfig {
             pipeline_threads: 4,
             lease_ttl_ticks: 1 << 20,
             lease_tick_interval_ms: 0,
+            latency_metrics: true,
         }
     }
 }
