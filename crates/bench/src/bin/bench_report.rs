@@ -15,9 +15,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use blobseer_bench::report::{
-    dht_micro, fig2a_append, json_latency, json_pair, latency_percentiles, metrics_overhead_append,
-    orphan_scrub, pipeline_unit_label, pipelined_append, snapshot_pinned_read,
-    writer_crash_recovery, DhtCase, ReportParams, CRASH_EVERY,
+    degraded_read, dht_micro, fig2a_append, json_latency, json_pair, latency_percentiles,
+    metrics_overhead_append, orphan_scrub, pipeline_unit_label, pipelined_append,
+    repair_replicas_cost, snapshot_pinned_read, writer_crash_recovery, DhtCase, ReportParams,
+    CRASH_EVERY,
 };
 
 /// Counts every heap allocation in the process, so the report can state
@@ -47,7 +48,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
-    let mut pr: u32 = 6;
+    let mut pr: u32 = 7;
     let mut out: Option<String> = None;
     let mut params = ReportParams::fast();
     let mut mode = "fast";
@@ -99,6 +100,12 @@ fn main() {
     let crash_opt = writer_crash_recovery(&params);
     eprintln!("# bench_report: orphan scrub (crash-ingest, then mark-and-sweep)...");
     let (scrub_ingest, scrub) = orphan_scrub(&params);
+    eprintln!("# bench_report: degraded read (baseline: healthy deployment)...");
+    let degraded_base = degraded_read(&params, false);
+    eprintln!("# bench_report: degraded read (measured: one provider dead)...");
+    let degraded_meas = degraded_read(&params, true);
+    eprintln!("# bench_report: repair_replicas (degraded ingest, then re-replication)...");
+    let repair = repair_replicas_cost(&params);
     eprintln!("# bench_report: metrics overhead (baseline: latency metrics off)...");
     let metrics_base = metrics_overhead_append(&params, false);
     eprintln!("# bench_report: metrics overhead (optimized: latency metrics on)...");
@@ -142,7 +149,20 @@ fn main() {
          claims measured are completeness (leaked_bytes_after_scrub must be 0; the run \
          asserts it and verifies content byte-for-byte) and cost (scrub_elapsed_s vs \
          ingest_elapsed_s: the background-maintenance tax of reclaiming a \
-         1-in-{crash_every} death rate's garbage). metrics_overhead_append: the fig2a \
+         1-in-{crash_every} death rate's garbage). degraded_read: {deg_reads} single-threaded \
+         {read_kib} KiB sub-page reads (LCG offsets) of one hot {total_mib} MiB snapshot on a \
+         16-provider replication-2 deployment; baseline = healthy, measured = one provider \
+         offline, so every read of a page it was primary for pays one failed fetch before the \
+         deterministic chain fallback serves it from the replica. On in-memory providers the \
+         detour is an immediate typed error, so the ratio sits at ~1.0 (the case exists to \
+         keep it there); a networked deployment pays a connect timeout in the same spot, \
+         which is what blobseer_sim's degraded_read_experiment prices. \
+         repair_replicas: the fig2a volume appended with one of 16 providers dead the whole \
+         run (write-path failover re-places its copies; every append succeeds), provider \
+         recovered, then one repair_replicas pass; reported as absolute numbers plus timings — \
+         the claims measured are convergence (a second pass must be a no-op; the run asserts \
+         it) and cost (repair_to_ingest, plus the re-replication rate in MB/s). \
+         metrics_overhead_append: the fig2a \
          optimized append workload with latency histograms off (baseline) vs on (optimized — \
          the shipping default; two Instant::now calls, one coarse-clock fetch_max and one \
          relaxed histogram increment per op); the ratio prices the observability tax and \
@@ -154,6 +174,7 @@ fn main() {
          runs, not absolute values across hosts. Ratios are the comparable quantity \
          across hosts.",
         pct_reads = params.pinned_reads / 10,
+        deg_reads = params.pinned_reads / 20,
         reps = params.reps,
         unit_mib = params.append_unit >> 20,
         total_mib = params.append_total >> 20,
@@ -236,6 +257,41 @@ fn main() {
         reclaim_rate =
             scrub.leaked_bytes_before as f64 / 1e6 / scrub.scrub_elapsed.as_secs_f64().max(1e-9),
         tax = scrub.scrub_elapsed.as_secs_f64() / scrub.ingest_elapsed.as_secs_f64().max(1e-9),
+    ));
+    json.push_str(&format!(
+        "  \"degraded_read\": {{\n{}\n  }},\n",
+        // "optimized" = the degraded deployment: the ratio prices the
+        // read-side cost of one dead provider (expected <= 1.0).
+        json_pair(
+            "    ",
+            &format!("{} KiB sub-page read", params.pinned_read_bytes >> 10),
+            &degraded_base,
+            &degraded_meas
+        )
+    ));
+    json.push_str(&format!(
+        "  \"repair_replicas\": {{\n    \
+           \"unit\": \"append of {unit_mib} MiB, one of 16 providers dead\",\n    \
+           \"degraded_ingest\": {{ \"appends\": {appends}, \"bytes\": {ibytes}, \
+             \"failovers\": {failovers}, \"elapsed_s\": {ingest_s:.4} }},\n    \
+           \"repair\": {{ \"elapsed_s\": {repair_s:.4}, \"pages_examined\": {examined}, \
+             \"copies_verified\": {verified}, \"copies_repaired\": {repaired}, \
+             \"bytes_copied\": {rbytes}, \"strays_trimmed\": {strays}, \
+             \"rereplication_mb_per_s\": {rate:.1}, \"repair_to_ingest\": {tax:.4} }}\n  }},\n",
+        unit_mib = params.append_unit >> 20,
+        appends = repair.appends,
+        ibytes = repair.ingest_bytes,
+        failovers = repair.failovers,
+        ingest_s = repair.ingest_elapsed.as_secs_f64(),
+        repair_s = repair.repair_elapsed.as_secs_f64(),
+        examined = repair.report.pages_examined,
+        verified = repair.report.copies_verified,
+        repaired = repair.report.copies_repaired,
+        rbytes = repair.report.bytes_copied,
+        strays = repair.report.strays_trimmed,
+        rate =
+            repair.report.bytes_copied as f64 / 1e6 / repair.repair_elapsed.as_secs_f64().max(1e-9),
+        tax = repair.repair_elapsed.as_secs_f64() / repair.ingest_elapsed.as_secs_f64().max(1e-9),
     ));
     json.push_str(&format!(
         "  \"metrics_overhead_append\": {{\n{}\n  }},\n",

@@ -392,6 +392,144 @@ pub fn orphan_scrub(
     (report, trajectory)
 }
 
+/// A replicated deployment behind caller-held [`blobseer::FaultPlan`]s
+/// for the PR-7 fault-tolerance cases: 16 in-memory providers,
+/// replication 2, the optimized write path.
+fn build_faulty_store(p: &ReportParams) -> (BlobSeer, Vec<std::sync::Arc<blobseer::FaultPlan>>) {
+    use std::sync::Arc;
+
+    use blobseer::{FaultPlan, MemoryPageStore, PageStore};
+
+    let plans: Vec<Arc<FaultPlan>> = (0..16)
+        .map(|i| Arc::new(FaultPlan::with_seed(Arc::new(MemoryPageStore::new()), i as u64)))
+        .collect();
+    let store = BlobSeer::builder()
+        .page_size(p.page_size)
+        .metadata_providers(16)
+        .io_threads(4)
+        .replication(2)
+        .zero_copy_pages(true)
+        .io_chunks_per_thread(1)
+        .page_stores(plans.iter().map(|pl| Arc::clone(pl) as Arc<dyn PageStore>).collect())
+        .build()
+        .expect("valid bench config");
+    (store, plans)
+}
+
+/// The PR-7 degraded-read case: sub-page reads of one hot snapshot on
+/// a replication-2 deployment, healthy (baseline) vs with one data
+/// provider dead (measured). A dead primary costs the reader one
+/// failed fetch before the deterministic chain fallback serves the
+/// page from the replica — the ratio prices exactly that detour. On
+/// in-memory providers the detour is an immediate typed error, so the
+/// ratio sits at ~1.0 (this case exists to keep it there); a networked
+/// deployment would pay a connect timeout in the same spot, which is
+/// what `blobseer_sim::degraded_read_experiment` prices.
+pub fn degraded_read(p: &ReportParams, degraded: bool) -> RunStats {
+    let (store, plans) = build_faulty_store(p);
+    let blob = store.create();
+    let unit: Bytes = Bytes::from(vec![0x5Au8; p.append_unit]);
+    let mut last = None;
+    for _ in 0..(p.append_total / p.append_unit) {
+        last = Some(blob.append_bytes(unit.clone()).expect("append"));
+    }
+    let v = last.expect("at least one append");
+    blob.sync(v).expect("sync");
+    if degraded {
+        plans[0].set_offline(true);
+    }
+    let snap = blob.snapshot(v).expect("published");
+    let slots = p.append_total as u64 / p.pinned_read_bytes;
+    // Single-threaded and page-fetch-bound (~100 µs/read): a modest
+    // count keeps the case seconds-scale while staying far above timer
+    // noise.
+    let reads = p.pinned_reads / 20;
+
+    let mut best = Duration::MAX;
+    for _ in 0..p.reps {
+        let mut buf = vec![0u8; p.pinned_read_bytes as usize];
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let t0 = Instant::now();
+        for _ in 0..reads {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let offset = ((x >> 33) % slots) * p.pinned_read_bytes;
+            snap.read_into(offset, &mut buf).expect("read");
+        }
+        std::hint::black_box(&buf);
+        best = best.min(t0.elapsed());
+    }
+    RunStats {
+        ops: reads,
+        bytes: reads * p.pinned_read_bytes,
+        elapsed: best,
+        io_jobs: None,
+        allocs: None,
+    }
+}
+
+/// One measured [`blobseer::BlobSeer::repair_replicas`] trajectory.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairTrajectory {
+    /// Appends issued while one provider was dead (all succeeded).
+    pub appends: u64,
+    /// Payload bytes of that degraded ingest.
+    pub ingest_bytes: u64,
+    /// Write-path failovers the dead provider forced.
+    pub failovers: u64,
+    /// Wall time of the degraded ingest.
+    pub ingest_elapsed: Duration,
+    /// What the (first) repair pass found and fixed.
+    pub report: blobseer::RepairReport,
+    /// Wall time of that pass (mark + scan + diff/copy + trim).
+    pub repair_elapsed: Duration,
+}
+
+/// The PR-7 repair-cost case: ingest the [`fig2a_append`] volume with
+/// one of 16 providers dead the whole run (every chain through it
+/// fails over — updates keep succeeding), recover the provider, then
+/// run one [`blobseer::BlobSeer::repair_replicas`] pass. Reported as
+/// absolute numbers plus timings, like [`orphan_scrub`]: the claims
+/// measured are convergence (a second pass must be a no-op; the run
+/// asserts it) and cost (repair seconds vs. the ingest it mops up
+/// after, and the re-replication rate in MB/s).
+pub fn repair_replicas_cost(p: &ReportParams) -> RepairTrajectory {
+    let (store, plans) = build_faulty_store(p);
+    let blob = store.create();
+    let unit: Bytes = Bytes::from((0..p.append_unit).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+    let appends = (p.append_total / p.append_unit) as u64;
+
+    plans[0].set_offline(true);
+    let t0 = Instant::now();
+    let mut last = None;
+    for _ in 0..appends {
+        last = Some(blob.append_bytes(unit.clone()).expect("append survives the dead provider"));
+    }
+    blob.sync(last.expect("at least one append")).expect("sync");
+    let ingest_elapsed = t0.elapsed();
+    let failovers = store.stats_snapshot().failovers_total;
+    assert!(failovers > 0, "a dead chain member must force failovers");
+
+    plans[0].set_offline(false);
+    let t1 = Instant::now();
+    let report = store.repair_replicas().expect("repair");
+    let repair_elapsed = t1.elapsed();
+    assert_eq!(report.pages_unrepairable, 0, "single-fault ingest must stay repairable");
+
+    // The run self-verifies: a second pass finds nothing to do.
+    let second = store.repair_replicas().expect("second repair");
+    assert_eq!(second.copies_repaired, 0, "repair must converge");
+    assert_eq!(second.strays_trimmed, 0, "repair must converge");
+
+    RepairTrajectory {
+        appends,
+        ingest_bytes: p.append_total as u64,
+        failovers,
+        ingest_elapsed,
+        report,
+        repair_elapsed,
+    }
+}
+
 /// The PR-6 observability-tax case: the exact [`fig2a_append`]
 /// optimized workload, run with latency metrics off (baseline) vs on
 /// (optimized — the shipping default). The instrumented side pays two

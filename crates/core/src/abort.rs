@@ -60,6 +60,7 @@
 //! `lease_ttl_ticks` generously — aborting a live writer is safe but
 //! costs its update.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use blobseer_meta::{build_meta, TreeReader, UpdateContext};
@@ -89,12 +90,90 @@ impl SweepReport {
     }
 }
 
+thread_local! {
+    /// The update-completion stage running on this thread, if any:
+    /// `(blob, vw)` set by [`wait_scope`] for the duration of
+    /// [`crate::write::finish_until`]. The DHT self-help hook reads it
+    /// to scope its sweep strictly below the stage's own version.
+    static WAIT_CONTEXT: Cell<Option<(BlobId, Version)>> = const { Cell::new(None) };
+    /// `true` while this thread is inside repair machinery (a sweep or
+    /// a single abort). The self-help hook no-ops under it: a repair's
+    /// own metadata reads may block and fire the hook, and sweeping
+    /// from there would either recurse or self-deadlock on the sweep
+    /// gate this thread already holds.
+    static IN_REPAIR: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII marker: this thread is a completion stage for `blob` at `vw`.
+/// While held, the DHT self-help hook ([`self_help_on_wait`]) sweeps
+/// only versions strictly below `vw` — never at or above, whose repair
+/// would wait on the very metadata this stage has yet to write.
+pub(crate) struct WaitScope {
+    prev: Option<(BlobId, Version)>,
+}
+
+pub(crate) fn wait_scope(blob: BlobId, vw: Version) -> WaitScope {
+    WaitScope { prev: WAIT_CONTEXT.replace(Some((blob, vw))) }
+}
+
+impl Drop for WaitScope {
+    fn drop(&mut self) {
+        WAIT_CONTEXT.set(self.prev);
+    }
+}
+
+/// RAII marker for [`IN_REPAIR`]; nesting-safe (restores the previous
+/// value, so a sweep calling [`abort_version`] stays marked).
+struct RepairGuard(bool);
+
+fn enter_repair() -> RepairGuard {
+    RepairGuard(IN_REPAIR.replace(true))
+}
+
+impl Drop for RepairGuard {
+    fn drop(&mut self) {
+        IN_REPAIR.set(self.0);
+    }
+}
+
+/// The metadata DHT's **self-help hook**, run between wait slices while
+/// a thread is blocked on an in-flight tree node (see
+/// `blobseer_meta::MetaStore::set_self_help`). The blocker may be a
+/// writer whose lease has lapsed — in which case nobody else is coming
+/// to publish that node — so instead of sleeping out the full timeout,
+/// the blocked thread periodically checks for expired leases and runs
+/// the sweep itself: wait a bit, self-help, retry.
+///
+/// Inside a completion stage the sweep is scoped strictly below the
+/// stage's own version ([`WaitScope`]); elsewhere (plain readers,
+/// boundary merges of blocking updates) it is the ordinary global
+/// sweep. Re-entrant firing from a repair's own blocked reads is
+/// suppressed ([`IN_REPAIR`]).
+pub(crate) fn self_help_on_wait(engine: &Arc<Engine>) {
+    if IN_REPAIR.get() {
+        return;
+    }
+    match WAIT_CONTEXT.get() {
+        Some((blob, vw)) => {
+            if engine.vm.has_expired_below(blob, vw).unwrap_or(false) {
+                let _ = sweep_expired(engine, Some((blob, vw)));
+            }
+        }
+        None => {
+            if engine.vm.has_expired_leases() {
+                let _ = sweep_expired(engine, None);
+            }
+        }
+    }
+}
+
 /// Abort an assigned-but-unpublished version: mark it at the version
 /// manager, store the repair tree, commit. Typed errors
 /// ([`BlobError::AbortConflict`]) when the version already completed,
 /// published or aborted; on a repair failure the version stays marked
 /// (readers already see `VersionAborted`) and the sweeper retries.
 pub(crate) fn abort_version(engine: &Arc<Engine>, blob: BlobId, v: Version) -> Result<()> {
+    let _guard = enter_repair();
     // The repair stores pages before their leaves land; pin it with
     // the scrubber's epoch cut (like any writer) so a concurrent
     // `scrub_orphans` never reclaims repair pages mid-flight.
@@ -203,6 +282,7 @@ fn repair(engine: &Arc<Engine>, blob: BlobId, t: &AbortTicket) -> Result<()> {
 ///   `Aborting` states, repairs are idempotent (`put_new`), and a
 ///   commit lost to a concurrent aborter is detected and absorbed.
 pub(crate) fn sweep_expired(engine: &Arc<Engine>, below: Option<(BlobId, Version)>) -> SweepReport {
+    let _guard = enter_repair();
     let mut report = SweepReport::default();
     let run = |blob: BlobId, v: Version, report: &mut SweepReport| {
         match abort_version(engine, blob, v) {

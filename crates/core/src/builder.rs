@@ -4,9 +4,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use blobseer_meta::MetaStore;
-use blobseer_provider::{AllocationStrategy, ProviderManager};
+use blobseer_provider::{AllocationStrategy, DataProvider, PageStore, ProviderManager};
 use blobseer_rt::ThreadPool;
-use blobseer_types::{BlobError, PageIdGen, Result, StoreConfig};
+use blobseer_types::{BlobError, PageIdGen, ProviderId, Result, StoreConfig};
 use blobseer_version::{ConcurrencyMode, VersionManager};
 
 use crate::engine::Engine;
@@ -18,11 +18,23 @@ use crate::BlobSeer;
 /// Defaults mirror [`StoreConfig::default`]: 64 KiB pages (the paper's
 /// smaller evaluation page size), 16 data + 16 metadata providers,
 /// round-robin placement and the paper's concurrent metadata mode.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Builder {
     config: StoreConfig,
     strategy: AllocationStrategy,
     mode: ConcurrencyMode,
+    stores: Option<Vec<Arc<dyn PageStore>>>,
+}
+
+impl std::fmt::Debug for Builder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Builder")
+            .field("config", &self.config)
+            .field("strategy", &self.strategy)
+            .field("mode", &self.mode)
+            .field("custom_stores", &self.stores.as_ref().map(Vec::len))
+            .finish()
+    }
 }
 
 impl Builder {
@@ -32,6 +44,7 @@ impl Builder {
             config: StoreConfig::default(),
             strategy: AllocationStrategy::RoundRobin,
             mode: ConcurrencyMode::Concurrent,
+            stores: None,
         }
     }
 
@@ -179,6 +192,69 @@ impl Builder {
         self
     }
 
+    /// Extra store attempts per replica target before write-path
+    /// failover gives up on it (see
+    /// [`StoreConfig::store_retry_attempts`]); `0` fails over on the
+    /// first error.
+    pub fn store_retry_attempts(mut self, attempts: u32) -> Self {
+        self.config.store_retry_attempts = attempts;
+        self
+    }
+
+    /// Base of the deterministic linear backoff between store retries:
+    /// attempt *n* sleeps `n ×` this duration (see
+    /// [`StoreConfig::store_retry_backoff_ms`]). Default 0 (no sleep),
+    /// which is what failure-injection tests want.
+    pub fn store_retry_backoff(mut self, base: Duration) -> Self {
+        self.config.store_retry_backoff_ms = base.as_millis() as u64;
+        self
+    }
+
+    /// Slice length for blocked metadata waits (see
+    /// [`StoreConfig::metadata_wait_slice_ms`]): a thread blocked on an
+    /// in-flight tree node wakes every slice to run the lease-sweep
+    /// self-help hook — *wait a bit, self-help, retry* — instead of
+    /// sleeping out the full [`Builder::metadata_wait`] behind a dead
+    /// writer. `Duration::ZERO` disables slicing (plain full-timeout
+    /// waits); the overall deadline is unchanged either way.
+    pub fn metadata_wait_slice(mut self, slice: Duration) -> Self {
+        self.config.metadata_wait_slice_ms = slice.as_millis() as u64;
+        self
+    }
+
+    /// Back each data provider with a caller-supplied [`PageStore`]
+    /// (one provider per store, in order — overriding
+    /// [`Builder::data_providers`]). This is the fault-injection seam:
+    /// wrap stores in [`blobseer_provider::FaultPlan`] and keep the
+    /// handles to take providers offline, inject errors or flip bits
+    /// mid-workload.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use blobseer_provider::{FaultPlan, MemoryPageStore, PageStore};
+    ///
+    /// let plans: Vec<Arc<FaultPlan>> = (0..3)
+    ///     .map(|_| Arc::new(FaultPlan::new(Arc::new(MemoryPageStore::new()))))
+    ///     .collect();
+    /// let store = blobseer::BlobSeer::builder()
+    ///     .metadata_providers(2)
+    ///     .io_threads(1)
+    ///     .pipeline_threads(1)
+    ///     .replication(2)
+    ///     .page_stores(plans.iter().map(|p| Arc::clone(p) as Arc<dyn PageStore>).collect())
+    ///     .build()?;
+    /// let blob = store.create();
+    /// plans[0].set_offline(true); // kill a provider; writes now fail over
+    /// blob.append(&[7u8; 64])?;
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn page_stores(mut self, stores: Vec<Arc<dyn PageStore>>) -> Self {
+        self.stores = Some(stores);
+        self
+    }
+
     /// Concurrency mode — [`ConcurrencyMode::SerializedMetadata`] is the
     /// ablation baseline measured by experiment E5.
     pub fn concurrency_mode(mut self, mode: ConcurrencyMode) -> Self {
@@ -194,30 +270,52 @@ impl Builder {
 
     /// Validate the configuration and assemble the deployment.
     pub fn build(self) -> Result<BlobSeer> {
-        self.config.validate().map_err(BlobError::Storage)?;
-        let wait = Duration::from_millis(self.config.metadata_wait_ms);
-        let meta = MetaStore::new(self.config.metadata_providers, wait)
-            .with_cache(self.config.metadata_cache_entries);
-        let metrics = EngineMetrics::new(self.config.latency_metrics, meta.wait_latency());
+        let Builder { mut config, strategy, mode, stores } = self;
+        if let Some(stores) = &stores {
+            config.data_providers = stores.len();
+        }
+        config.validate().map_err(BlobError::Storage)?;
+        let wait = Duration::from_millis(config.metadata_wait_ms);
+        let meta = MetaStore::new(config.metadata_providers, wait)
+            .with_cache(config.metadata_cache_entries)
+            .with_wait_slice(Duration::from_millis(config.metadata_wait_slice_ms));
+        let metrics = EngineMetrics::new(config.latency_metrics, meta.wait_latency());
+        let providers = match stores {
+            Some(stores) => ProviderManager::new(
+                stores
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, s)| Arc::new(DataProvider::new(ProviderId(i as u32), s)))
+                    .collect(),
+                strategy,
+            ),
+            None => ProviderManager::with_memory_providers(config.data_providers, strategy),
+        };
         let engine = Engine {
-            vm: VersionManager::new(self.config.page_size, self.mode, wait)
-                .with_lease_ttl(self.config.lease_ttl_ticks),
+            vm: VersionManager::new(config.page_size, mode, wait)
+                .with_lease_ttl(config.lease_ttl_ticks),
             meta,
             metrics,
-            providers: ProviderManager::with_memory_providers(
-                self.config.data_providers,
-                self.strategy,
-            ),
-            pool: ThreadPool::new(self.config.client_io_threads, "blobseer-io"),
-            pipeline: ThreadPool::new_detached(self.config.pipeline_threads, "blobseer-pipe"),
+            providers,
+            pool: ThreadPool::new(config.client_io_threads, "blobseer-io"),
+            pipeline: ThreadPool::new_detached(config.pipeline_threads, "blobseer-pipe"),
             order_locks: Default::default(),
             sweep_gate: Default::default(),
             sweep_queued: Default::default(),
             update_pins: Default::default(),
             pidgen: PageIdGen::new(),
-            config: self.config,
+            config,
         };
         let store = BlobSeer { engine: Arc::new(engine) };
+        // The self-help hook closes over the engine that owns the
+        // MetaStore — install it post-construction through a Weak so
+        // the cycle cannot leak the deployment.
+        let weak = Arc::downgrade(&store.engine);
+        store.engine.meta.set_self_help(Arc::new(move || {
+            if let Some(engine) = weak.upgrade() {
+                crate::abort::self_help_on_wait(&engine);
+            }
+        }));
         if store.engine.config.lease_tick_interval_ms > 0 {
             spawn_lease_ticker(&store.engine);
         }

@@ -110,6 +110,7 @@ mod gc;
 mod metrics;
 mod pending;
 mod read;
+mod repair;
 mod scrub;
 mod snapshot;
 mod stats;
@@ -120,14 +121,20 @@ pub use blob::{Blob, BlobRef};
 pub use builder::Builder;
 pub use gc::GcReport;
 pub use pending::PendingWrite;
+pub use repair::RepairReport;
 pub use scrub::ScrubReport;
 pub use snapshot::{ScatterRead, ScatterSegment, Snapshot};
 pub use stats::{OpLatency, StatsSnapshot, StoreStats};
 pub use write::CrashPoint;
 
-// Re-export the vocabulary a user needs to drive the API.
-pub use blobseer_provider::AllocationStrategy;
-pub use blobseer_types::{BlobError, BlobId, ByteRange, ProviderId, Result, StoreConfig, Version};
+// Re-export the vocabulary a user needs to drive the API — including
+// the fault-injection seam ([`Builder::page_stores`] + [`FaultPlan`]).
+pub use blobseer_provider::{
+    AllocationStrategy, FaultPlan, FilePageStore, MemoryPageStore, PageStore, ProviderStats,
+};
+pub use blobseer_types::{
+    BlobError, BlobId, ByteRange, PageId, ProviderId, Result, StoreConfig, Version,
+};
 pub use blobseer_version::ConcurrencyMode;
 // Re-exported so callers of the zero-copy entry points need no direct
 // `bytes` dependency.
@@ -324,6 +331,47 @@ impl BlobSeer {
     /// ```
     pub fn scrub_orphans(&self) -> Result<ScrubReport> {
         scrub::scrub_orphans(&self.engine)
+    }
+
+    /// Restore every live page to **full replication**: mark live
+    /// pages against metadata (the scrubber's machinery and epoch-cut
+    /// safety argument), scan every provider's physical copy set, and
+    /// diff each page against its expected replica chain — re-copying
+    /// missing or checksum-failed chain copies from any copy that
+    /// verifies (chain first, then the write-path failover fallbacks),
+    /// and trimming redundant failover strays once a chain fully
+    /// verifies. Repair **fills, never overwrites**: a copy that
+    /// verifies is never rewritten (replacing a corrupt copy is the
+    /// one exception — its bytes were provably not the page). A second
+    /// pass over a healthy deployment is a no-op. Run it after
+    /// provider failures, whenever `under_replicated_stores` moves, or
+    /// on a schedule; see `docs/OPERATIONS.md` ("degraded mode").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(3)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1)
+    /// #     .replication(2).build()?;
+    /// # let blob = store.create();
+    /// let v = blob.append(&[7u8; 4096])?;
+    /// blob.sync(v)?;
+    /// // Lose one provider's copies wholesale: reads still succeed
+    /// // (replica fallback), and repair restores full replication.
+    /// # let victim = store.stats().providers.iter()
+    /// #     .find(|p| p.pages > 0).map(|p| p.id).unwrap();
+    /// store.fail_provider(victim)?;
+    /// let report = store.repair_replicas()?;
+    /// assert_eq!(report.providers_skipped, 1);
+    /// store.recover_provider(victim)?;
+    /// // A healthy deployment repairs to a no-op.
+    /// let report = store.repair_replicas()?;
+    /// assert_eq!(report.copies_repaired, 0);
+    /// assert_eq!(report.pages_unrepairable, 0);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn repair_replicas(&self) -> Result<RepairReport> {
+        repair::repair_replicas(&self.engine)
     }
 
     /// Run a lease sweep *now*, synchronously: abort every in-flight

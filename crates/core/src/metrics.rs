@@ -34,6 +34,11 @@ pub(crate) struct EngineMetrics {
     pub lease_sweep_latency: Arc<WindowedHistogram>,
     pub scrub_mark_latency: Arc<WindowedHistogram>,
     pub scrub_sweep_latency: Arc<WindowedHistogram>,
+    pub repair_mark_latency: Arc<WindowedHistogram>,
+    pub repair_copy_latency: Arc<WindowedHistogram>,
+    pub failovers: Arc<Counter>,
+    pub corrupt_pages: Arc<Counter>,
+    pub under_replicated_stores: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -84,6 +89,24 @@ impl EngineMetrics {
             "blobseer_scrub_sweep_latency_seconds",
             "orphan scrub sweep phase: provider-side deletion",
         );
+        let repair_mark_latency = r.histogram_seconds(
+            "blobseer_repair_mark_latency_seconds",
+            "replica repair mark phase: epoch cut + live-page walk + provider scans",
+        );
+        let repair_copy_latency = r.histogram_seconds(
+            "blobseer_repair_copy_latency_seconds",
+            "replica repair copy phase: verify chains, re-copy missing/corrupt replicas",
+        );
+        let failovers =
+            r.counter("blobseer_failovers_total", "page stores re-placed onto a fallback provider");
+        let corrupt_pages = r.counter(
+            "blobseer_corrupt_pages_detected_total",
+            "page copies that failed checksum verification",
+        );
+        let under_replicated_stores = r.counter(
+            "blobseer_under_replicated_stores_total",
+            "page stores that published fewer copies than the replication factor",
+        );
         EngineMetrics {
             enabled,
             registry: r,
@@ -102,6 +125,11 @@ impl EngineMetrics {
             lease_sweep_latency,
             scrub_mark_latency,
             scrub_sweep_latency,
+            repair_mark_latency,
+            repair_copy_latency,
+            failovers,
+            corrupt_pages,
+            under_replicated_stores,
         }
     }
 

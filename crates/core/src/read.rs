@@ -172,8 +172,15 @@ pub(crate) fn fetch_slices_into(
 }
 
 /// Fetch a page sub-range from its primary provider, falling back along
-/// the deterministic replica chain when the primary is failed or lost
-/// the copy. With replication = 1 this is a plain primary fetch.
+/// the deterministic replica chain — and past it, through the fallback
+/// sequence write-path failover re-places copies onto — when a copy is
+/// missing, its provider is down, or it fails checksum verification.
+///
+/// A corrupt copy is treated as a miss (counted in
+/// `corrupt_pages_detected_total`) and the walk continues; the typed
+/// [`BlobError::PageCorrupt`] only surfaces when corruption was seen
+/// and *no* provider produced a verified copy — the "every replica
+/// rotted" case the repairer cannot fix either.
 fn fetch_with_fallback(
     engine: &Arc<Engine>,
     descriptor: &blobseer_types::PageDescriptor,
@@ -185,15 +192,23 @@ fn fetch_with_fallback(
             .provider(id)
             .and_then(|p| p.fetch_page_range(descriptor.pid, within.offset, within.size))
     };
-    let mut last = match fetch(descriptor.provider) {
-        Ok(data) => return Ok(data),
-        Err(e) => e,
-    };
-    for replica in engine.providers.replicas_of(descriptor.provider, engine.config.replication)? {
-        match fetch(replica) {
+    let replicas = engine.providers.replicas_of(descriptor.provider, engine.config.replication)?;
+    let fallbacks = engine.providers.fallbacks_of(descriptor.provider, 1 + replicas.len())?;
+    let mut corrupt = None;
+    let mut unavailable = None;
+    let mut last = None;
+    for id in std::iter::once(descriptor.provider).chain(replicas).chain(fallbacks) {
+        match fetch(id) {
             Ok(data) => return Ok(data),
-            Err(e) => last = e,
+            Err(e @ BlobError::PageCorrupt { .. }) => {
+                engine.metrics.corrupt_pages.increment();
+                corrupt = Some(e);
+            }
+            // A down provider may still hold the copy; report that over
+            // a mere miss from a fallback that never had it.
+            Err(e @ BlobError::ProviderUnavailable(_)) => unavailable = Some(e),
+            Err(e) => last = Some(e),
         }
     }
-    Err(last)
+    Err(corrupt.or(unavailable).or(last).unwrap_or(BlobError::NoAvailableProvider))
 }

@@ -85,6 +85,11 @@ pub struct ScrubReport {
     /// Offline (or mid-sweep unreadable) providers whose pass did not
     /// complete; re-scrub after recovery.
     pub providers_skipped: usize,
+    /// Per-blob mark restarts absorbed: a concurrent `retire_versions`
+    /// moved a blob's retire generation mid-mark, so that blob's mark
+    /// was re-cut and re-walked in place instead of failing the whole
+    /// pass with [`BlobError::ScrubConflict`].
+    pub mark_restarts: u64,
 }
 
 /// Shared, `'static` state for the per-provider sweep jobs.
@@ -108,31 +113,42 @@ pub(crate) fn scrub_orphans(engine: &Arc<Engine>) -> Result<ScrubReport> {
     // no matter how many branches retain it.
     let mut visited: HashSet<NodeKey> = HashSet::new();
     let mut live: HashSet<PageId> = HashSet::new();
-    for cut in &cuts {
-        let reader = TreeReader::new(&engine.meta, &cut.lineage);
-        let mut on_leaf = |pid: PageId, _| {
-            live.insert(pid);
-        };
-        for &root in &cut.roots {
-            collect_tree_pages(&reader, root, &mut visited, &mut on_leaf).map_err(|e| {
-                BlobError::ScrubConflict(format!(
-                    "mark of {} {} hit incomplete metadata ({e}); \
-                     likely racing retire_versions — nothing was swept",
-                    cut.blob, root.version
-                ))
-            })?;
-        }
-        // In-flight versions: probe the leaf positions the update was
-        // assigned (non-blocking; key resolution through the reader,
-        // like every other walk). Anything durable is marked; anything
-        // absent is the writer's still-unstored (pinned/exempt) or
-        // leaked state.
-        for &(version, range) in &cut.inflight {
-            for page in range.iter() {
-                if let Ok(TreeNode::Leaf { pid, .. }) =
-                    reader.fetch(version, NodePos::new(page, 1), false)
-                {
-                    live.insert(pid);
+    let mut mark_restarts = 0u64;
+    for mut cut in cuts {
+        loop {
+            // Transactional scratch: a failed walk leaves the visited
+            // set poisoned — keys inserted before their subtrees were
+            // enumerated — and retrying over it would skip-and-under-
+            // mark. The walk therefore commits into the shared set only
+            // when the whole blob marked cleanly. (Spurious `live`
+            // entries from a failed attempt merely spare pages for a
+            // later pass — over-marking is always safe.)
+            let mut scratch = visited.clone();
+            let mut on_leaf = |pid: PageId, _| {
+                live.insert(pid);
+            };
+            match mark_one_blob(engine, &cut, &mut scratch, &mut on_leaf) {
+                Ok(()) => {
+                    visited = scratch;
+                    break;
+                }
+                Err(conflict) => {
+                    // A concurrent `retire_versions` on *this* blob is
+                    // the benign cause, and it moves the blob's retire
+                    // generation with every real boundary advance. If
+                    // the generation moved, re-cut just this blob and
+                    // restart its mark — every other blob's work
+                    // stands. A conflict with an unmoved generation is
+                    // genuinely incomplete metadata: fail the pass.
+                    let gen = engine.vm.retire_generation(cut.blob).unwrap_or(cut.retire_gen);
+                    if gen == cut.retire_gen {
+                        return Err(conflict);
+                    }
+                    // Each retry consumes one observed generation
+                    // advance, so this loop cannot spin without a
+                    // matching stream of real retires.
+                    mark_restarts += 1;
+                    cut = engine.vm.scrub_cut_for(cut.blob)?;
                 }
             }
         }
@@ -167,6 +183,7 @@ pub(crate) fn scrub_orphans(engine: &Arc<Engine>) -> Result<ScrubReport> {
 
     let mut report = ScrubReport {
         pages_marked,
+        mark_restarts,
         pages_exempt: shared.exempt.load(Ordering::Relaxed),
         ..ScrubReport::default()
     };
@@ -184,4 +201,43 @@ pub(crate) fn scrub_orphans(engine: &Arc<Engine>) -> Result<ScrubReport> {
     }
     crate::metrics::EngineMetrics::record(sweep_timer, &engine.metrics.scrub_sweep_latency);
     Ok(report)
+}
+
+/// One blob's share of the mark phase: walk every retained root, then
+/// probe the in-flight leaf positions, reporting every live leaf to
+/// `on_leaf`. Fails typed ([`BlobError::ScrubConflict`]) without
+/// sweeping anything when a retained tree is incomplete — the caller
+/// decides whether that is a benign retire race (restart this blob) or
+/// a real fault. Shared with the replica repairer (`crate::repair`),
+/// which wants the leaf's primary provider as well as its page.
+pub(crate) fn mark_one_blob(
+    engine: &Arc<Engine>,
+    cut: &blobseer_version::BlobScrubCut,
+    visited: &mut HashSet<NodeKey>,
+    on_leaf: &mut dyn FnMut(PageId, blobseer_types::ProviderId),
+) -> Result<()> {
+    let reader = TreeReader::new(&engine.meta, &cut.lineage);
+    for &root in &cut.roots {
+        collect_tree_pages(&reader, root, visited, on_leaf).map_err(|e| {
+            BlobError::ScrubConflict(format!(
+                "mark of {} {} hit incomplete metadata ({e}); \
+                 likely racing retire_versions — nothing was swept",
+                cut.blob, root.version
+            ))
+        })?;
+    }
+    // In-flight versions: probe the leaf positions the update was
+    // assigned (non-blocking; key resolution through the reader, like
+    // every other walk). Anything durable is marked; anything absent is
+    // the writer's still-unstored (pinned/exempt) or leaked state.
+    for &(version, range) in &cut.inflight {
+        for page in range.iter() {
+            if let Ok(TreeNode::Leaf { pid, provider, .. }) =
+                reader.fetch(version, NodePos::new(page, 1), false)
+            {
+                on_leaf(pid, provider);
+            }
+        }
+    }
+    Ok(())
 }

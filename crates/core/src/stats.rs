@@ -138,6 +138,24 @@ pub struct StatsSnapshot {
     pub scrub_mark: OpLatency,
     /// Orphan-scrub sweep phase (provider-bound).
     pub scrub_sweep: OpLatency,
+    /// Replica-repair mark phase (epoch cut + live-page walk +
+    /// provider scans; metadata- and scan-bound).
+    pub repair_mark: OpLatency,
+    /// Replica-repair copy phase (chain verification + re-copies;
+    /// provider-bound).
+    pub repair_copy: OpLatency,
+    /// Lifetime page stores re-placed onto a fallback provider because
+    /// a replica-chain member was offline or erroring. Counters always
+    /// count, independent of `latency_metrics`.
+    pub failovers_total: u64,
+    /// Lifetime page copies that failed checksum verification
+    /// (engine-observed; per-provider splits are in
+    /// [`StoreStats::providers`]).
+    pub corrupt_pages_detected: u64,
+    /// Lifetime page stores that published fewer copies than the
+    /// replication factor — run [`crate::BlobSeer::repair_replicas`]
+    /// when this moves; see `docs/OPERATIONS.md` ("degraded mode").
+    pub under_replicated_stores: u64,
 }
 
 pub(crate) fn snapshot(engine: &Engine) -> StatsSnapshot {
@@ -154,5 +172,10 @@ pub(crate) fn snapshot(engine: &Engine) -> StatsSnapshot {
         lease_sweep: op(&m.lease_sweep_latency),
         scrub_mark: op(&m.scrub_mark_latency),
         scrub_sweep: op(&m.scrub_sweep_latency),
+        repair_mark: op(&m.repair_mark_latency),
+        repair_copy: op(&m.repair_copy_latency),
+        failovers_total: m.failovers.value(),
+        corrupt_pages_detected: m.corrupt_pages.value(),
+        under_replicated_stores: m.under_replicated_stores.value(),
     }
 }

@@ -166,6 +166,11 @@ pub(crate) fn finish_until(
     // stage — including the crash-injection early returns, where its
     // drop is precisely the simulated writer death.
     let Prepared { assigned, data, mut leaves, pin: _pin } = prepared;
+    // Scope for the DHT self-help hook: if this stage blocks on
+    // in-flight metadata mid-wait, the hook may sweep expired leases
+    // strictly below our version — never at or above (that repair
+    // would wait on the metadata we have yet to write).
+    let _wait_scope = crate::abort::wait_scope(blob, assigned.vw);
 
     // Self-help sweep: if some lower version's writer died, this stage
     // is about to block on its metadata — abort the blocker first
@@ -395,14 +400,24 @@ fn store_boundary_pages(
     Ok(out)
 }
 
-/// Store one page on its primary plus the configured replica chain.
-/// Succeeds when at least one copy landed: the leaf names the primary,
-/// and readers fall back along the same deterministic chain.
+/// Store one page on its primary plus the configured replica chain,
+/// failing over when chain members are down. Succeeds when at least
+/// one copy landed: the leaf names the primary, and readers fall back
+/// along the same deterministic chain (and past it, in registry
+/// order — see [`blobseer_provider::ProviderManager::fallbacks_of`]).
 ///
-/// `payload` is refcounted, so the chain hands out `replication - 1`
-/// cheap clones and *moves* the payload into the last target — no
-/// refcount bump, and (with zero-copy carving) no byte is ever copied
-/// per replica.
+/// Failure discipline per target: up to `store_retry_attempts` extra
+/// attempts with deterministic linear backoff
+/// (`attempt * store_retry_backoff_ms`), then the copy is re-placed on
+/// the next live fallback provider past the chain. Each re-placement
+/// counts one `failovers_total`; publishing fewer copies than the
+/// chain wanted counts one `under_replicated_stores_total` (the
+/// repairer's cue). The update only fails when *no* provider in the
+/// deployment accepted the page.
+///
+/// `payload` is refcounted, so every copy is a cheap clone of the same
+/// window — no byte is ever copied per replica (with zero-copy
+/// carving).
 pub(crate) fn store_one_replicated(
     engine: &Arc<Engine>,
     pid: blobseer_types::PageId,
@@ -411,25 +426,70 @@ pub(crate) fn store_one_replicated(
 ) -> Result<()> {
     let mut targets = vec![primary];
     targets.extend(engine.providers.replicas_of(primary, engine.config.replication)?);
-    let mut stored = 0;
+    let desired = targets.len();
+    let mut stored = 0usize;
+    let mut failed = 0usize;
     let mut last_err = None;
-    let last = targets.len() - 1;
-    let mut payload = Some(payload);
-    for (i, target) in targets.into_iter().enumerate() {
-        let data = if i == last {
-            payload.take().expect("payload moved only once, at the last target")
-        } else {
-            payload.as_ref().expect("payload present before the last target").clone()
-        };
-        match engine.providers.provider(target).and_then(|p| p.store_page(pid, data)) {
+    for target in targets {
+        match store_with_retry(engine, target, pid, &payload) {
             Ok(()) => stored += 1,
-            Err(e) => last_err = Some(e),
+            Err(e) => {
+                failed += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    if failed > 0 {
+        // Re-place each failed copy on the next fallback that accepts
+        // it. The fallback sequence is a deterministic function of
+        // (primary, registry order), so the repairer — and any reader —
+        // recomputes where a failed-over copy can live with no extra
+        // metadata.
+        let mut fallbacks = engine.providers.fallbacks_of(primary, desired)?.into_iter();
+        while failed > 0 {
+            let Some(fallback) = fallbacks.next() else { break };
+            match store_with_retry(engine, fallback, pid, &payload) {
+                Ok(()) => {
+                    stored += 1;
+                    failed -= 1;
+                    engine.metrics.failovers.increment();
+                }
+                Err(e) => last_err = Some(e),
+            }
         }
     }
     if stored == 0 {
-        Err(last_err.unwrap_or(BlobError::NoAvailableProvider))
-    } else {
-        Ok(())
+        return Err(last_err.unwrap_or(BlobError::NoAvailableProvider));
+    }
+    if stored < desired {
+        engine.metrics.under_replicated_stores.increment();
+    }
+    Ok(())
+}
+
+/// One target's share of a replicated store: the initial attempt plus
+/// up to `store_retry_attempts` retries, sleeping
+/// `attempt * store_retry_backoff_ms` between tries (linear, fully
+/// deterministic — no jitter, so failure tests replay exactly).
+fn store_with_retry(
+    engine: &Arc<Engine>,
+    target: ProviderId,
+    pid: blobseer_types::PageId,
+    payload: &Bytes,
+) -> Result<()> {
+    let mut attempt = 0u32;
+    loop {
+        match engine.providers.provider(target).and_then(|p| p.store_page(pid, payload.clone())) {
+            Ok(()) => return Ok(()),
+            Err(e) if attempt >= engine.config.store_retry_attempts => return Err(e),
+            Err(_) => {
+                attempt += 1;
+                let backoff = attempt as u64 * engine.config.store_retry_backoff_ms;
+                if backoff > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+            }
+        }
     }
 }
 

@@ -271,6 +271,90 @@ where
         result
     }
 
+    /// [`Dht::get_wait`], sliced: park in `slice`-sized chunks and run
+    /// `between` after every slice that expires without the key
+    /// appearing — the **self-help hook**. The engine hangs a lease
+    /// sweep on it, so a reader blocked on a *dead* writer's missing
+    /// node recovers in roughly one slice (sweep → abort repair fills
+    /// the node) instead of burning the whole `timeout` and failing.
+    ///
+    /// `between` runs with the bucket's wait mutex **released** — it
+    /// may do arbitrary work, including `put`/`put_new` on this very
+    /// DHT. Our registration stays parked across the gap (the key's
+    /// queue entry cannot be dropped), and a notify landing in the gap
+    /// is not lost: the loop re-checks the map after re-locking.
+    ///
+    /// Metrics match `get_wait` exactly: one `record_wait` and one
+    /// block-time sample per call that parked, spanning first park to
+    /// exit — hook time included, because the caller *was* blocked for
+    /// all of it. A zero `slice` (or one at/above `timeout`) degrades
+    /// to plain `get_wait`.
+    pub fn get_wait_sliced(
+        &self,
+        key: &K,
+        timeout: Duration,
+        slice: Duration,
+        mut between: impl FnMut(),
+    ) -> Result<V, DhtError> {
+        if slice.is_zero() || slice >= timeout {
+            return self.get_wait(key, timeout);
+        }
+        let b = &self.buckets[self.bucket_of(key)];
+        b.stats.record_get();
+        if let Some(v) = b.map.read().get(key) {
+            return Ok(v.clone());
+        }
+        let deadline = Instant::now() + timeout;
+        let mut queues = b.wait_queues.lock();
+        b.waiters.fetch_add(1, Ordering::SeqCst);
+        let cv = {
+            let q = queues
+                .entry(key.clone())
+                .or_insert_with(|| KeyQueue { cv: Arc::new(Condvar::new()), parked: 0 });
+            q.parked += 1;
+            Arc::clone(&q.cv)
+        };
+        let mut block_timer: Option<Timer> = None;
+        let result = loop {
+            if let Some(v) = b.map.read().get(key) {
+                break Ok(v.clone());
+            }
+            if block_timer.is_none() {
+                block_timer = Some(Timer::start());
+                b.stats.record_wait();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break Err(DhtError::WaitTimeout);
+            }
+            let slice_deadline = std::cmp::min(now + slice, deadline);
+            if cv.wait_until(&mut queues, slice_deadline).timed_out() {
+                // Slice expired. The key may have landed between the
+                // timeout and our relock — prefer it over self-help.
+                if let Some(v) = b.map.read().get(key) {
+                    break Ok(v.clone());
+                }
+                if Instant::now() >= deadline {
+                    break Err(DhtError::WaitTimeout);
+                }
+                drop(queues);
+                between();
+                queues = b.wait_queues.lock();
+            }
+        };
+        if let Some(q) = queues.get_mut(key) {
+            q.parked -= 1;
+            if q.parked == 0 {
+                queues.remove(key);
+            }
+        }
+        b.waiters.fetch_sub(1, Ordering::SeqCst);
+        if let Some(timer) = block_timer {
+            timer.stop(&self.wait_latency);
+        }
+        result
+    }
+
     /// `true` when the key is currently stored.
     pub fn contains(&self, key: &K) -> bool {
         let b = &self.buckets[self.bucket_of(key)];
@@ -416,6 +500,73 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), Ok(55));
         }
+    }
+
+    #[test]
+    fn sliced_wait_self_help_supplies_the_key() {
+        // The between-slices hook stores the key itself (the shape of
+        // the engine's self-help lease sweep: abort repair fills the
+        // node the waiter is parked on).
+        let dht: Arc<Dht<u64, u64>> = Arc::new(Dht::new(4));
+        let d2 = Arc::clone(&dht);
+        let hook_runs = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hook_runs);
+        let t0 = Instant::now();
+        let got =
+            dht.get_wait_sliced(&7, Duration::from_secs(5), Duration::from_millis(20), || {
+                h2.fetch_add(1, Ordering::SeqCst);
+                d2.put(7, 77);
+            });
+        assert_eq!(got, Ok(77));
+        assert_eq!(hook_runs.load(Ordering::SeqCst), 1, "recovered in one slice");
+        assert!(t0.elapsed() < Duration::from_secs(4), "did not burn the full timeout");
+        // Exactly one recorded wait for the whole sliced block.
+        assert_eq!(dht.stats().total_waits, 1);
+    }
+
+    #[test]
+    fn sliced_wait_still_honours_the_overall_deadline() {
+        let dht: Dht<u64, u64> = Dht::new(4);
+        let hook_runs = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        let got =
+            dht.get_wait_sliced(&7, Duration::from_millis(60), Duration::from_millis(15), || {
+                hook_runs.fetch_add(1, Ordering::SeqCst);
+            });
+        assert_eq!(got, Err(DhtError::WaitTimeout));
+        assert!(t0.elapsed() >= Duration::from_millis(60));
+        assert!(hook_runs.load(Ordering::SeqCst) >= 2, "hook ran between slices");
+        assert_eq!(dht.stats().total_waits, 1, "one sample per blocked call, however many slices");
+    }
+
+    #[test]
+    fn sliced_wait_sees_a_put_from_another_thread() {
+        let dht: Arc<Dht<u64, u64>> = Arc::new(Dht::new(4));
+        let d2 = Arc::clone(&dht);
+        let waiter = std::thread::spawn(move || {
+            d2.get_wait_sliced(&42, Duration::from_secs(5), Duration::from_millis(10), || {})
+        });
+        std::thread::sleep(Duration::from_millis(35));
+        dht.put(42, 99);
+        assert_eq!(waiter.join().unwrap(), Ok(99));
+    }
+
+    #[test]
+    fn sliced_wait_with_zero_slice_degrades_to_plain_wait() {
+        let dht: Dht<u64, u64> = Dht::new(4);
+        dht.put(1, 10);
+        assert_eq!(
+            dht.get_wait_sliced(&1, Duration::from_millis(5), Duration::ZERO, || {
+                panic!("no hook without slicing")
+            }),
+            Ok(10)
+        );
+        assert_eq!(
+            dht.get_wait_sliced(&2, Duration::from_millis(5), Duration::from_secs(1), || {
+                panic!("slice >= timeout degrades too")
+            }),
+            Err(DhtError::WaitTimeout)
+        );
     }
 
     #[test]

@@ -38,4 +38,4 @@ pub use lineage::Lineage;
 pub use node::{NodeKey, RootRef, TreeNode};
 pub use plan::{read_plan, update_plan, ReadPlan, UpdatePlan};
 pub use read::{collect_tree_pages, read_meta, read_meta_multi, TreeReader};
-pub use store::MetaStore;
+pub use store::{MetaStore, SelfHelpHook};

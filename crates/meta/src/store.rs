@@ -5,9 +5,14 @@ use std::time::Duration;
 
 use blobseer_dht::{Dht, DhtError, DhtStats};
 use blobseer_types::{BlobError, Result};
+use parking_lot::RwLock;
 
 use crate::cache::NodeCache;
 use crate::node::{NodeKey, TreeNode};
+
+/// The between-slices callback of a sliced blocking wait; see
+/// [`MetaStore::set_self_help`].
+pub type SelfHelpHook = Arc<dyn Fn() + Send + Sync>;
 
 /// The metadata provider: tree nodes distributed over DHT buckets.
 ///
@@ -23,18 +28,54 @@ use crate::node::{NodeKey, TreeNode};
 pub struct MetaStore {
     dht: Arc<Dht<NodeKey, TreeNode>>,
     wait_timeout: Duration,
+    /// Slice size for blocking waits (zero = one uninterrupted block).
+    wait_slice: Duration,
+    /// Runs between wait slices with no DHT locks held; installed
+    /// after construction because the engine it calls into owns this
+    /// store (see [`MetaStore::set_self_help`]).
+    self_help: RwLock<Option<SelfHelpHook>>,
     cache: Option<NodeCache>,
 }
 
 impl MetaStore {
     /// Fresh store over `metadata_providers` DHT buckets.
     pub fn new(metadata_providers: usize, wait_timeout: Duration) -> Self {
-        MetaStore { dht: Arc::new(Dht::new(metadata_providers)), wait_timeout, cache: None }
+        MetaStore {
+            dht: Arc::new(Dht::new(metadata_providers)),
+            wait_timeout,
+            wait_slice: Duration::ZERO,
+            self_help: RwLock::new(None),
+            cache: None,
+        }
     }
 
     /// Wrap an existing DHT (lets tests share one DHT across stores).
     pub fn with_dht(dht: Arc<Dht<NodeKey, TreeNode>>, wait_timeout: Duration) -> Self {
-        MetaStore { dht, wait_timeout, cache: None }
+        MetaStore {
+            dht,
+            wait_timeout,
+            wait_slice: Duration::ZERO,
+            self_help: RwLock::new(None),
+            cache: None,
+        }
+    }
+
+    /// Slice blocking waits into `slice`-sized chunks, running the
+    /// installed self-help hook between chunks (zero restores single-
+    /// block waits). See [`blobseer_dht::Dht::get_wait_sliced`].
+    pub fn with_wait_slice(mut self, slice: Duration) -> Self {
+        self.wait_slice = slice;
+        self
+    }
+
+    /// Install the self-help hook that runs between wait slices. The
+    /// engine hangs its lease sweeper here: a `get_wait` blocked on a
+    /// dead writer's missing node then recovers in about one slice
+    /// (sweep → abort → repair fills the node) instead of timing out.
+    /// Installed post-construction — the hook closes over the engine,
+    /// and the engine owns this store.
+    pub fn set_self_help(&self, hook: SelfHelpHook) {
+        *self.self_help.write() = Some(hook);
     }
 
     /// Enable a client-side node cache of roughly `entries` nodes.
@@ -107,7 +148,17 @@ impl MetaStore {
                 return Ok(node);
             }
         }
-        let node = self.dht.get_wait(key, self.wait_timeout).map_err(|e| match e {
+        let got = if self.wait_slice.is_zero() {
+            self.dht.get_wait(key, self.wait_timeout)
+        } else {
+            self.dht.get_wait_sliced(key, self.wait_timeout, self.wait_slice, || {
+                let hook = self.self_help.read().clone();
+                if let Some(hook) = hook {
+                    hook();
+                }
+            })
+        };
+        let node = got.map_err(|e| match e {
             DhtError::WaitTimeout => BlobError::Timeout("metadata tree node"),
         })?;
         if let Some(cache) = &self.cache {
@@ -267,6 +318,32 @@ mod tests {
         assert_eq!(pids, vec![10, 21]);
         assert!(store.get(&key(2, 0, 1)).is_ok());
         assert!(store.get(&key(1, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn sliced_wait_runs_the_self_help_hook() {
+        // The hook supplies the missing node itself — the engine's
+        // self-help sweep in miniature.
+        let dht = Arc::new(blobseer_dht::Dht::new(2));
+        let store = Arc::new(
+            MetaStore::with_dht(Arc::clone(&dht), Duration::from_secs(5))
+                .with_wait_slice(Duration::from_millis(15)),
+        );
+        let n = TreeNode::Leaf { pid: PageId(5), provider: ProviderId(0), valid_len: 2 };
+        let d2 = Arc::clone(&dht);
+        store.set_self_help(Arc::new(move || {
+            d2.put(key(4, 0, 1), n);
+        }));
+        let t0 = std::time::Instant::now();
+        assert_eq!(store.get_wait(&key(4, 0, 1)).unwrap(), n);
+        assert!(t0.elapsed() < Duration::from_secs(4), "recovered well before the timeout");
+    }
+
+    #[test]
+    fn sliced_wait_without_hook_still_times_out_typed() {
+        let store =
+            MetaStore::new(2, Duration::from_millis(40)).with_wait_slice(Duration::from_millis(10));
+        assert_eq!(store.get_wait(&key(9, 0, 1)), Err(BlobError::Timeout("metadata tree node")));
     }
 
     #[test]

@@ -161,6 +161,25 @@ impl ProviderManager {
         Ok((1..replicas).map(|i| providers[(idx + i) % providers.len()].id()).collect())
     }
 
+    /// The deterministic **failover sequence** of a page: every
+    /// registered provider *beyond* the replica chain, in registry
+    /// order. When a chain member rejects a store (or a read misses on
+    /// the whole chain), the next copy lives on the first of these that
+    /// is alive — writers and readers recompute the identical sequence
+    /// from the leaf's primary alone, so failover placement needs no
+    /// extra metadata, exactly like the chain itself.
+    pub fn fallbacks_of(&self, primary: ProviderId, replicas: usize) -> Result<Vec<ProviderId>> {
+        assert!(replicas >= 1);
+        let providers = self.providers.read();
+        let idx = providers
+            .iter()
+            .position(|p| p.id() == primary)
+            .ok_or(BlobError::ProviderNotFound(primary))?;
+        Ok((replicas..providers.len())
+            .map(|i| providers[(idx + i) % providers.len()].id())
+            .collect())
+    }
+
     /// Stats snapshot for every provider.
     pub fn stats(&self) -> Vec<ProviderStats> {
         self.providers.read().iter().map(|p| p.stats()).collect()
@@ -318,6 +337,20 @@ mod tests {
         // Stable across failures: the chain ignores availability.
         mgr.provider(ProviderId(4)).unwrap().fail();
         assert_eq!(mgr.replicas_of(ProviderId(3), 2).unwrap(), vec![ProviderId(4)]);
+    }
+
+    #[test]
+    fn fallback_sequence_continues_past_the_chain() {
+        let mgr = ProviderManager::with_memory_providers(5, AllocationStrategy::RoundRobin);
+        // Chain of prov#3 at replication 2 is [prov#4]; fallbacks are
+        // the remaining providers in registry order.
+        assert_eq!(
+            mgr.fallbacks_of(ProviderId(3), 2).unwrap(),
+            vec![ProviderId(0), ProviderId(1), ProviderId(2)]
+        );
+        // Chain + fallbacks partition the deployment.
+        assert!(mgr.fallbacks_of(ProviderId(0), 5).unwrap().is_empty());
+        assert!(mgr.fallbacks_of(ProviderId(9), 2).is_err());
     }
 
     #[test]

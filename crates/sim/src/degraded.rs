@@ -1,0 +1,337 @@
+//! The degraded-mode read experiment: Figure 2(b) with dead providers.
+//!
+//! PR 7 makes provider failure a first-class state: with replication
+//! `r`, every page has copies on its primary and the next `r − 1`
+//! providers in registry order, and a reader whose primary is dead
+//! falls back along that deterministic chain. This experiment reruns
+//! the paper's concurrent-reader workload ([`crate::read_experiment`])
+//! on a cluster where the first `dead` data providers are offline, and
+//! prices the *degraded mode* the paper's availability story implies
+//! but never measures:
+//!
+//! * every page whose primary is dead is served by the first live
+//!   chain member — its round-robin successor — so the survivors
+//!   absorb the dead nodes' serving load on top of their own;
+//! * everything else (reader placement, metadata serving, chunk
+//!   assignment) is byte-identical to the healthy baseline, so the
+//!   measured difference is the failover redirection *alone*. A "dead"
+//!   node here is a crashed data-provider **process**: its co-deployed
+//!   metadata provider and reader keep running (metadata replication
+//!   is the DHT layer's concern, which the paper defers).
+//!
+//! The healthy run on the same cluster parameters is computed
+//! alongside, so the headline number is the **degradation ratio**:
+//! degraded per-reader bandwidth over healthy. With one dead provider
+//! out of P the load imbalance is 2×-on-one-node, and the ratio shows
+//! how much of that leaks into the mean (tail contention) — the cost
+//! an operator weighs against running the replica repairer
+//! (`BlobSeer::repair_replicas`) immediately (see
+//! `docs/OPERATIONS.md`, "degraded mode").
+
+use std::sync::{Arc, Mutex};
+
+use blobseer_meta::plan::{read_plan, ReadPlan};
+use blobseer_simnet::{
+    to_secs, Activity, Engine, Nanos, Network, NodeId, Process, Stage, Step, TransferSpec,
+};
+use blobseer_types::{NodePos, PageRange};
+
+use crate::cluster::Cluster;
+use crate::params::SimParams;
+use crate::read_experiment;
+
+/// Aggregate result of one degraded-mode reader-concurrency point.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradedReadSummary {
+    /// Number of concurrent readers.
+    pub readers: usize,
+    /// Data providers offline during the degraded run.
+    pub dead_providers: usize,
+    /// Replica-chain length (the engine's `replication` factor).
+    pub replication: usize,
+    /// Mean per-reader bandwidth of the healthy baseline, MB/s.
+    pub healthy_avg_mbps: f64,
+    /// Mean per-reader bandwidth with the dead providers, MB/s.
+    pub degraded_avg_mbps: f64,
+    /// Slowest degraded reader's bandwidth, MB/s (the reader stuck
+    /// behind the overloaded failover target).
+    pub degraded_min_mbps: f64,
+    /// `degraded_avg_mbps / healthy_avg_mbps` — 1.0 means failure-free
+    /// performance, lower is the degraded-mode tax.
+    pub degradation_ratio: f64,
+    /// Page fetches redirected from a dead primary to a live replica.
+    pub failover_fetches: u64,
+    /// Virtual time until the last degraded reader finished, seconds.
+    pub seconds: f64,
+}
+
+/// Run the degraded-mode experiment; see the module docs. `dead`
+/// providers (the first `dead` in registry order) are offline; it must
+/// stay below `replication`, the single-fault budget per chain —
+/// adjacent registry slots can share a chain, and a fully-dead chain
+/// is data loss, not degraded mode. Deterministic.
+#[allow(clippy::too_many_arguments)]
+pub fn degraded_read_experiment(
+    params: SimParams,
+    providers: usize,
+    readers: usize,
+    blob_pages: u64,
+    page_size: u64,
+    chunk_pages: u64,
+    replication: usize,
+    dead: usize,
+) -> DegradedReadSummary {
+    assert!(readers as u64 * chunk_pages <= blob_pages, "chunks must be disjoint");
+    assert!(replication >= 2, "degraded mode needs a replica to fall back to");
+    assert!(dead < replication, "a fully-dead chain is data loss, not degraded mode");
+    assert!(dead < providers, "someone must survive");
+
+    let healthy = read_experiment(params, providers, readers, blob_pages, page_size, chunk_pages);
+
+    let mut net = Network::new(params.latency);
+    let cluster = Cluster::build(&mut net, providers, 0)
+        .with_centralized_metadata(params.centralized_metadata);
+    let root = NodePos::root_for(blob_pages);
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let failovers = Arc::new(Mutex::new(0u64));
+    let mut engine = Engine::new(net);
+    for r in 0..readers {
+        let range = PageRange::new(r as u64 * chunk_pages, chunk_pages);
+        // Same co-deployment as the healthy baseline: only the data
+        // plane of the dead nodes is gone (module docs).
+        engine.spawn(Box::new(DegradedReadClient {
+            params,
+            client: cluster.co_deployed_client(r),
+            cluster: cluster.clone(),
+            page_size,
+            dead,
+            replication,
+            plan: read_plan(range, root),
+            range,
+            phase: Phase::Begin,
+            level: 0,
+            start: 0,
+            results: Arc::clone(&results),
+            failovers: Arc::clone(&failovers),
+        }));
+    }
+    let end = engine.run();
+    drop(engine);
+    let durations =
+        Arc::try_unwrap(results).expect("engine dropped").into_inner().expect("no poison");
+    let bytes = (chunk_pages * page_size) as f64;
+    let mbps: Vec<f64> = durations.iter().map(|&d| bytes / 1e6 / to_secs(d)).collect();
+    let degraded_avg = mbps.iter().sum::<f64>() / mbps.len() as f64;
+    DegradedReadSummary {
+        readers,
+        dead_providers: dead,
+        replication,
+        healthy_avg_mbps: healthy.avg_mbps,
+        degraded_avg_mbps: degraded_avg,
+        degraded_min_mbps: mbps.iter().copied().fold(f64::INFINITY, f64::min),
+        degradation_ratio: degraded_avg / healthy.avg_mbps,
+        failover_fetches: Arc::try_unwrap(failovers)
+            .expect("engine dropped")
+            .into_inner()
+            .expect("no poison"),
+        seconds: to_secs(end),
+    }
+}
+
+enum Phase {
+    Begin,
+    MetaLevels,
+    Pages,
+    Finish,
+}
+
+struct DegradedReadClient {
+    params: SimParams,
+    cluster: Cluster,
+    client: NodeId,
+    page_size: u64,
+    /// Providers `0..dead` are offline (data plane only).
+    dead: usize,
+    replication: usize,
+    plan: ReadPlan,
+    range: PageRange,
+    phase: Phase,
+    level: usize,
+    start: Nanos,
+    results: Arc<Mutex<Vec<Nanos>>>,
+    failovers: Arc<Mutex<u64>>,
+}
+
+impl DegradedReadClient {
+    /// The provider that serves `page_index`: the first live member of
+    /// its replica chain — the engine's exact read-fallback order.
+    /// Returns `(node, failed_over)`.
+    fn serving_provider(&self, page_index: u64) -> (NodeId, bool) {
+        let p = self.cluster.providers.len();
+        let primary = (page_index % p as u64) as usize;
+        for k in 0..self.replication {
+            let slot = (primary + k) % p;
+            if slot >= self.dead {
+                return (self.cluster.providers[slot], k > 0);
+            }
+        }
+        unreachable!("dead < replication guarantees a live chain member");
+    }
+
+    fn node_fetch(&self, pos: NodePos) -> Activity {
+        let p = &self.params;
+        let dst = self.cluster.meta_provider_of(pos);
+        Activity::new(vec![
+            Stage::Transfer(TransferSpec {
+                src: self.client,
+                dst,
+                bytes: p.ctl_bytes,
+                src_overhead: p.client_send_overhead,
+                dst_overhead: 0,
+            }),
+            Stage::Service { node: dst, duration: p.rpc_service },
+            Stage::Transfer(TransferSpec {
+                src: dst,
+                dst: self.client,
+                bytes: p.node_bytes,
+                src_overhead: p.meta_read_overhead,
+                dst_overhead: p.client_recv_ctl_overhead,
+            }),
+        ])
+    }
+
+    fn page_fetch(&self, dst: NodeId) -> Activity {
+        let p = &self.params;
+        Activity::new(vec![
+            Stage::Transfer(TransferSpec {
+                src: self.client,
+                dst,
+                bytes: p.ctl_bytes,
+                src_overhead: p.client_send_overhead,
+                dst_overhead: 0,
+            }),
+            Stage::Service { node: dst, duration: p.rpc_service },
+            Stage::Transfer(TransferSpec {
+                src: dst,
+                dst: self.client,
+                bytes: self.page_size,
+                src_overhead: p.provider_read_overhead,
+                dst_overhead: p.client_recv_page_overhead,
+            }),
+        ])
+    }
+
+    fn vm_rpc(&self) -> Activity {
+        let p = &self.params;
+        Activity::new(vec![
+            Stage::Transfer(TransferSpec {
+                src: self.client,
+                dst: self.cluster.vm,
+                bytes: p.ctl_bytes,
+                src_overhead: p.client_send_overhead,
+                dst_overhead: 0,
+            }),
+            Stage::Service { node: self.cluster.vm, duration: p.rpc_service },
+            Stage::Transfer(TransferSpec {
+                src: self.cluster.vm,
+                dst: self.client,
+                bytes: p.ctl_bytes,
+                src_overhead: 0,
+                dst_overhead: p.client_recv_ctl_overhead,
+            }),
+        ])
+    }
+}
+
+impl Process for DegradedReadClient {
+    fn step(&mut self, now: Nanos) -> Step {
+        loop {
+            match self.phase {
+                Phase::Begin => {
+                    self.start = now;
+                    self.phase = Phase::MetaLevels;
+                    return Step::Await(vec![self.vm_rpc()]);
+                }
+                Phase::MetaLevels => {
+                    if self.level >= self.plan.levels.len() {
+                        self.phase = Phase::Pages;
+                        continue;
+                    }
+                    let span = self.plan.levels[self.level];
+                    self.level += 1;
+                    let batch = span.positions().map(|pos| self.node_fetch(pos)).collect();
+                    return Step::AwaitWindow {
+                        activities: batch,
+                        window: self.params.fetch_window,
+                    };
+                }
+                Phase::Pages => {
+                    self.phase = Phase::Finish;
+                    let mut redirected = 0u64;
+                    let batch = self
+                        .range
+                        .iter()
+                        .map(|page| {
+                            let (node, failed_over) = self.serving_provider(page);
+                            redirected += u64::from(failed_over);
+                            self.page_fetch(node)
+                        })
+                        .collect();
+                    *self.failovers.lock().expect("no poison") += redirected;
+                    return Step::AwaitWindow {
+                        activities: batch,
+                        window: self.params.fetch_window,
+                    };
+                }
+                Phase::Finish => {
+                    self.results.lock().expect("no poison").push(now - self.start);
+                    return Step::Done;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_mode_costs_and_redirects() {
+        // Full co-deployment (a reader on every provider node): the
+        // failover hotspot gates every reader's fetch window.
+        let s = degraded_read_experiment(
+            SimParams::default(),
+            8,    // providers
+            8,    // readers
+            1024, // blob pages
+            65536,
+            128, // chunk pages per reader
+            2,   // replication
+            1,   // dead providers
+        );
+        // Every page whose primary is provider 0 redirected to its
+        // replica: 8 readers × 128 pages / 8 providers.
+        assert_eq!(s.failover_fetches, 8 * 128 / 8);
+        assert!(
+            s.degradation_ratio > 0.0 && s.degradation_ratio < 1.0,
+            "the failover hotspot must cost bandwidth: {s:#?}"
+        );
+        assert!(s.degraded_min_mbps <= s.degraded_avg_mbps);
+    }
+
+    #[test]
+    fn no_dead_providers_matches_healthy_placement() {
+        let s = degraded_read_experiment(SimParams::default(), 6, 3, 600, 65536, 100, 2, 0);
+        assert_eq!(s.failover_fetches, 0);
+        // Same cluster, same placement, same schedule: the degraded
+        // run *is* the healthy run.
+        assert!((s.degradation_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dead_beyond_the_fault_budget_rejected() {
+        degraded_read_experiment(SimParams::default(), 4, 1, 64, 65536, 64, 2, 2);
+    }
+}

@@ -22,6 +22,10 @@
 //!   storage as a long-lived service: the cost of the provider-side
 //!   orphan mark-and-sweep (PR 5) over the end state of a
 //!   crash-injected ingest, priced against the ingest itself.
+//! * [`degraded_read_experiment`] — Figure 2(b) under provider
+//!   failure (PR 7): dead data providers redirect their pages to live
+//!   replica-chain members, and the concurrent-reader bandwidth is
+//!   priced against the healthy baseline — the degraded-mode tax.
 //!
 //! Crucially, the *costs* fed into the simulator come from the real
 //! implementation, not from formulas baked into the benchmark:
@@ -41,6 +45,7 @@
 
 mod append;
 mod cluster;
+mod degraded;
 mod failure;
 mod params;
 mod read;
@@ -48,6 +53,7 @@ mod scrub;
 
 pub use append::{append_experiment, pipelined_append_experiment, AppendPoint, PipelinedSummary};
 pub use cluster::Cluster;
+pub use degraded::{degraded_read_experiment, DegradedReadSummary};
 pub use failure::{crash_writer_experiment, CrashRecoverySummary};
 pub use params::SimParams;
 pub use read::{read_experiment, ReadSummary};

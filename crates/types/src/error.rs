@@ -35,6 +35,13 @@ pub enum BlobError {
     EmptyUpdate,
     /// A page referenced by metadata is missing from its provider.
     PageMissing { pid: PageId, provider: ProviderId },
+    /// Every reachable copy of a page failed checksum verification.
+    /// Individual corrupt copies are downgraded to misses (the reader
+    /// falls through to the next replica); this surfaces only when no
+    /// copy verified — `provider` is the last one that returned corrupt
+    /// bytes. Distinct from [`BlobError::PageMissing`] so operators can
+    /// tell bit rot from loss; see `docs/FAILURES.md`.
+    PageCorrupt { pid: PageId, provider: ProviderId },
     /// A requested provider id is not part of the deployment.
     ProviderNotFound(ProviderId),
     /// The provider is registered but currently failed/offline.
@@ -97,6 +104,9 @@ impl fmt::Display for BlobError {
             BlobError::PageMissing { pid, provider } => {
                 write!(f, "{pid:?} missing from {provider}")
             }
+            BlobError::PageCorrupt { pid, provider } => {
+                write!(f, "{pid:?} failed checksum verification on every replica (last: {provider})")
+            }
             BlobError::ProviderNotFound(p) => write!(f, "{p} is not deployed"),
             BlobError::ProviderUnavailable(p) => write!(f, "{p} is currently unavailable"),
             BlobError::NoAvailableProvider => {
@@ -148,6 +158,17 @@ mod tests {
         let e: BlobError = io.into();
         assert!(matches!(e, BlobError::Storage(_)));
         assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn page_corrupt_is_distinct_from_missing() {
+        let pid = PageId(7);
+        let provider = ProviderId(3);
+        let corrupt = BlobError::PageCorrupt { pid, provider };
+        let missing = BlobError::PageMissing { pid, provider };
+        assert_ne!(corrupt, missing);
+        assert!(corrupt.to_string().contains("checksum"));
+        assert!(corrupt.to_string().contains("prov#3"));
     }
 
     #[test]

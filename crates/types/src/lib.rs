@@ -16,12 +16,14 @@
 //! Everything here is pure data: no I/O, no locks, no global state other
 //! than the monotonic id generators.
 
+mod checksum;
 mod config;
 mod error;
 mod ids;
 mod page;
 mod range;
 
+pub use checksum::page_checksum;
 pub use config::{StoreConfig, DEFAULT_PAGE_SIZE};
 pub use error::{BlobError, Result};
 pub use ids::{BlobId, PageId, PageIdGen, ProviderId, Version};

@@ -1,0 +1,238 @@
+//! A provider-fault-injecting ingest driver: pipelined-style appends
+//! while data providers go offline mid-update and page copies rot at
+//! rest, driven through the engine's write-path failover (PR 7).
+//!
+//! [`FlakyProviders`] owns a set of [`FaultPlan`]-wrapped memory
+//! stores — hand [`FlakyProviders::page_stores`] to
+//! [`blobseer::Builder::page_stores`] — and streams
+//! [`crate::AppendStream`] chunks like [`crate::PipelinedIngest`],
+//! except that every `offline_every`-th append runs with a rotating
+//! victim provider offline (write-path failover must re-place its
+//! copies) and every `corrupt_every`-th append is followed by a bit
+//! flip in one stored copy at rest (reads must treat it as a miss and
+//! fall back; repair must replace it). **No update may fail**: with
+//! replication ≥ 2 and one fault at a time, failover always finds a
+//! live provider. Content stays fully verifiable against the
+//! deterministic stream, and [`FlakyProviders::repair`] converges the
+//! degraded deployment back to full replication.
+
+use std::sync::Arc;
+
+use blobseer::{
+    Blob, BlobSeer, FaultPlan, MemoryPageStore, PageStore, RepairReport, Result, Snapshot, Version,
+};
+
+use crate::stream::AppendStream;
+
+/// What a fault-injected ingest run produced and endured.
+#[derive(Clone, Copy, Debug)]
+pub struct FlakyReport {
+    /// Appends issued — all of them succeeded, or `run` errored.
+    pub appends: u64,
+    /// Payload bytes appended.
+    pub bytes: u64,
+    /// Appends executed with a provider offline.
+    pub offline_windows: u64,
+    /// Stored page copies bit-flipped at rest.
+    pub pages_corrupted: u64,
+    /// Write-path failovers the engine performed during the run.
+    pub failovers: u64,
+    /// Newest published version (published after the final `sync`).
+    pub last: Version,
+}
+
+/// Fault-injecting ingest over [`FaultPlan`]-wrapped providers; see
+/// the module docs.
+#[derive(Debug)]
+pub struct FlakyProviders {
+    plans: Vec<Arc<FaultPlan>>,
+    offline_every: u64,
+    corrupt_every: u64,
+}
+
+impl FlakyProviders {
+    /// `providers` memory stores behind deterministic fault plans
+    /// (seeded from `seed`). Every `offline_every`-th append runs with
+    /// a rotating victim offline; every `corrupt_every`-th append is
+    /// followed by one at-rest bit flip on a rotating victim. Either
+    /// knob may be 0 to disable that fault family.
+    pub fn new(providers: usize, seed: u64, offline_every: u64, corrupt_every: u64) -> Self {
+        assert!(providers >= 2, "failover needs somewhere to fail over to");
+        let plans = (0..providers)
+            .map(|i| {
+                Arc::new(FaultPlan::with_seed(
+                    Arc::new(MemoryPageStore::new()),
+                    seed.wrapping_add(i as u64),
+                ))
+            })
+            .collect();
+        FlakyProviders { plans, offline_every, corrupt_every }
+    }
+
+    /// The wrapped stores, in provider order — pass to
+    /// [`blobseer::Builder::page_stores`] (with `replication ≥ 2`).
+    pub fn page_stores(&self) -> Vec<Arc<dyn PageStore>> {
+        self.plans.iter().map(|p| Arc::clone(p) as Arc<dyn PageStore>).collect()
+    }
+
+    /// The fault plans, for callers that want to inject on their own.
+    pub fn plans(&self) -> &[Arc<FaultPlan>] {
+        &self.plans
+    }
+
+    /// Append `appends` chunks of `stream` to `blob` under fault
+    /// injection (module docs). Every append must succeed; the run
+    /// ends with every provider back online and the newest version
+    /// synced.
+    pub fn run(
+        &self,
+        store: &BlobSeer,
+        blob: &Blob,
+        stream: &mut AppendStream,
+        appends: u64,
+    ) -> Result<FlakyReport> {
+        let failovers_before = store.stats_snapshot().failovers_total;
+        let (mut bytes, mut offline_windows, mut pages_corrupted) = (0u64, 0u64, 0u64);
+        // Never rot two copies of the same page: the driver injects
+        // single faults, which replication ≥ 2 must absorb losslessly.
+        // (Two rotted copies of one page is a double fault — real data
+        // loss, the `pages_unrepairable` case, not this workload.)
+        let mut rotted: std::collections::HashSet<blobseer::PageId> = Default::default();
+        let mut last = Version(0);
+        for i in 1..=appends {
+            let offline = self.offline_every > 0 && i.is_multiple_of(self.offline_every);
+            if offline {
+                let victim = &self.plans[(i / self.offline_every) as usize % self.plans.len()];
+                victim.set_offline(true);
+                offline_windows += 1;
+                let outcome = self.append_one(blob, stream, &mut bytes);
+                victim.set_offline(false);
+                last = last.max(outcome?);
+            } else {
+                last = last.max(self.append_one(blob, stream, &mut bytes)?);
+            }
+            if self.corrupt_every > 0 && i.is_multiple_of(self.corrupt_every) {
+                // Rot one stored copy at rest: the *next* read of it
+                // must fail its checksum and fall back to a replica.
+                let victim = &self.plans[(i / self.corrupt_every) as usize % self.plans.len()];
+                let fresh = victim
+                    .scan()?
+                    .into_iter()
+                    .map(|(pid, _)| pid)
+                    .find(|pid| !rotted.contains(pid));
+                if let Some(pid) = fresh {
+                    if victim.corrupt_stored_page(pid)? {
+                        rotted.insert(pid);
+                        pages_corrupted += 1;
+                    }
+                }
+            }
+        }
+        if last > Version(0) {
+            blob.sync(last)?;
+        }
+        Ok(FlakyReport {
+            appends,
+            bytes,
+            offline_windows,
+            pages_corrupted,
+            failovers: store.stats_snapshot().failovers_total - failovers_before,
+            last,
+        })
+    }
+
+    fn append_one(
+        &self,
+        blob: &Blob,
+        stream: &mut AppendStream,
+        bytes: &mut u64,
+    ) -> Result<Version> {
+        let chunk = stream.next_chunk();
+        *bytes += chunk.len() as u64;
+        blob.append(&chunk)
+    }
+
+    /// Converge the deployment back to full replication: bring every
+    /// provider online and run [`BlobSeer::repair_replicas`].
+    pub fn repair(&self, store: &BlobSeer) -> Result<RepairReport> {
+        for plan in &self.plans {
+            plan.set_offline(false);
+        }
+        store.repair_replicas()
+    }
+
+    /// Verify `snapshot` against the seed-`seed` stream: every byte of
+    /// a fault-injected run must read back exactly — faults never
+    /// surface as data divergence. Panics on mismatch.
+    pub fn verify(snapshot: &Snapshot, seed: u64) -> Result<()> {
+        let len = snapshot.len();
+        let mut buf = vec![0u8; len as usize];
+        snapshot.read_into(0, &mut buf)?;
+        let expected = AppendStream::expected(seed, 0, len);
+        assert_eq!(buf, expected, "fault-injected content diverged from the stream");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deploy(flaky: &FlakyProviders) -> BlobSeer {
+        BlobSeer::builder()
+            .page_size(256)
+            .metadata_providers(2)
+            .io_threads(2)
+            .pipeline_threads(1)
+            .replication(2)
+            .page_stores(flaky.page_stores())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flaky_run_survives_verifies_and_repairs() {
+        let flaky = FlakyProviders::new(4, 99, 3, 4);
+        let store = deploy(&flaky);
+        let blob = store.create();
+        let mut stream = AppendStream::new(99, 64, 700);
+        let report = flaky.run(&store, &blob, &mut stream, 24).unwrap();
+        assert_eq!(report.appends, 24);
+        assert_eq!(report.offline_windows, 8);
+        assert!(report.pages_corrupted > 0);
+        assert!(report.failovers > 0, "offline windows must force failovers");
+
+        // The degraded deployment serves pristine bytes.
+        let snap = blob.snapshot(report.last).unwrap();
+        FlakyProviders::verify(&snap, 99).unwrap();
+
+        // Repair converges: afterwards ANY single provider may die
+        // without losing a byte, and a second pass is a no-op.
+        let repair = flaky.repair(&store).unwrap();
+        assert_eq!(repair.pages_unrepairable, 0);
+        assert!(repair.copies_repaired > 0);
+        for plan in flaky.plans() {
+            plan.set_offline(true);
+            let snap = blob.snapshot(report.last).unwrap();
+            FlakyProviders::verify(&snap, 99).unwrap();
+            plan.set_offline(false);
+        }
+        let second = flaky.repair(&store).unwrap();
+        assert_eq!(second.copies_repaired, 0);
+        assert_eq!(second.strays_trimmed, 0);
+    }
+
+    #[test]
+    fn fault_families_can_be_disabled() {
+        let flaky = FlakyProviders::new(3, 5, 0, 0);
+        let store = deploy(&flaky);
+        let blob = store.create();
+        let mut stream = AppendStream::new(5, 32, 200);
+        let report = flaky.run(&store, &blob, &mut stream, 6).unwrap();
+        assert_eq!(report.offline_windows, 0);
+        assert_eq!(report.pages_corrupted, 0);
+        assert_eq!(report.failovers, 0);
+        let snap = blob.snapshot(report.last).unwrap();
+        FlakyProviders::verify(&snap, 5).unwrap();
+    }
+}

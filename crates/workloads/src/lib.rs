@@ -20,16 +20,21 @@
 //! buffer instead, so its A/B isolates the write path from chunk
 //! generation.) [`CrashyIngest`] is the same client under failure
 //! injection: every k-th writer dies mid-update and the engine's
-//! writer leases recover the blob.
+//! writer leases recover the blob. [`FlakyProviders`] injects faults
+//! on the *other* side of the wire — providers go offline mid-update
+//! and stored copies rot at rest — and drives write-path failover,
+//! checksum fallback reads, and the replica repairer (PR 7).
 
 pub mod photo;
 
 mod chunks;
 mod crashy;
 mod driver;
+mod flaky;
 mod stream;
 
 pub use chunks::DisjointChunks;
 pub use crashy::{ChunkRecord, CrashReport, CrashyIngest, ScrubTrajectory};
 pub use driver::{IngestReport, PipelinedIngest};
+pub use flaky::{FlakyProviders, FlakyReport};
 pub use stream::AppendStream;
