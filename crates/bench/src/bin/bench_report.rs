@@ -16,9 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use blobseer_bench::report::{
     degraded_read, dht_micro, fig2a_append, json_latency, json_pair, latency_percentiles,
-    metrics_overhead_append, orphan_scrub, pipeline_unit_label, pipelined_append,
-    repair_replicas_cost, snapshot_pinned_read, writer_crash_recovery, DhtCase, ReportParams,
-    CRASH_EVERY,
+    metrics_overhead_append, multi_tenant_isolation, orphan_scrub, pipeline_unit_label,
+    pipelined_append, qos_overhead_append, repair_replicas_cost, snapshot_pinned_read,
+    writer_crash_recovery, DhtCase, ReportParams, CRASH_EVERY,
 };
 
 /// Counts every heap allocation in the process, so the report can state
@@ -48,7 +48,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
-    let mut pr: u32 = 7;
+    let mut pr: u32 = 8;
     let mut out: Option<String> = None;
     let mut params = ReportParams::fast();
     let mut mode = "fast";
@@ -110,6 +110,12 @@ fn main() {
     let metrics_base = metrics_overhead_append(&params, false);
     eprintln!("# bench_report: metrics overhead (optimized: latency metrics on)...");
     let metrics_inst = metrics_overhead_append(&params, true);
+    eprintln!("# bench_report: qos overhead (baseline: qos subsystem off)...");
+    let qos_off = qos_overhead_append(&params, false);
+    eprintln!("# bench_report: qos overhead (optimized: qos on, unlimited quotas)...");
+    let qos_on = qos_overhead_append(&params, true);
+    eprintln!("# bench_report: multi-tenant isolation (solo / shared / shared+qos)...");
+    let isolation = multi_tenant_isolation(&params);
     eprintln!("# bench_report: latency percentiles (mixed instrumented workload)...");
     let tails = latency_percentiles(&params);
 
@@ -166,7 +172,20 @@ fn main() {
          optimized append workload with latency histograms off (baseline) vs on (optimized — \
          the shipping default; two Instant::now calls, one coarse-clock fetch_max and one \
          relaxed histogram increment per op); the ratio prices the observability tax and \
-         should sit at ~1.0. percentiles: lifetime tail digests from stats_snapshot() after \
+         should sit at ~1.0. qos_overhead_append: the same workload without the QoS \
+         subsystem (baseline) vs with Builder::qos on all-unlimited quotas (optimized - a \
+         shared deployment throttling nobody: one registry lookup, one counter bump and the \
+         dispatch-ticket indirection per update); the ratio prices the admission tax and must \
+         stay >= 0.95. multi_tenant_isolation: quiet tenant appends {iso_ops} x \
+         {iso_kib} KiB blocking, each timed individually, while a noisy tenant floods \
+         depth-4 pipelined {pipe_kib} KiB appends from a second thread (capped at 512 ops): \
+         solo, shared with QoS off, and shared with QoS capping the noisy tenant at \
+         50 MB/s sustained (refusals back off 1 ms and retry); reported as quiet \
+         p50/p99 per scenario plus p99-vs-solo ratios. On a single-core host the flood also \
+         taxes the quiet thread through CPU time-slicing, which no admission control can \
+         remove; the deterministic 2x isolation bound is asserted by blobseer_sim's \
+         qos_isolation_experiment, and this case records what a real host shows. \
+         percentiles: lifetime tail digests from stats_snapshot() after \
          a mixed instrumented workload ({total_mib} MiB appended half blocking / half \
          depth-{depth} pipelined in {pipe_kib} KiB chunks, then {pct_reads} pinned \
          {read_kib} KiB reads and 64 scatter reads); values are nanosecond bucket edges of \
@@ -185,6 +204,8 @@ fn main() {
         pipe_kib = params.pipeline_unit >> 10,
         depth = params.pipeline_depth,
         crash_every = CRASH_EVERY,
+        iso_ops = isolation.quiet_ops,
+        iso_kib = isolation.quiet_unit >> 10,
     );
     let mut json = String::new();
     json.push_str("{\n");
@@ -298,6 +319,38 @@ fn main() {
         // "optimized" = instrumented (the shipping default): the ratio
         // prices the observability tax and should sit at ~1.0.
         json_pair("    ", "append of 1 MiB", &metrics_base, &metrics_inst)
+    ));
+    json.push_str(&format!(
+        "  \"qos_overhead_append\": {{\n{}\n  }},\n",
+        // "optimized" = QoS enabled on unlimited quotas (the shared-
+        // deployment shape): the ratio prices the admission tax and
+        // must stay >= 0.95.
+        json_pair("    ", "append of 1 MiB", &qos_off, &qos_on)
+    ));
+    json.push_str(&format!(
+        "  \"multi_tenant_isolation\": {{\n    \
+           \"unit\": \"{iso_kib} KiB quiet append, noisy flood of {pipe_kib} KiB pipelined appends\",\n    \
+           \"quiet_ops\": {ops},\n    \
+           \"solo\": {{ \"p50_us\": {solo_p50:.1}, \"p99_us\": {solo_p99:.1} }},\n    \
+           \"shared_qos_off\": {{ \"p50_us\": {fifo_p50:.1}, \"p99_us\": {fifo_p99:.1}, \
+             \"noisy_appends\": {fifo_noisy} }},\n    \
+           \"shared_qos_on\": {{ \"p50_us\": {qos_p50:.1}, \"p99_us\": {qos_p99:.1}, \
+             \"noisy_appends\": {qos_noisy}, \"noisy_throttled\": {throttled} }},\n    \
+           \"quiet_p99_vs_solo\": {{ \"qos_off\": {fifo_ratio:.3}, \"qos_on\": {qos_ratio:.3} }}\n  }},\n",
+        iso_kib = isolation.quiet_unit >> 10,
+        pipe_kib = params.pipeline_unit >> 10,
+        ops = isolation.quiet_ops,
+        solo_p50 = isolation.solo_p50.as_secs_f64() * 1e6,
+        solo_p99 = isolation.solo_p99.as_secs_f64() * 1e6,
+        fifo_p50 = isolation.fifo_p50.as_secs_f64() * 1e6,
+        fifo_p99 = isolation.fifo_p99.as_secs_f64() * 1e6,
+        fifo_noisy = isolation.fifo_noisy_appends,
+        qos_p50 = isolation.qos_p50.as_secs_f64() * 1e6,
+        qos_p99 = isolation.qos_p99.as_secs_f64() * 1e6,
+        qos_noisy = isolation.qos_noisy_appends,
+        throttled = isolation.qos_noisy_throttled,
+        fifo_ratio = isolation.fifo_p99.as_secs_f64() / isolation.solo_p99.as_secs_f64().max(1e-12),
+        qos_ratio = isolation.qos_p99.as_secs_f64() / isolation.solo_p99.as_secs_f64().max(1e-12),
     ));
     json.push_str(&format!(
         "  \"percentiles\": {{\n    \

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use blobseer_types::{BlobId, Result, Version};
+use blobseer_types::{BlobId, Result, TenantId, Version};
 use bytes::Bytes;
 
 use crate::engine::Engine;
@@ -26,11 +26,41 @@ use crate::GcReport;
 pub struct Blob {
     engine: Arc<Engine>,
     id: BlobId,
+    /// The tenant this handle's updates are accounted to (QoS).
+    /// [`TenantId::DEFAULT`] unless re-tagged via [`Blob::for_tenant`];
+    /// inert when QoS is off.
+    tenant: TenantId,
 }
 
 impl Blob {
     pub(crate) fn new(engine: Arc<Engine>, id: BlobId) -> Blob {
-        Blob { engine, id }
+        Blob { engine, id, tenant: TenantId::DEFAULT }
+    }
+
+    /// A clone of this handle whose updates are accounted to `tenant`
+    /// for QoS admission and scheduling. With QoS off
+    /// ([`crate::Builder::qos`] never called) the tag is inert. Prefer
+    /// one tenant per blob for pipelined traffic — see `crate::qos` on
+    /// why cross-tenant pipelining to one blob wastes pipeline workers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::TenantId;
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let blob = store.create().for_tenant(TenantId(7));
+    /// assert_eq!(blob.tenant(), TenantId(7));
+    /// blob.append(b"accounted to tenant#7")?;
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn for_tenant(&self, tenant: TenantId) -> Blob {
+        Blob { engine: Arc::clone(&self.engine), id: self.id, tenant }
+    }
+
+    /// The tenant this handle's updates are accounted to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// The blob's globally-unique id (usable with the flat
@@ -95,7 +125,7 @@ impl Blob {
     /// # Ok::<(), blobseer::BlobError>(())
     /// ```
     pub fn write_bytes(&self, data: Bytes, offset: u64) -> Result<Version> {
-        write::update(&self.engine, self.id, data, Target::Write { offset })
+        write::update(&self.engine, self.id, data, Target::Write { offset }, self.tenant)
     }
 
     /// `APPEND` at the end of the previous snapshot; blocks until the
@@ -137,7 +167,7 @@ impl Blob {
     /// # Ok::<(), blobseer::BlobError>(())
     /// ```
     pub fn append_bytes(&self, data: Bytes) -> Result<Version> {
-        write::update(&self.engine, self.id, data, Target::Append)
+        write::update(&self.engine, self.id, data, Target::Append, self.tenant)
     }
 
     /// Non-blocking `WRITE`: returns as soon as the version is assigned
@@ -162,7 +192,7 @@ impl Blob {
     /// # Ok::<(), blobseer::BlobError>(())
     /// ```
     pub fn write_pipelined(&self, data: Bytes, offset: u64) -> Result<PendingWrite> {
-        PendingWrite::spawn(&self.engine, self.id, data, Target::Write { offset })
+        PendingWrite::spawn(&self.engine, self.id, data, Target::Write { offset }, self.tenant)
     }
 
     /// Non-blocking `APPEND`; see [`Blob::write_pipelined`].
@@ -183,7 +213,7 @@ impl Blob {
     /// # Ok::<(), blobseer::BlobError>(())
     /// ```
     pub fn append_pipelined(&self, data: Bytes) -> Result<PendingWrite> {
-        PendingWrite::spawn(&self.engine, self.id, data, Target::Append)
+        PendingWrite::spawn(&self.engine, self.id, data, Target::Append, self.tenant)
     }
 
     /// `SYNC`: block until version `v` is published ("read your

@@ -6,7 +6,7 @@ use std::time::Duration;
 use blobseer_meta::MetaStore;
 use blobseer_provider::{AllocationStrategy, DataProvider, PageStore, ProviderManager};
 use blobseer_rt::ThreadPool;
-use blobseer_types::{BlobError, PageIdGen, ProviderId, Result, StoreConfig};
+use blobseer_types::{BlobError, PageIdGen, ProviderId, QosConfig, Result, StoreConfig};
 use blobseer_version::{ConcurrencyMode, VersionManager};
 
 use crate::engine::Engine;
@@ -24,6 +24,7 @@ pub struct Builder {
     strategy: AllocationStrategy,
     mode: ConcurrencyMode,
     stores: Option<Vec<Arc<dyn PageStore>>>,
+    qos: Option<QosConfig>,
 }
 
 impl std::fmt::Debug for Builder {
@@ -33,6 +34,7 @@ impl std::fmt::Debug for Builder {
             .field("strategy", &self.strategy)
             .field("mode", &self.mode)
             .field("custom_stores", &self.stores.as_ref().map(Vec::len))
+            .field("qos", &self.qos)
             .finish()
     }
 }
@@ -45,6 +47,7 @@ impl Builder {
             strategy: AllocationStrategy::RoundRobin,
             mode: ConcurrencyMode::Concurrent,
             stores: None,
+            qos: None,
         }
     }
 
@@ -255,6 +258,39 @@ impl Builder {
         self
     }
 
+    /// Opt into multi-tenant QoS: per-tenant token-bucket admission on
+    /// the update paths and deficit-weighted (instead of FIFO) drain of
+    /// pipelined completion stages. Off by default — without this call
+    /// the store behaves exactly as before and tenant tags are inert.
+    /// See [`blobseer_types::QosConfig`] and `docs/OPERATIONS.md`
+    /// ("tenant quotas").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use blobseer::{QosConfig, TenantId, TenantQuota};
+    ///
+    /// let store = blobseer::BlobSeer::builder()
+    ///     .data_providers(2)
+    ///     .metadata_providers(2)
+    ///     .io_threads(1)
+    ///     .pipeline_threads(1)
+    ///     .qos(QosConfig::default().with_tenant(
+    ///         7,
+    ///         TenantQuota { ops_per_sec: 2, ..TenantQuota::unlimited() },
+    ///     ))
+    ///     .build()?;
+    /// let blob = store.create().for_tenant(TenantId(7));
+    /// blob.append(&[1u8; 16])?;
+    /// blob.append(&[2u8; 16])?;
+    /// // Burst of 2 ops spent; the next append waits, then fails typed.
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn qos(mut self, config: QosConfig) -> Self {
+        self.qos = Some(config);
+        self
+    }
+
     /// Concurrency mode — [`ConcurrencyMode::SerializedMetadata`] is the
     /// ablation baseline measured by experiment E5.
     pub fn concurrency_mode(mut self, mode: ConcurrencyMode) -> Self {
@@ -270,16 +306,20 @@ impl Builder {
 
     /// Validate the configuration and assemble the deployment.
     pub fn build(self) -> Result<BlobSeer> {
-        let Builder { mut config, strategy, mode, stores } = self;
+        let Builder { mut config, strategy, mode, stores, qos } = self;
         if let Some(stores) = &stores {
             config.data_providers = stores.len();
         }
         config.validate().map_err(BlobError::Storage)?;
+        if let Some(q) = &qos {
+            q.validate().map_err(BlobError::Storage)?;
+        }
         let wait = Duration::from_millis(config.metadata_wait_ms);
         let meta = MetaStore::new(config.metadata_providers, wait)
             .with_cache(config.metadata_cache_entries)
             .with_wait_slice(Duration::from_millis(config.metadata_wait_slice_ms));
-        let metrics = EngineMetrics::new(config.latency_metrics, meta.wait_latency());
+        let metrics =
+            EngineMetrics::new(config.latency_metrics, meta.wait_latency(), config.data_providers);
         let providers = match stores {
             Some(stores) => ProviderManager::new(
                 stores
@@ -304,6 +344,7 @@ impl Builder {
             sweep_queued: Default::default(),
             update_pins: Default::default(),
             pidgen: PageIdGen::new(),
+            qos: qos.map(|q| crate::qos::EngineQos::new(&q, config.page_size)),
             config,
         };
         let store = BlobSeer { engine: Arc::new(engine) };

@@ -56,6 +56,10 @@ pub(crate) struct Engine {
     /// [`Engine::scrub_pid_epoch`]).
     pub update_pins: Mutex<UpdatePins>,
     pub pidgen: PageIdGen,
+    /// Multi-tenant QoS state (admission buckets + the deficit-weighted
+    /// pipeline queue); `None` unless configured via
+    /// `Builder::qos(...)`. See `crate::qos`.
+    pub qos: Option<crate::qos::EngineQos>,
 }
 
 /// Registry behind [`Engine::pin_update`]: each live pin records the

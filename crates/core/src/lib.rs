@@ -109,6 +109,7 @@ mod engine;
 mod gc;
 mod metrics;
 mod pending;
+mod qos;
 mod read;
 mod repair;
 mod scrub;
@@ -121,10 +122,11 @@ pub use blob::{Blob, BlobRef};
 pub use builder::Builder;
 pub use gc::GcReport;
 pub use pending::PendingWrite;
+pub use qos::TenantQosStats;
 pub use repair::RepairReport;
 pub use scrub::ScrubReport;
 pub use snapshot::{ScatterRead, ScatterSegment, Snapshot};
-pub use stats::{OpLatency, StatsSnapshot, StoreStats};
+pub use stats::{OpLatency, OpWindow, StatsSnapshot, StoreStats};
 pub use write::CrashPoint;
 
 // Re-export the vocabulary a user needs to drive the API — including
@@ -133,7 +135,8 @@ pub use blobseer_provider::{
     AllocationStrategy, FaultPlan, FilePageStore, MemoryPageStore, PageStore, ProviderStats,
 };
 pub use blobseer_types::{
-    BlobError, BlobId, ByteRange, PageId, ProviderId, Result, StoreConfig, Version,
+    BlobError, BlobId, ByteRange, PageId, ProviderId, QosConfig, Result, StoreConfig, TenantId,
+    TenantQuota, TenantQuotaEntry, Version,
 };
 pub use blobseer_version::ConcurrencyMode;
 // Re-exported so callers of the zero-copy entry points need no direct
@@ -203,7 +206,13 @@ impl BlobSeer {
     /// as O(1) slices of `data` — no payload byte is copied anywhere on
     /// the store path, regardless of the replication factor.
     pub fn write_bytes(&self, blob: impl BlobRef, data: Bytes, offset: u64) -> Result<Version> {
-        write::update(&self.engine, blob.blob_id(), data, write::Target::Write { offset })
+        write::update(
+            &self.engine,
+            blob.blob_id(),
+            data,
+            write::Target::Write { offset },
+            TenantId::DEFAULT,
+        )
     }
 
     /// `APPEND(id, buffer, size)`: append `data` at the end of the
@@ -219,7 +228,7 @@ impl BlobSeer {
     /// ownership of a refcounted [`Bytes`] buffer (see
     /// [`BlobSeer::write_bytes`]).
     pub fn append_bytes(&self, blob: impl BlobRef, data: Bytes) -> Result<Version> {
-        write::update(&self.engine, blob.blob_id(), data, write::Target::Append)
+        write::update(&self.engine, blob.blob_id(), data, write::Target::Append, TenantId::DEFAULT)
     }
 
     /// `READ(id, v, buffer, offset, size)`: read `size` bytes at
@@ -411,6 +420,63 @@ impl BlobSeer {
         &self.engine.config
     }
 
+    /// Replace `tenant`'s QoS quota at runtime: fresh, full buckets
+    /// under the new rates; in-flight admissions settle against the
+    /// old ones. Fails typed when the deployment was built without
+    /// [`Builder::qos`]. See `docs/OPERATIONS.md` ("tenant quotas").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::{QosConfig, TenantId, TenantQuota};
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1)
+    /// #     .qos(QosConfig::default()).build()?;
+    /// let quota = TenantQuota { bytes_per_sec: 1 << 20, ..TenantQuota::unlimited() };
+    /// store.set_tenant_quota(TenantId(3), quota)?;
+    /// assert_eq!(store.tenant_quota(TenantId(3))?.bytes_per_sec, 1 << 20);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn set_tenant_quota(&self, tenant: TenantId, quota: TenantQuota) -> Result<()> {
+        let qos = self.qos_state()?;
+        qos.set_quota(tenant, &quota);
+        Ok(())
+    }
+
+    /// The QoS quota `tenant` currently runs under (the configured
+    /// default for tenants never adjusted explicitly). Fails typed
+    /// when QoS is off.
+    pub fn tenant_quota(&self, tenant: TenantId) -> Result<TenantQuota> {
+        Ok(self.qos_state()?.quota(tenant))
+    }
+
+    /// Per-tenant QoS statistics: admitted / throttled counts and the
+    /// admission-wait digest. Fails typed when QoS is off.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::{QosConfig, TenantId};
+    /// # let store = blobseer::BlobSeer::builder().page_size(4096).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1)
+    /// #     .qos(QosConfig::default()).build()?;
+    /// let blob = store.create().for_tenant(TenantId(1));
+    /// blob.append(b"counted")?;
+    /// let stats = store.tenant_qos_stats(TenantId(1))?;
+    /// assert_eq!(stats.admitted, 1);
+    /// assert_eq!(stats.throttled, 0);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn tenant_qos_stats(&self, tenant: TenantId) -> Result<TenantQosStats> {
+        Ok(self.qos_state()?.stats_of(tenant))
+    }
+
+    fn qos_state(&self) -> Result<&qos::EngineQos> {
+        self.engine.qos.as_ref().ok_or_else(|| {
+            BlobError::Storage("QoS is not enabled; configure Builder::qos(...)".into())
+        })
+    }
+
     /// Deployment-wide statistics: physical storage, metadata footprint
     /// and per-component counters (used by the E3/E5/E6 experiments).
     pub fn stats(&self) -> StoreStats {
@@ -449,7 +515,11 @@ impl BlobSeer {
     /// Prometheus-style text exposition of every registered metric:
     /// operation counters (`blobseer_*_ops_total`) and latency
     /// summaries (`blobseer_*_seconds{quantile="..."}` in seconds),
-    /// plus deployment gauges (physical bytes/pages, metadata nodes).
+    /// plus deployment gauges (physical bytes/pages, metadata nodes),
+    /// per-provider store/fetch latency splits
+    /// (`blobseer_provider_*_latency_seconds{provider="N"}`), and —
+    /// when QoS is configured — per-tenant admission counters, wait
+    /// summaries and token gauges (`blobseer_qos_*{tenant="N"}`).
     /// Scrape-ready: serve the returned string verbatim. The metric
     /// reference is `docs/OBSERVABILITY.md`.
     ///
@@ -487,6 +557,10 @@ impl BlobSeer {
             "metadata tree nodes stored in the DHT",
             stats.metadata_nodes as i64,
         );
+        self.engine.metrics.render_provider_latency(&mut out);
+        if let Some(qos) = &self.engine.qos {
+            qos.render_into(&mut out);
+        }
         out
     }
 }

@@ -39,12 +39,22 @@ pub(crate) struct EngineMetrics {
     pub failovers: Arc<Counter>,
     pub corrupt_pages: Arc<Counter>,
     pub under_replicated_stores: Arc<Counter>,
+    /// Per-provider page-store latency, indexed by provider id. Kept
+    /// out of the [`Registry`] — labeled series (`{provider="N"}`)
+    /// need one shared `# TYPE` header, so exposition goes through
+    /// [`EngineMetrics::render_provider_latency`] instead. Buckets
+    /// allocate lazily, so idle providers cost a pointer each.
+    pub provider_store_latency: Vec<Arc<WindowedHistogram>>,
+    /// Per-provider page-fetch latency (successful fetches only),
+    /// indexed by provider id; same exposition path as stores.
+    pub provider_fetch_latency: Vec<Arc<WindowedHistogram>>,
 }
 
 impl EngineMetrics {
     /// Build and register the full metric set. `dht_wait` is the
-    /// metadata DHT's shared block-time histogram.
-    pub fn new(enabled: bool, dht_wait: Arc<WindowedHistogram>) -> EngineMetrics {
+    /// metadata DHT's shared block-time histogram; `providers` sizes
+    /// the per-provider latency vectors.
+    pub fn new(enabled: bool, dht_wait: Arc<WindowedHistogram>, providers: usize) -> EngineMetrics {
         let r = Registry::new();
         let append_ops = r.counter("blobseer_append_ops_total", "appends published");
         let write_ops = r.counter("blobseer_write_ops_total", "writes published");
@@ -130,6 +140,12 @@ impl EngineMetrics {
             failovers,
             corrupt_pages,
             under_replicated_stores,
+            provider_store_latency: (0..providers)
+                .map(|_| Arc::new(WindowedHistogram::new()))
+                .collect(),
+            provider_fetch_latency: (0..providers)
+                .map(|_| Arc::new(WindowedHistogram::new()))
+                .collect(),
         }
     }
 
@@ -151,5 +167,35 @@ impl EngineMetrics {
     /// Prometheus-style text exposition of every registered metric.
     pub fn render(&self) -> String {
         self.registry.render()
+    }
+
+    /// Append the per-provider store/fetch latency splits: one
+    /// `# HELP`/`# TYPE` header per metric, then `{provider="N"}`
+    /// labeled summary rows for every provider (including idle ones,
+    /// so the set of series is stable across scrapes).
+    pub fn render_provider_latency(&self, out: &mut String) {
+        use std::fmt::Write;
+        for (name, help, hists) in [
+            (
+                "blobseer_provider_store_latency_seconds",
+                "single page store on one provider (successful attempt)",
+                &self.provider_store_latency,
+            ),
+            (
+                "blobseer_provider_fetch_latency_seconds",
+                "single page fetch from one provider (successful attempt)",
+                &self.provider_fetch_latency,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} summary");
+            for (id, hist) in hists.iter().enumerate() {
+                blobseer_metrics::write_summary_seconds_labeled(
+                    out,
+                    name,
+                    &format!("provider=\"{id}\""),
+                    &hist.snapshot(),
+                );
+            }
+        }
     }
 }

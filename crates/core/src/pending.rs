@@ -63,14 +63,23 @@ impl PendingWrite {
         blob: BlobId,
         data: bytes::Bytes,
         target: Target,
+        tenant: blobseer_types::TenantId,
     ) -> Result<PendingWrite> {
+        // QoS admission first (when configured), one-shot: a pipelined
+        // API must not block its caller, so an over-quota submission
+        // fails typed immediately — before the order lock, before any
+        // page store, before a version exists. Zero side effects.
+        crate::qos::admit_nonblocking(engine, tenant, data.len() as u64)?;
+        let cost = data.len() as u64;
         // Serialize (assign, enqueue) per blob so the pipeline queue
         // holds this blob's stages in version order — a stage may block
         // on a lower version's metadata, which must never sit *behind*
         // it in the queue (see `Engine::order_locks`). Concurrent
         // submitters to the same blob serialize their caller-side
         // halves here; different blobs are unaffected, and completion
-        // stages still weave metadata concurrently (§4.2).
+        // stages still weave metadata concurrently (§4.2). With QoS
+        // on, the DRR queue keeps this FIFO guarantee per tenant lane —
+        // see `crate::qos` for the cross-tenant same-blob caveat.
         let order = engine.order_lock(blob);
         let _ordered = order.lock();
         // Latency of a pipelined update spans submission to completion
@@ -81,31 +90,36 @@ impl PendingWrite {
         let version = prepared.assigned.vw;
         let cell = Arc::new(Cell { done: Mutex::new(None), cv: Condvar::new() });
         let (eng, c) = (Arc::clone(engine), Arc::clone(&cell));
-        engine.pipeline.execute(move || {
-            // A panicking stage must still resolve the cell, or a
-            // wait() would hang until its timeout.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                write::finish(&eng, blob, prepared)
-            }))
-            .unwrap_or_else(|_| {
-                Err(BlobError::Internal("pipelined completion stage panicked".into()))
-            });
-            let result = result.inspect_err(|e| {
-                // A failed (or panicked) stage retires its version as a
-                // no-op instead of wedging the blob; VersionAborted
-                // means the sweeper or an explicit abort already did.
-                if !matches!(e, BlobError::VersionAborted { .. }) {
-                    let _ = crate::abort::abort_version(&eng, blob, version);
+        crate::qos::dispatch(
+            engine,
+            tenant,
+            cost,
+            Box::new(move || {
+                // A panicking stage must still resolve the cell, or a
+                // wait() would hang until its timeout.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    write::finish(&eng, blob, prepared)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(BlobError::Internal("pipelined completion stage panicked".into()))
+                });
+                let result = result.inspect_err(|e| {
+                    // A failed (or panicked) stage retires its version as a
+                    // no-op instead of wedging the blob; VersionAborted
+                    // means the sweeper or an explicit abort already did.
+                    if !matches!(e, BlobError::VersionAborted { .. }) {
+                        let _ = crate::abort::abort_version(&eng, blob, version);
+                    }
+                });
+                if result.is_ok() {
+                    write::record_update(&eng, is_append, op_timer);
                 }
-            });
-            if result.is_ok() {
-                write::record_update(&eng, is_append, op_timer);
-            }
-            *c.done.lock() = Some(result);
-            c.cv.notify_all();
-            // Completion stages double as the lease sweeper's heartbeat.
-            crate::abort::maybe_sweep(&eng);
-        });
+                *c.done.lock() = Some(result);
+                c.cv.notify_all();
+                // Completion stages double as the lease sweeper's heartbeat.
+                crate::abort::maybe_sweep(&eng);
+            }),
+        );
         Ok(PendingWrite { engine: Arc::clone(engine), blob, version, cell })
     }
 

@@ -198,8 +198,19 @@ fn fetch_with_fallback(
     let mut unavailable = None;
     let mut last = None;
     for id in std::iter::once(descriptor.provider).chain(replicas).chain(fallbacks) {
+        let timer = engine.metrics.timer();
         match fetch(id) {
-            Ok(data) => return Ok(data),
+            Ok(data) => {
+                // Per-provider fetch split: only the successful attempt
+                // is attributed (a miss on a fallback that never held
+                // the copy says nothing about that provider's latency).
+                if let (Some(t), Some(hist)) =
+                    (timer, engine.metrics.provider_fetch_latency.get(id.0 as usize))
+                {
+                    t.stop(hist);
+                }
+                return Ok(data);
+            }
             Err(e @ BlobError::PageCorrupt { .. }) => {
                 engine.metrics.corrupt_pages.increment();
                 corrupt = Some(e);

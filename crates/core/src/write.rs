@@ -234,12 +234,19 @@ pub(crate) fn finish_until(
 /// Run the full update pipeline; returns the assigned version. A
 /// failure after version assignment retires the version (no-op abort)
 /// instead of leaving a hole that wedges every later writer.
+///
+/// QoS admission (when configured) runs first, before any page store
+/// or version assignment — a throttled update has zero side effects.
+/// The blocking paths use deadline-bounded waiting admission; see
+/// `crate::qos`.
 pub(crate) fn update(
     engine: &Arc<Engine>,
     blob: BlobId,
     data: Bytes,
     target: Target,
+    tenant: blobseer_types::TenantId,
 ) -> Result<Version> {
+    crate::qos::admit_blocking(engine, tenant, data.len() as u64)?;
     let op_timer = engine.metrics.timer();
     let is_append = matches!(target, Target::Append);
     let prepared = prepare(engine, blob, data, target)?;
@@ -477,10 +484,21 @@ fn store_with_retry(
     pid: blobseer_types::PageId,
     payload: &Bytes,
 ) -> Result<()> {
+    let timer = engine.metrics.timer();
     let mut attempt = 0u32;
     loop {
         match engine.providers.provider(target).and_then(|p| p.store_page(pid, payload.clone())) {
-            Ok(()) => return Ok(()),
+            Ok(()) => {
+                // Per-provider store split: the whole attempt sequence
+                // (including backoff) lands on the provider that finally
+                // accepted — which is what a capacity dashboard wants.
+                if let (Some(t), Some(hist)) =
+                    (timer, engine.metrics.provider_store_latency.get(target.0 as usize))
+                {
+                    t.stop(hist);
+                }
+                return Ok(());
+            }
             Err(e) if attempt >= engine.config.store_retry_attempts => return Err(e),
             Err(_) => {
                 attempt += 1;

@@ -55,4 +55,6 @@ pub use histogram::{
     AtomicHistogram, HistogramSnapshot, WindowedHistogram, DEFAULT_GROUPING_POWER,
 };
 pub use metric::{Counter, Gauge};
-pub use registry::{write_counter, write_gauge, write_summary_seconds, Registry};
+pub use registry::{
+    write_counter, write_gauge, write_summary_seconds, write_summary_seconds_labeled, Registry,
+};

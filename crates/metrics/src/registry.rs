@@ -227,6 +227,53 @@ pub fn write_summary_seconds(out: &mut String, name: &str, help: &str, snap: &Hi
     let _ = writeln!(out, "{name}_count {count}");
 }
 
+/// Append one latency histogram as **labeled** Prometheus `summary`
+/// series: quantile lines carry `{labels,quantile="..."}` and the
+/// `_sum`/`_count` lines carry `{labels}`. Writes no `# HELP`/`# TYPE`
+/// header — emit that once per metric name, then call this per label
+/// set (per tenant, per provider, ...). `labels` is the pre-rendered
+/// label list without braces, e.g. `tenant="7"`.
+///
+/// # Examples
+///
+/// ```
+/// use blobseer_metrics::AtomicHistogram;
+///
+/// let h = AtomicHistogram::new();
+/// h.record(200);
+/// let mut out = String::new();
+/// blobseer_metrics::write_summary_seconds_labeled(
+///     &mut out,
+///     "op_seconds",
+///     "provider=\"3\"",
+///     &h.snapshot(),
+/// );
+/// assert!(out.contains(r#"op_seconds{provider="3",quantile="0.5"} 0.000000200"#));
+/// assert!(out.contains(r#"op_seconds_sum{provider="3"} 0.000000200"#));
+/// assert!(out.contains(r#"op_seconds_count{provider="3"} 1"#));
+/// ```
+pub fn write_summary_seconds_labeled(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    snap: &HistogramSnapshot,
+) {
+    use std::fmt::Write;
+    let count = snap.count();
+    if count > 0 {
+        for (label, pct) in [("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0), ("0.999", 99.9)] {
+            let ns = snap.percentile(pct).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{name}{{{labels},quantile=\"{label}\"}} {:.9}",
+                ns as f64 / 1_000_000_000.0
+            );
+        }
+    }
+    let _ = writeln!(out, "{name}_sum{{{labels}}} {:.9}", snap.sum() as f64 / 1_000_000_000.0);
+    let _ = writeln!(out, "{name}_count{{{labels}}} {count}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

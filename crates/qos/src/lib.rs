@@ -1,0 +1,33 @@
+//! Multi-tenant QoS primitives for the BlobSeer reproduction (PR 8).
+//!
+//! The paper's regime is *heavy access concurrency* — many clients
+//! hammering one deployment — and without admission control one hot
+//! client starves everyone: ingest is unbounded and the shared pools
+//! drain FIFO. This crate provides the three mechanisms the engine
+//! composes into per-tenant isolation:
+//!
+//! * [`TokenBucket`] — a lock-free rate limiter (atomic token count
+//!   plus an atomic refill clock, CAS-advanced) used for per-tenant
+//!   bytes/s and ops/s quotas with burst capacity;
+//! * [`FairQueue`] — a deficit-weighted round-robin queue: per-tenant
+//!   FIFO sub-queues drained by byte-cost deficit counters, so a
+//!   weight-3 tenant gets ~3x the drain bandwidth of a weight-1
+//!   tenant under contention, and no tenant is starved;
+//! * [`TenantRegistry`] — tenant id → live [`TenantState`] (buckets +
+//!   weight), lazily populated from a default quota and
+//!   runtime-adjustable.
+//!
+//! **Time is always injected.** Nothing in this crate reads a clock:
+//! every method takes `now_ns`, a monotonic nanosecond timestamp. The
+//! engine passes the `blobseer_metrics` coarse clock; tests and the
+//! simulator pass virtual time, which makes every throttling decision
+//! deterministic. That is the same `_at` idiom the metrics crate uses
+//! for its window snapshots.
+
+mod bucket;
+mod queue;
+mod registry;
+
+pub use bucket::TokenBucket;
+pub use queue::FairQueue;
+pub use registry::{QuotaSpec, TenantRegistry, TenantState};

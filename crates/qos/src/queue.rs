@@ -1,0 +1,225 @@
+//! The deficit-weighted round-robin fair queue.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// A weighted-fair queue: per-tenant FIFO sub-queues drained by
+/// **deficit-weighted round-robin** (DRR). Each tenant holds a deficit
+/// counter; a visit tops it up by `quantum × weight`, and the tenant's
+/// head items are served while their summed cost fits the deficit.
+/// Under contention each tenant therefore drains bandwidth
+/// proportional to its weight, independent of how deep the others'
+/// backlogs are — the property a shared FIFO pool lacks.
+///
+/// Items within one tenant stay strictly FIFO. Costs are in the same
+/// unit as the quantum (the engine uses payload bytes and a page-size
+/// quantum).
+///
+/// # Examples
+///
+/// ```
+/// use blobseer_qos::FairQueue;
+///
+/// let q = FairQueue::new(100);
+/// // Tenant 1 (weight 1) has a deep backlog; tenant 2 (weight 1)
+/// // one item. Tenant 2 is served within one round, not after the
+/// // whole backlog.
+/// for i in 0..10 {
+///     q.push(1, 1, 100, format!("noisy-{i}"));
+/// }
+/// q.push(2, 1, 100, "quiet".to_string());
+/// let first_two = [q.pop().unwrap(), q.pop().unwrap()];
+/// assert!(first_two.contains(&"quiet".to_string()));
+/// ```
+#[derive(Debug)]
+pub struct FairQueue<T> {
+    quantum: u64,
+    inner: Mutex<Inner<T>>,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    tenants: HashMap<u64, TenantLane<T>>,
+    /// Active tenants in round-robin visit order.
+    ring: VecDeque<u64>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct TenantLane<T> {
+    items: VecDeque<(u64, T)>,
+    deficit: u64,
+    weight: u32,
+    /// Whether the current head-of-ring visit already received its
+    /// `quantum × weight` top-up (a visit tops up at most once; the
+    /// tenant then serves until its deficit runs short and rotates).
+    topped_up: bool,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue with the given per-visit base quantum (≥ 1; the
+    /// engine uses the page size so one visit covers roughly one
+    /// page-sized item per weight unit).
+    pub fn new(quantum: u64) -> Self {
+        FairQueue {
+            quantum: quantum.max(1),
+            inner: Mutex::new(Inner { tenants: HashMap::new(), ring: VecDeque::new(), len: 0 }),
+        }
+    }
+
+    /// Enqueue `item` for `tenant` at the given `cost` (same unit as
+    /// the quantum). `weight` updates the tenant's scheduling weight
+    /// (latest push wins, ≥ 1).
+    pub fn push(&self, tenant: u64, weight: u32, cost: u64, item: T) {
+        let mut inner = self.inner.lock().expect("no poison");
+        let lane = inner.tenants.entry(tenant).or_insert_with(|| TenantLane {
+            items: VecDeque::new(),
+            deficit: 0,
+            weight: 1,
+            topped_up: false,
+        });
+        lane.weight = weight.max(1);
+        let newly_active = lane.items.is_empty();
+        lane.items.push_back((cost, item));
+        if newly_active {
+            inner.ring.push_back(tenant);
+        }
+        inner.len += 1;
+    }
+
+    /// Dequeue the next item by DRR, or `None` if empty. One visit
+    /// per rotation tops the front tenant's deficit up by
+    /// `quantum × weight`; the head item is served if its cost fits,
+    /// otherwise the tenant rotates to the back keeping its deficit —
+    /// so even a cost far above one quantum is eventually served
+    /// (deficits accumulate), and no tenant is starved.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("no poison");
+        loop {
+            let tenant = *inner.ring.front()?;
+            let quantum = self.quantum;
+            let lane = inner.tenants.get_mut(&tenant).expect("ring tenants have lanes");
+            let Some(&(cost, _)) = lane.items.front() else {
+                // Drained on a previous pop: drop the idle lane (its
+                // deficit resets — credit does not survive idleness).
+                inner.tenants.remove(&tenant);
+                inner.ring.pop_front();
+                continue;
+            };
+            if lane.deficit < cost && !lane.topped_up {
+                lane.deficit = lane.deficit.saturating_add(quantum * lane.weight as u64);
+                lane.topped_up = true;
+            }
+            if lane.deficit < cost {
+                // This visit's top-up (now spent) wasn't enough: the
+                // deficit carries over, the tenant goes to the back.
+                lane.topped_up = false;
+                inner.ring.rotate_left(1);
+                continue;
+            }
+            lane.deficit -= cost;
+            let (_, item) = lane.items.pop_front().expect("head checked above");
+            if lane.items.is_empty() {
+                inner.tenants.remove(&tenant);
+                inner.ring.pop_front();
+            }
+            inner.len -= 1;
+            return Some(item);
+        }
+    }
+
+    /// Items queued across all tenants.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("no poison").len
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain the queue, returning the tenant of each served item.
+    fn drain_order(q: &FairQueue<u64>) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop()).collect()
+    }
+
+    #[test]
+    fn single_tenant_is_fifo() {
+        let q = FairQueue::new(10);
+        for i in 0..5 {
+            q.push(1, 1, 100, i);
+        }
+        let out: Vec<u64> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn equal_weights_interleave() {
+        let q = FairQueue::new(100);
+        for _ in 0..4 {
+            q.push(1, 1, 100, 1);
+            q.push(2, 1, 100, 2);
+        }
+        let order = drain_order(&q);
+        // Neither tenant is ever two whole rounds ahead.
+        for window in order.windows(3) {
+            assert!(
+                window.contains(&1) && window.contains(&2),
+                "a tenant was starved for a full round: {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_split_bandwidth_proportionally() {
+        let q = FairQueue::new(100);
+        for _ in 0..30 {
+            q.push(1, 3, 100, 1); // weight 3
+            q.push(2, 1, 100, 2); // weight 1
+        }
+        // After 12 pops, tenant 1 should hold ~3/4 of the served slots.
+        let mut served_1 = 0;
+        for _ in 0..12 {
+            served_1 += (q.pop().unwrap() == 1) as usize;
+        }
+        assert_eq!(served_1, 9, "weight 3 vs 1 must split 3:1");
+    }
+
+    #[test]
+    fn oversized_costs_accumulate_deficit_and_serve() {
+        let q = FairQueue::new(10);
+        q.push(1, 1, 95, 1); // ~10 visits' worth of deficit needed
+        q.push(2, 1, 10, 2);
+        let order = drain_order(&q);
+        // Tenant 2's cheap item is not stuck behind tenant 1's huge one.
+        assert_eq!(order, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_pop_and_len() {
+        let q: FairQueue<u8> = FairQueue::new(10);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(0, 1, 1, 7);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(7));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pushes_during_drain_keep_tenant_fifo() {
+        let q = FairQueue::new(100);
+        q.push(1, 1, 100, 10);
+        q.push(1, 1, 100, 11);
+        assert_eq!(q.pop(), Some(10));
+        q.push(1, 1, 100, 12);
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), Some(12));
+    }
+}

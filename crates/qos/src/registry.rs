@@ -1,0 +1,273 @@
+//! The runtime-adjustable tenant registry.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::bucket::TokenBucket;
+
+/// One tenant's quota in raw numbers (the crate-local mirror of the
+/// engine's serde-facing `TenantQuota`; this crate stays
+/// dependency-free, so it speaks plain integers and raw tenant ids).
+/// `0` for a rate means unlimited on that axis — no bucket is built,
+/// and admission on that axis is free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuotaSpec {
+    /// Sustained bytes per second (`0` = unlimited).
+    pub bytes_per_sec: u64,
+    /// Sustained operations per second (`0` = unlimited).
+    pub ops_per_sec: u64,
+    /// Byte-bucket burst capacity (`0` = one second's refill).
+    pub burst_bytes: u64,
+    /// Op-bucket burst capacity (`0` = one second's refill).
+    pub burst_ops: u64,
+    /// Deficit-round-robin weight (≥ 1).
+    pub weight: u32,
+}
+
+impl QuotaSpec {
+    /// A spec that never throttles.
+    pub fn unlimited() -> Self {
+        QuotaSpec { bytes_per_sec: 0, ops_per_sec: 0, burst_bytes: 0, burst_ops: 0, weight: 1 }
+    }
+}
+
+impl Default for QuotaSpec {
+    fn default() -> Self {
+        QuotaSpec::unlimited()
+    }
+}
+
+/// A tenant's live admission state: its buckets (absent on unlimited
+/// axes) and scheduling weight. Shared via `Arc` between the
+/// admission path and the registry, so a quota *adjustment* swaps the
+/// state atomically — in-flight admissions finish against the old
+/// buckets, later ones see the new.
+#[derive(Debug)]
+pub struct TenantState {
+    spec: QuotaSpec,
+    bytes: Option<TokenBucket>,
+    ops: Option<TokenBucket>,
+}
+
+impl TenantState {
+    fn new(spec: QuotaSpec) -> Self {
+        let mk = |rate: u64, burst: u64| {
+            (rate > 0).then(|| TokenBucket::new(rate, if burst > 0 { burst } else { rate }))
+        };
+        TenantState {
+            spec,
+            bytes: mk(spec.bytes_per_sec, spec.burst_bytes),
+            ops: mk(spec.ops_per_sec, spec.burst_ops),
+        }
+    }
+
+    /// The spec this state was built from.
+    pub fn spec(&self) -> QuotaSpec {
+        self.spec
+    }
+
+    /// Scheduling weight (≥ 1).
+    pub fn weight(&self) -> u32 {
+        self.spec.weight.max(1)
+    }
+
+    /// Whether either axis is actually limited. Unlimited tenants can
+    /// skip admission bookkeeping entirely.
+    pub fn is_limited(&self) -> bool {
+        self.bytes.is_some() || self.ops.is_some()
+    }
+
+    /// Try to admit one operation of `payload_bytes` at injected
+    /// instant `now_ns`: one op token plus `payload_bytes` byte
+    /// tokens, atomically — on a partial failure the op token is
+    /// refunded, so a refused admission consumes nothing.
+    /// `Err(hint_ns)` is the longest single-axis wait hint.
+    pub fn try_admit_at(&self, now_ns: u64, payload_bytes: u64) -> Result<(), u64> {
+        if let Some(ops) = &self.ops {
+            ops.try_acquire_at(now_ns, 1)?;
+        }
+        if let Some(bytes) = &self.bytes {
+            if let Err(hint) = bytes.try_acquire_at(now_ns, payload_bytes) {
+                if let Some(ops) = &self.ops {
+                    ops.refund(1);
+                }
+                return Err(hint);
+            }
+        }
+        Ok(())
+    }
+
+    /// Gauge view: `(byte_tokens, op_tokens)` available at `now_ns`;
+    /// `None` on an unlimited axis.
+    pub fn tokens_at(&self, now_ns: u64) -> (Option<u64>, Option<u64>) {
+        (
+            self.bytes.as_ref().map(|b| b.available_at(now_ns)),
+            self.ops.as_ref().map(|b| b.available_at(now_ns)),
+        )
+    }
+}
+
+/// Tenant id → quota, lazily populated and runtime-adjustable.
+///
+/// Tenants without an explicit quota share the **default spec**
+/// (their states are still per-tenant — each gets its own buckets
+/// built from it). [`TenantRegistry::set_quota`] replaces a tenant's
+/// state wholesale: fresh buckets, starting full.
+///
+/// # Examples
+///
+/// ```
+/// use blobseer_qos::{QuotaSpec, TenantRegistry};
+///
+/// let reg = TenantRegistry::new(QuotaSpec::unlimited());
+/// reg.set_quota(7, QuotaSpec { ops_per_sec: 2, ..QuotaSpec::unlimited() });
+/// let t7 = reg.state(7);
+/// assert!(t7.is_limited());
+/// assert!(t7.try_admit_at(0, 1024).is_ok());
+/// assert!(t7.try_admit_at(0, 1024).is_ok());
+/// assert!(t7.try_admit_at(0, 1024).is_err(), "burst of 2 spent");
+/// assert!(!reg.state(8).is_limited(), "default is unlimited");
+/// ```
+#[derive(Debug)]
+pub struct TenantRegistry {
+    default_spec: Mutex<QuotaSpec>,
+    tenants: Mutex<HashMap<u64, Arc<TenantState>>>,
+}
+
+impl TenantRegistry {
+    /// A registry whose unconfigured tenants get `default_spec`.
+    pub fn new(default_spec: QuotaSpec) -> Self {
+        TenantRegistry {
+            default_spec: Mutex::new(default_spec),
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The live state for `tenant`, creating it from the default spec
+    /// on first sight.
+    pub fn state(&self, tenant: u64) -> Arc<TenantState> {
+        let mut tenants = self.tenants.lock().expect("no poison");
+        if let Some(state) = tenants.get(&tenant) {
+            return Arc::clone(state);
+        }
+        let spec = *self.default_spec.lock().expect("no poison");
+        let state = Arc::new(TenantState::new(spec));
+        tenants.insert(tenant, Arc::clone(&state));
+        state
+    }
+
+    /// Replace `tenant`'s quota with fresh, full buckets. In-flight
+    /// admissions holding the old `Arc` finish against the old
+    /// buckets; later calls see the new ones.
+    pub fn set_quota(&self, tenant: u64, spec: QuotaSpec) {
+        let state = Arc::new(TenantState::new(spec));
+        self.tenants.lock().expect("no poison").insert(tenant, state);
+    }
+
+    /// The spec `tenant` currently runs under (the default spec if it
+    /// was never seen).
+    pub fn quota(&self, tenant: u64) -> QuotaSpec {
+        if let Some(state) = self.tenants.lock().expect("no poison").get(&tenant) {
+            return state.spec();
+        }
+        *self.default_spec.lock().expect("no poison")
+    }
+
+    /// Replace the spec future unconfigured tenants are built from.
+    /// Existing tenant states are untouched.
+    pub fn set_default_quota(&self, spec: QuotaSpec) {
+        *self.default_spec.lock().expect("no poison") = spec;
+    }
+
+    /// Snapshot of all materialised tenants, sorted by id (for
+    /// deterministic gauge exposition).
+    pub fn all(&self) -> Vec<(u64, Arc<TenantState>)> {
+        let tenants = self.tenants.lock().expect("no poison");
+        let mut out: Vec<_> = tenants.iter().map(|(&t, s)| (t, Arc::clone(s))).collect();
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn unlimited_tenants_admit_everything() {
+        let reg = TenantRegistry::new(QuotaSpec::unlimited());
+        let t = reg.state(1);
+        assert!(!t.is_limited());
+        for i in 0..10_000 {
+            assert!(t.try_admit_at(0, i * 1_000_000).is_ok());
+        }
+    }
+
+    #[test]
+    fn byte_and_op_buckets_compose() {
+        let reg = TenantRegistry::new(QuotaSpec::unlimited());
+        reg.set_quota(
+            1,
+            QuotaSpec { bytes_per_sec: 1000, ops_per_sec: 2, ..QuotaSpec::unlimited() },
+        );
+        let t = reg.state(1);
+        assert!(t.try_admit_at(0, 600).is_ok());
+        // Bytes exhausted (600 of 1000 spent, 500 requested): the op
+        // token taken for this attempt must be refunded...
+        assert!(t.try_admit_at(0, 500).is_err());
+        // ...so a smaller op still has an op token to use.
+        assert!(t.try_admit_at(0, 400).is_ok());
+        // Now ops are exhausted (2/s burst spent) even though bytes remain.
+        assert!(t.try_admit_at(0, 0).is_err());
+        // A second of refill restores both.
+        assert!(t.try_admit_at(SEC, 1000).is_ok());
+    }
+
+    #[test]
+    fn set_quota_swaps_live_state() {
+        let reg = TenantRegistry::new(QuotaSpec::unlimited());
+        assert!(!reg.state(3).is_limited());
+        reg.set_quota(3, QuotaSpec { ops_per_sec: 1, ..QuotaSpec::unlimited() });
+        assert!(reg.state(3).is_limited());
+        assert_eq!(reg.quota(3).ops_per_sec, 1);
+        // Back to unlimited at runtime.
+        reg.set_quota(3, QuotaSpec::unlimited());
+        assert!(!reg.state(3).is_limited());
+    }
+
+    #[test]
+    fn default_spec_applies_to_new_tenants_only() {
+        let reg = TenantRegistry::new(QuotaSpec::unlimited());
+        let before = reg.state(1);
+        reg.set_default_quota(QuotaSpec { ops_per_sec: 5, ..QuotaSpec::unlimited() });
+        assert!(!before.is_limited(), "existing states keep their buckets");
+        assert!(!reg.state(1).is_limited(), "materialised tenants are not rebuilt");
+        assert!(reg.state(2).is_limited(), "new tenants see the new default");
+    }
+
+    #[test]
+    fn all_is_sorted_and_complete() {
+        let reg = TenantRegistry::new(QuotaSpec::unlimited());
+        for t in [5u64, 1, 9, 3] {
+            reg.state(t);
+        }
+        let ids: Vec<u64> = reg.all().into_iter().map(|(t, _)| t).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn gauge_view_reports_both_axes() {
+        let reg = TenantRegistry::new(QuotaSpec::unlimited());
+        reg.set_quota(
+            1,
+            QuotaSpec { bytes_per_sec: 100, ops_per_sec: 4, ..QuotaSpec::unlimited() },
+        );
+        let t = reg.state(1);
+        assert_eq!(t.tokens_at(0), (Some(100), Some(4)));
+        t.try_admit_at(0, 30).unwrap();
+        assert_eq!(t.tokens_at(0), (Some(70), Some(3)));
+        assert_eq!(reg.state(2).tokens_at(0), (None, None));
+    }
+}

@@ -26,6 +26,11 @@
 //!   failure (PR 7): dead data providers redirect their pages to live
 //!   replica-chain members, and the concurrent-reader bandwidth is
 //!   priced against the healthy baseline — the degraded-mode tax.
+//! * [`qos_isolation_experiment`] — the multi-tenant scenario (PR 8):
+//!   a noisy tenant floods a shared ingest with 10× a quiet tenant's
+//!   traffic; quiet-tenant p99 is measured solo, shared-FIFO, and
+//!   shared with `blobseer_qos` token-bucket admission + DRR drain —
+//!   the isolation the QoS subsystem buys.
 //!
 //! Crucially, the *costs* fed into the simulator come from the real
 //! implementation, not from formulas baked into the benchmark:
@@ -48,6 +53,7 @@ mod cluster;
 mod degraded;
 mod failure;
 mod params;
+mod qos;
 mod read;
 mod scrub;
 
@@ -56,5 +62,6 @@ pub use cluster::Cluster;
 pub use degraded::{degraded_read_experiment, DegradedReadSummary};
 pub use failure::{crash_writer_experiment, CrashRecoverySummary};
 pub use params::SimParams;
+pub use qos::{qos_isolation_experiment, QosIsolationSummary};
 pub use read::{read_experiment, ReadSummary};
 pub use scrub::{scrub_experiment, ScrubSimSummary};

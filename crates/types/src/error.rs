@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::{BlobId, PageId, ProviderId, Version};
+use crate::{BlobId, PageId, ProviderId, TenantId, Version};
 
 /// Result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, BlobError>;
@@ -75,6 +75,13 @@ pub enum BlobError {
     MetadataMissing { blob: BlobId, version: Version },
     /// A blocking wait (SYNC, DHT `get_wait`) exceeded its deadline.
     Timeout(&'static str),
+    /// Multi-tenant QoS refused the update: the tenant's token
+    /// buckets could not supply the required tokens — immediately for
+    /// non-blocking submission (`write_pipelined`/`append_pipelined`),
+    /// or within the configured `max_wait_ms` for blocking calls.
+    /// Nothing was done: no version assigned, no page stored. The
+    /// caller owns the retry policy; see `docs/FAILURES.md`.
+    QuotaExceeded { tenant: TenantId },
     /// Storage-level failure (file-backed page store I/O, etc.).
     Storage(String),
     /// Internal invariant violation; indicates a bug, surfaced rather
@@ -125,6 +132,9 @@ impl fmt::Display for BlobError {
                 write!(f, "metadata node missing for {blob} {version}")
             }
             BlobError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            BlobError::QuotaExceeded { tenant } => {
+                write!(f, "{tenant} is over its QoS quota (admission refused)")
+            }
             BlobError::Storage(msg) => write!(f, "storage failure: {msg}"),
             BlobError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
@@ -169,6 +179,14 @@ mod tests {
         assert_ne!(corrupt, missing);
         assert!(corrupt.to_string().contains("checksum"));
         assert!(corrupt.to_string().contains("prov#3"));
+    }
+
+    #[test]
+    fn quota_exceeded_names_the_tenant() {
+        let e = BlobError::QuotaExceeded { tenant: TenantId(4) };
+        assert!(e.to_string().contains("tenant#4"));
+        assert!(e.to_string().contains("quota"));
+        assert_ne!(e, BlobError::QuotaExceeded { tenant: TenantId(5) });
     }
 
     #[test]

@@ -98,6 +98,38 @@ impl fmt::Debug for PageId {
     }
 }
 
+/// Identifier of a tenant — a client class sharing one deployment
+/// under multi-tenant QoS (PR 8). Untagged callers act as
+/// [`TenantId::DEFAULT`]; tag a handle with `Blob::for_tenant` to
+/// charge its updates to another tenant's quota. Tenants are a purely
+/// client-side notion: pages and metadata carry no tenant marker, so
+/// tagging changes *admission*, never placement or content.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant untagged callers are accounted to.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// Raw numeric value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
 /// Identifier of a data provider (storage node).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ProviderId(pub u32);

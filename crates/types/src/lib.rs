@@ -6,7 +6,8 @@
 //! distributed **segment tree**. This crate defines the vocabulary shared
 //! by every other crate in the workspace:
 //!
-//! * identifiers — [`BlobId`], [`Version`], [`PageId`], [`ProviderId`];
+//! * identifiers — [`BlobId`], [`Version`], [`PageId`], [`ProviderId`],
+//!   [`TenantId`];
 //! * range arithmetic — [`ByteRange`], [`PageRange`] and the dyadic
 //!   segment-tree positions [`NodePos`];
 //! * the [`PageDescriptor`] record exchanged between the metadata layer
@@ -24,9 +25,9 @@ mod page;
 mod range;
 
 pub use checksum::page_checksum;
-pub use config::{StoreConfig, DEFAULT_PAGE_SIZE};
+pub use config::{QosConfig, StoreConfig, TenantQuota, TenantQuotaEntry, DEFAULT_PAGE_SIZE};
 pub use error::{BlobError, Result};
-pub use ids::{BlobId, PageId, PageIdGen, ProviderId, Version};
+pub use ids::{BlobId, PageId, PageIdGen, ProviderId, TenantId, Version};
 pub use page::{PageDescriptor, PageSlice};
 pub use range::{ByteRange, NodePos, PageRange};
 

@@ -24,6 +24,11 @@
 //! on the *other* side of the wire — providers go offline mid-update
 //! and stored copies rot at rest — and drives write-path failover,
 //! checksum fallback reads, and the replica repairer (PR 7).
+//! [`MultiTenantIngest`] is the shared-deployment client (PR 8):
+//! zipfian-skewed, bursty appends from many tenants, retrying
+//! throttled chunks so published content is independent of QoS — the
+//! noisy-neighbour traffic `Builder::qos` admission control exists to
+//! contain.
 
 pub mod photo;
 
@@ -32,9 +37,11 @@ mod crashy;
 mod driver;
 mod flaky;
 mod stream;
+mod tenants;
 
 pub use chunks::DisjointChunks;
 pub use crashy::{ChunkRecord, CrashReport, CrashyIngest, ScrubTrajectory};
 pub use driver::{IngestReport, PipelinedIngest};
 pub use flaky::{FlakyProviders, FlakyReport};
 pub use stream::AppendStream;
+pub use tenants::{MultiTenantIngest, MultiTenantReport, TenantIngestReport};

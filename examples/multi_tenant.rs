@@ -1,0 +1,126 @@
+//! Operating a *shared* BlobSeer deployment: tenant quotas, throttling,
+//! weighted-fair pipelining, and live quota adjustment.
+//!
+//! The paper evaluates one cooperative application under heavy
+//! concurrency; this example shows the PR 8 extension for the
+//! multi-tenant case — token-bucket admission control so one tenant's
+//! burst cannot become every other tenant's latency.
+//!
+//! Run with: `cargo run --example multi_tenant`
+
+use blobseer::{BlobError, BlobSeer, QosConfig, TenantId, TenantQuota};
+
+const QUIET: TenantId = TenantId(1);
+const NOISY: TenantId = TenantId(2);
+
+fn main() {
+    // QoS is opt-in per store. The default quota is unlimited, so only
+    // the tenants you name are ever throttled: here the noisy tenant
+    // gets a tight op bucket (100 ops/s, no burst slack) and a short
+    // 2 ms admission deadline deployment-wide.
+    let store = BlobSeer::builder()
+        .page_size(4096)
+        .data_providers(8)
+        .metadata_providers(8)
+        .qos(
+            QosConfig::default()
+                .with_tenant(
+                    NOISY.raw(),
+                    TenantQuota { ops_per_sec: 100, burst_ops: 1, ..TenantQuota::unlimited() },
+                )
+                .with_max_wait_ms(2),
+        )
+        .build()
+        .unwrap();
+
+    // Handles carry the tenant; every update through them is admitted
+    // against that tenant's buckets (one tenant per blob — see the
+    // engine's qos module docs).
+    let quiet_blob = store.create().for_tenant(QUIET);
+    let noisy_blob = store.create().for_tenant(NOISY);
+
+    // --- Blocking path: waits, then fails typed at the deadline. ---
+    // The noisy tenant fires 20 back-to-back appends against a bucket
+    // that refills every 10 ms but may only wait 2 ms: most attempts
+    // are refused at the deadline and retried — the compliant client
+    // loop. Crucially, admission runs before any side effect, so a
+    // refused append leaves nothing behind: no version, no pages.
+    let mut refusals = 0u64;
+    let mut last = None;
+    for i in 0..20u8 {
+        loop {
+            match noisy_blob.append(&[i; 512]) {
+                Ok(v) => {
+                    last = Some(v);
+                    break;
+                }
+                Err(BlobError::QuotaExceeded { tenant }) => {
+                    assert_eq!(tenant, NOISY);
+                    refusals += 1;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+    }
+    noisy_blob.sync(last.unwrap()).unwrap();
+    println!("noisy tenant: 20 appends published, {refusals} refusals retried through");
+
+    // The quiet tenant, meanwhile, is never throttled.
+    let mut qlast = None;
+    for i in 0..20u8 {
+        qlast = Some(quiet_blob.append(&[i; 512]).unwrap());
+    }
+    quiet_blob.sync(qlast.unwrap()).unwrap();
+    println!("quiet tenant: 20 appends published, zero waits");
+
+    // --- Per-tenant accounting: admitted + throttled == submitted. ---
+    for (name, tenant) in [("quiet", QUIET), ("noisy", NOISY)] {
+        let s = store.tenant_qos_stats(tenant).unwrap();
+        println!(
+            "{name} ({tenant}): admitted={} throttled={} wait_p99={}ns",
+            s.admitted, s.throttled, s.wait.p99_ns
+        );
+    }
+
+    // --- Live adjustment: quotas are runtime state, not build state. ---
+    // Ops raise the noisy tenant's budget; waiting callers pick the new
+    // rate up within one sleep slice (~10 ms), no rebuild, no restart.
+    store.set_tenant_quota(NOISY, TenantQuota::unlimited()).unwrap();
+    let before = store.tenant_qos_stats(NOISY).unwrap().throttled;
+    let mut last = None;
+    for i in 0..20u8 {
+        last = Some(noisy_blob.append(&[i; 512]).unwrap());
+    }
+    noisy_blob.sync(last.unwrap()).unwrap();
+    let after = store.tenant_qos_stats(NOISY).unwrap().throttled;
+    assert_eq!(before, after);
+    println!("quota raised to unlimited: 20 more appends, zero new refusals");
+
+    // --- Non-blocking path: pipelined submission never waits. ---
+    // Cap the noisy tenant again, tighter: over-budget *submission*
+    // fails immediately with the same typed error, instead of queueing
+    // unbounded work behind the quota.
+    store
+        .set_tenant_quota(
+            NOISY,
+            TenantQuota { ops_per_sec: 1, burst_ops: 1, ..TenantQuota::unlimited() },
+        )
+        .unwrap();
+    let first = noisy_blob.append_pipelined(blobseer::Bytes::from(vec![7u8; 512])).unwrap();
+    let second = noisy_blob.append_pipelined(blobseer::Bytes::from(vec![8u8; 512]));
+    match second {
+        Err(BlobError::QuotaExceeded { tenant }) => {
+            println!("pipelined over budget: immediate QuotaExceeded for {tenant} (no waiting)");
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    let v = first.wait().unwrap();
+    noisy_blob.sync(v).unwrap();
+
+    // The same numbers are on the Prometheus endpoint, labeled per
+    // tenant, next to the per-provider latency splits.
+    let text = store.metrics_text();
+    for line in text.lines().filter(|l| l.starts_with("blobseer_qos_throttled_total")) {
+        println!("exposition: {line}");
+    }
+}
