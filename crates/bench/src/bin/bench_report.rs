@@ -15,10 +15,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use blobseer_bench::report::{
-    degraded_read, dht_micro, fig2a_append, json_latency, json_pair, latency_percentiles,
-    metrics_overhead_append, multi_tenant_isolation, orphan_scrub, pipeline_unit_label,
-    pipelined_append, qos_overhead_append, repair_replicas_cost, snapshot_pinned_read,
-    writer_crash_recovery, DhtCase, ReportParams, CRASH_EVERY,
+    degraded_read, dht_micro, elastic_rebalance, fig2a_append, json_latency, json_pair,
+    latency_percentiles, metrics_overhead_append, multi_tenant_isolation, orphan_scrub,
+    pipeline_unit_label, pipelined_append, qos_overhead_append, repair_replicas_cost,
+    snapshot_pinned_read, writer_crash_recovery, DhtCase, ReportParams, CRASH_EVERY,
 };
 
 /// Counts every heap allocation in the process, so the report can state
@@ -48,7 +48,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
-    let mut pr: u32 = 8;
+    let mut pr: u32 = 9;
     let mut out: Option<String> = None;
     let mut params = ReportParams::fast();
     let mut mode = "fast";
@@ -106,6 +106,8 @@ fn main() {
     let degraded_meas = degraded_read(&params, true);
     eprintln!("# bench_report: repair_replicas (degraded ingest, then re-replication)...");
     let repair = repair_replicas_cost(&params);
+    eprintln!("# bench_report: elastic rebalance (ingest under joins + concurrent drain)...");
+    let elastic = elastic_rebalance(&params);
     eprintln!("# bench_report: metrics overhead (baseline: latency metrics off)...");
     let metrics_base = metrics_overhead_append(&params, false);
     eprintln!("# bench_report: metrics overhead (optimized: latency metrics on)...");
@@ -168,7 +170,14 @@ fn main() {
          recovered, then one repair_replicas pass; reported as absolute numbers plus timings — \
          the claims measured are convergence (a second pass must be a no-op; the run asserts \
          it) and cost (repair_to_ingest, plus the re-replication rate in MB/s). \
-         metrics_overhead_append: the fig2a \
+         elastic_rebalance: {total_mib} MiB streamed in {pipe_kib} KiB depth-{depth} \
+         pipelined appends onto a 16-provider replication-2 deployment while the membership \
+         churns — two providers join at one third of the run and provider 0 starts draining \
+         at two thirds, concurrent with the live writers; the run self-verifies (content \
+         byte-identical, victim retired and physically empty, one rebalance pass converges \
+         and a second is a no-op — all asserted) and reports absolute numbers plus timings: \
+         drain_to_ingest (drain seconds vs. the overlapped ingest) and the migration rate \
+         in MB/s. metrics_overhead_append: the fig2a \
          optimized append workload with latency histograms off (baseline) vs on (optimized — \
          the shipping default; two Instant::now calls, one coarse-clock fetch_max and one \
          relaxed histogram increment per op); the ratio prices the observability tax and \
@@ -313,6 +322,34 @@ fn main() {
         rate =
             repair.report.bytes_copied as f64 / 1e6 / repair.repair_elapsed.as_secs_f64().max(1e-9),
         tax = repair.repair_elapsed.as_secs_f64() / repair.ingest_elapsed.as_secs_f64().max(1e-9),
+    ));
+    json.push_str(&format!(
+        "  \"elastic_rebalance\": {{\n    \
+           \"unit\": \"{unit}, two joins + one concurrent drain\",\n    \
+           \"ingest\": {{ \"appends\": {appends}, \"bytes\": {ibytes}, \
+             \"joined\": {joined}, \"elapsed_s\": {ingest_s:.4} }},\n    \
+           \"drain\": {{ \"elapsed_s\": {drain_s:.4}, \"pages_evacuated\": {evac}, \
+             \"bytes_evacuated\": {ebytes}, \"copies_filled\": {filled}, \
+             \"bytes_copied\": {cbytes}, \"rounds\": {rounds}, \
+             \"migration_mb_per_s\": {rate:.1}, \"drain_to_ingest\": {tax:.4} }},\n    \
+           \"rebalance\": {{ \"elapsed_s\": {reb_s:.4}, \"copies_moved\": {reb_copies} }}\n  }},\n",
+        unit = pipeline_unit_label(&params),
+        appends = elastic.appends,
+        ibytes = elastic.ingest_bytes,
+        joined = elastic.joined,
+        ingest_s = elastic.ingest_elapsed.as_secs_f64(),
+        drain_s = elastic.drain_elapsed.as_secs_f64(),
+        evac = elastic.drain.pages_evacuated,
+        ebytes = elastic.drain.bytes_evacuated,
+        filled = elastic.drain.copies_filled,
+        cbytes = elastic.drain.bytes_copied,
+        rounds = elastic.drain.rounds,
+        rate = elastic.drain.bytes_evacuated as f64
+            / 1e6
+            / elastic.drain_elapsed.as_secs_f64().max(1e-9),
+        tax = elastic.drain_elapsed.as_secs_f64() / elastic.ingest_elapsed.as_secs_f64().max(1e-9),
+        reb_s = elastic.rebalance_elapsed.as_secs_f64(),
+        reb_copies = elastic.rebalance_copies,
     ));
     json.push_str(&format!(
         "  \"metrics_overhead_append\": {{\n{}\n  }},\n",

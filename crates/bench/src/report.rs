@@ -530,6 +530,80 @@ pub fn repair_replicas_cost(p: &ReportParams) -> RepairTrajectory {
     }
 }
 
+/// One measured elastic-membership trajectory
+/// ([`blobseer_workloads::ElasticIngest`]).
+#[derive(Clone, Debug)]
+pub struct ElasticTrajectory {
+    /// Pipelined appends issued across the membership churn.
+    pub appends: u64,
+    /// Payload bytes of that ingest.
+    pub ingest_bytes: u64,
+    /// Providers joined mid-ingest.
+    pub joined: usize,
+    /// Wall time of the whole ingest (the drain overlaps it).
+    pub ingest_elapsed: Duration,
+    /// What the concurrent drain migrated off the victim.
+    pub drain: blobseer::DrainReport,
+    /// Wall time of the drain, measured on its own thread.
+    pub drain_elapsed: Duration,
+    /// Copies the post-churn rebalance pass moved onto the newcomers.
+    pub rebalance_copies: u64,
+    /// Wall time of that rebalance pass.
+    pub rebalance_elapsed: Duration,
+}
+
+/// The PR-9 elastic-membership case: the [`pipelined_append`] volume
+/// streamed onto a replication-2 deployment of 16 in-memory providers
+/// while the provider set changes underneath it — two providers join
+/// at one third of the run, and provider 0 starts draining at two
+/// thirds, concurrent with the live writers. The driver
+/// ([`blobseer_workloads::ElasticIngest`]) self-verifies content,
+/// retirement and rebalance convergence; this case additionally proves
+/// the victim's store is physically empty and reports the costs: drain
+/// seconds vs. the ingest it overlapped, and the migration rate in
+/// MB/s.
+pub fn elastic_rebalance(p: &ReportParams) -> ElasticTrajectory {
+    use std::sync::Arc;
+
+    use blobseer::{MemoryPageStore, PageStore, ProviderId};
+
+    let handles: Vec<Arc<MemoryPageStore>> =
+        (0..16).map(|_| Arc::new(MemoryPageStore::new())).collect();
+    let store = BlobSeer::builder()
+        .page_size(p.page_size)
+        .metadata_providers(16)
+        .io_threads(4)
+        .replication(2)
+        .zero_copy_pages(true)
+        .io_chunks_per_thread(1)
+        .page_stores(handles.iter().map(|h| Arc::clone(h) as Arc<dyn PageStore>).collect())
+        .build()
+        .expect("valid bench config");
+
+    let appends = (p.append_total / p.pipeline_unit) as u64;
+    let mut stream =
+        blobseer_workloads::AppendStream::new(0x0e1a_57ec, p.pipeline_unit, p.pipeline_unit);
+    let report = blobseer_workloads::ElasticIngest::new(p.pipeline_depth, 2)
+        .run(&store, &mut stream, appends, ProviderId(0))
+        .expect("elastic ingest");
+
+    // The driver proved the logical invariants; the bench holds the
+    // physical stores too, so prove the victim is byte-empty.
+    assert_eq!(handles[0].page_count(), 0, "drained provider must hold nothing");
+    assert_eq!(handles[0].stored_bytes(), 0, "drained provider must hold nothing");
+
+    ElasticTrajectory {
+        appends: report.appends,
+        ingest_bytes: report.bytes,
+        joined: report.joined.len(),
+        ingest_elapsed: report.ingest_elapsed,
+        drain: report.drain,
+        drain_elapsed: report.drain_elapsed,
+        rebalance_copies: report.rebalance_copies,
+        rebalance_elapsed: report.rebalance_elapsed,
+    }
+}
+
 /// The PR-6 observability-tax case: the exact [`fig2a_append`]
 /// optimized workload, run with latency metrics off (baseline) vs on
 /// (optimized — the shipping default). The instrumented side pays two

@@ -64,8 +64,15 @@ pub(crate) fn retire_versions(
     let mut bytes_reclaimed = 0u64;
     let mut pages_removed = 0usize;
     for (pid, primary) in orphaned {
-        let mut targets = vec![primary];
-        targets.extend(engine.providers.replicas_of(primary, engine.config.replication)?);
+        // Retired-aware: the copies live on the current chain (which
+        // skips drained-and-retired members), not necessarily on the
+        // leaf's literal primary.
+        let mut targets = engine.providers.chain_of(primary, engine.config.replication)?;
+        // Plus the literal primary if it differs (pre-drain copies a
+        // failed drain left behind are still best-effort deleted).
+        if !targets.contains(&primary) {
+            targets.push(primary);
+        }
         let mut any = false;
         for target in targets {
             // Best effort: a failed provider keeps its (orphaned) copy;

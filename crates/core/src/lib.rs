@@ -107,6 +107,7 @@ mod blob;
 mod builder;
 mod engine;
 mod gc;
+mod membership;
 mod metrics;
 mod pending;
 mod qos;
@@ -121,6 +122,7 @@ pub use abort::SweepReport;
 pub use blob::{Blob, BlobRef};
 pub use builder::Builder;
 pub use gc::GcReport;
+pub use membership::DrainReport;
 pub use pending::PendingWrite;
 pub use qos::TenantQosStats;
 pub use repair::RepairReport;
@@ -132,7 +134,8 @@ pub use write::CrashPoint;
 // Re-export the vocabulary a user needs to drive the API — including
 // the fault-injection seam ([`Builder::page_stores`] + [`FaultPlan`]).
 pub use blobseer_provider::{
-    AllocationStrategy, FaultPlan, FilePageStore, MemoryPageStore, PageStore, ProviderStats,
+    AllocationStrategy, FaultPlan, FilePageStore, MembershipCounts, MemoryPageStore, PageStore,
+    PlacementCandidate, PlacementPolicy, ProviderStats,
 };
 pub use blobseer_types::{
     BlobError, BlobId, ByteRange, PageId, ProviderId, QosConfig, Result, StoreConfig, TenantId,
@@ -415,6 +418,100 @@ impl BlobSeer {
         Ok(())
     }
 
+    /// Register a brand-new in-memory data provider and return its id.
+    /// The newcomer is **immediately** eligible: the next allocation
+    /// may place primaries on it, and replica chains that wrap past the
+    /// former last registry position continue onto it. Use
+    /// [`BlobSeer::add_provider_store`] to bring your own backing
+    /// store (e.g. a [`FilePageStore`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let store = blobseer::BlobSeer::builder().page_size(64).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// let id = store.add_provider();
+    /// assert_eq!(id, blobseer::ProviderId(2));
+    /// assert_eq!(store.membership().active, 3);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn add_provider(&self) -> ProviderId {
+        membership::add_provider(&self.engine, Arc::new(MemoryPageStore::new()))
+    }
+
+    /// [`BlobSeer::add_provider`] over a caller-supplied page store.
+    pub fn add_provider_store(&self, store: Arc<dyn PageStore>) -> ProviderId {
+        membership::add_provider(&self.engine, store)
+    }
+
+    /// Evacuate data provider `id` and retire it from the deployment.
+    ///
+    /// The provider first turns read-only (new stores fail over to the
+    /// survivors), then its live pages are migrated to the
+    /// post-retirement replica chains under the orphan scrubber's
+    /// epoch-cut judgment — safe under concurrent writers, scrubs and
+    /// GC — and once a scan proves it empty it becomes a registry
+    /// tombstone: point lookups still resolve it (readers probing a
+    /// stale chain take a clean miss) but placement, chains and
+    /// maintenance sweeps skip it for good.
+    ///
+    /// Fails typed ([`BlobError::DrainConflict`]) — with the provider
+    /// returned to service and **nothing** migrated-then-lost — when
+    /// the provider is offline, already retired, the last active
+    /// member, kept non-empty by in-flight updates past the engine's
+    /// wait budget, or raced by a `retire_versions` that would make
+    /// liveness a guess. See `docs/OPERATIONS.md` §6 for the runbook.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use blobseer::ProviderId;
+    /// # let store = blobseer::BlobSeer::builder().page_size(64).data_providers(3)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).replication(2).build()?;
+    /// # let blob = store.create();
+    /// blob.append(&[7u8; 256])?;
+    /// let before = store.read(&blob, blob.recent_version()?, 0, 256)?;
+    /// let report = store.drain_provider(ProviderId(0))?;
+    /// assert!(report.pages_evacuated > 0);
+    /// // Every snapshot reads byte-identical over the survivors.
+    /// assert_eq!(store.read(&blob, blob.recent_version()?, 0, 256)?, before);
+    /// assert_eq!(store.membership().retired, 1);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn drain_provider(&self, id: ProviderId) -> Result<DrainReport> {
+        membership::drain_provider(&self.engine, id)
+    }
+
+    /// Census of the provider membership states (registered / active /
+    /// draining / retired) — the same numbers exported as
+    /// `blobseer_providers_*` gauges by [`BlobSeer::metrics_text`].
+    pub fn membership(&self) -> MembershipCounts {
+        self.engine.providers.membership()
+    }
+
+    /// Hot-swap the page-placement policy to a built-in strategy. Only
+    /// new allocations are affected: every stored page keeps its
+    /// location, and replica chains are a function of registry order,
+    /// not of placement — so the swap never invalidates a leaf.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # let store = blobseer::BlobSeer::builder().page_size(64).data_providers(2)
+    /// #     .metadata_providers(2).io_threads(1).pipeline_threads(1).build()?;
+    /// store.set_placement(blobseer::AllocationStrategy::LeastLoaded);
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn set_placement(&self, strategy: AllocationStrategy) {
+        self.engine.providers.set_placement(strategy);
+    }
+
+    /// [`BlobSeer::set_placement`] with a caller-implemented
+    /// [`PlacementPolicy`] trait object.
+    pub fn set_placement_policy(&self, policy: Arc<dyn PlacementPolicy>) {
+        self.engine.providers.set_placement_policy(policy);
+    }
+
     /// The deployment's configuration.
     pub fn config(&self) -> &StoreConfig {
         &self.engine.config
@@ -556,6 +653,31 @@ impl BlobSeer {
             "blobseer_metadata_nodes",
             "metadata tree nodes stored in the DHT",
             stats.metadata_nodes as i64,
+        );
+        let members = self.engine.providers.membership();
+        blobseer_metrics::write_gauge(
+            &mut out,
+            "blobseer_providers_registered",
+            "data providers ever registered (retired tombstones included)",
+            members.registered as i64,
+        );
+        blobseer_metrics::write_gauge(
+            &mut out,
+            "blobseer_providers_active",
+            "data providers eligible for new page placement",
+            members.active as i64,
+        );
+        blobseer_metrics::write_gauge(
+            &mut out,
+            "blobseer_providers_draining",
+            "data providers currently draining (read-only)",
+            members.draining as i64,
+        );
+        blobseer_metrics::write_gauge(
+            &mut out,
+            "blobseer_providers_retired",
+            "data providers retired by completed drains",
+            members.retired as i64,
         );
         self.engine.metrics.render_provider_latency(&mut out);
         if let Some(qos) = &self.engine.qos {

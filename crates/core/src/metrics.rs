@@ -36,6 +36,10 @@ pub(crate) struct EngineMetrics {
     pub scrub_sweep_latency: Arc<WindowedHistogram>,
     pub repair_mark_latency: Arc<WindowedHistogram>,
     pub repair_copy_latency: Arc<WindowedHistogram>,
+    pub drain_mark_latency: Arc<WindowedHistogram>,
+    pub drain_copy_latency: Arc<WindowedHistogram>,
+    pub pages_migrated: Arc<Counter>,
+    pub bytes_migrated: Arc<Counter>,
     pub failovers: Arc<Counter>,
     pub corrupt_pages: Arc<Counter>,
     pub under_replicated_stores: Arc<Counter>,
@@ -107,6 +111,22 @@ impl EngineMetrics {
             "blobseer_repair_copy_latency_seconds",
             "replica repair copy phase: verify chains, re-copy missing/corrupt replicas",
         );
+        let drain_mark_latency = r.histogram_seconds(
+            "blobseer_drain_mark_latency_seconds",
+            "provider drain mark phase: epoch cut + live-page walk + victim scan",
+        );
+        let drain_copy_latency = r.histogram_seconds(
+            "blobseer_drain_copy_latency_seconds",
+            "provider drain copy phase: re-place one round of victim pages on survivors",
+        );
+        let pages_migrated = r.counter(
+            "blobseer_drain_pages_migrated_total",
+            "page copies written onto survivors by provider drains",
+        );
+        let bytes_migrated = r.counter(
+            "blobseer_drain_bytes_migrated_total",
+            "payload bytes those drain migrations carried",
+        );
         let failovers =
             r.counter("blobseer_failovers_total", "page stores re-placed onto a fallback provider");
         let corrupt_pages = r.counter(
@@ -137,6 +157,10 @@ impl EngineMetrics {
             scrub_sweep_latency,
             repair_mark_latency,
             repair_copy_latency,
+            drain_mark_latency,
+            drain_copy_latency,
+            pages_migrated,
+            bytes_migrated,
             failovers,
             corrupt_pages,
             under_replicated_stores,

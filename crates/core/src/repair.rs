@@ -166,9 +166,20 @@ pub(crate) fn repair_replicas(engine: &Arc<Engine>) -> Result<RepairReport> {
         }
         report.pages_examined += 1;
 
-        let mut chain = vec![primary];
-        chain.extend(engine.providers.replicas_of(primary, replication)?);
-        let fallbacks = engine.providers.fallbacks_of(primary, chain.len())?;
+        // The retired-aware expected chain: once a drain retired a
+        // member, the chain re-derives over the survivors and this
+        // pass converges the copies to it (a post-drain repair is a
+        // no-op because the drain already filled exactly this chain).
+        let chain = engine.providers.chain_of(primary, replication)?;
+        // Everything live beyond the chain, in failover order. With a
+        // retired primary the chain starts one position later, so
+        // filter against the chain rather than slicing by count.
+        let fallbacks: Vec<ProviderId> = engine
+            .providers
+            .fallbacks_of(primary, 1)?
+            .into_iter()
+            .filter(|id| !chain.contains(id))
+            .collect();
 
         // Verify what the chain holds; classify each slot.
         let mut degraded: Vec<ProviderId> = Vec::new(); // empty or corrupt slot

@@ -1,19 +1,25 @@
 //! The provider manager and its page-to-provider allocation strategies.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use blobseer_types::{BlobError, ProviderId, Result};
-use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use parking_lot::RwLock;
 
+use crate::placement::{
+    LeastLoadedPolicy, PlacementCandidate, PlacementPolicy, PowerOfTwoPolicy, RandomPolicy,
+    RoundRobinPolicy,
+};
 use crate::provider::{DataProvider, ProviderStats};
-use crate::store::MemoryPageStore;
+use crate::store::{MemoryPageStore, PageStore};
 
 /// Page-to-provider placement policy (paper §3.1: "a strategy aiming at
 /// ensuring an even distribution of pages among providers"; §4.3 calls
 /// the strategy "central" to minimising serialization conflicts).
+///
+/// The enum names the built-in policies; at runtime the manager holds
+/// the policy as a swappable trait object ([`PlacementPolicy`]), so a
+/// deployment can switch strategies live via
+/// [`ProviderManager::set_placement`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AllocationStrategy {
     /// Deterministic rotation — the baseline "even distribution". Also
@@ -29,15 +35,51 @@ pub enum AllocationStrategy {
     PowerOfTwoChoices,
 }
 
+impl AllocationStrategy {
+    /// Instantiate the built-in [`PlacementPolicy`] this name stands
+    /// for. Each call returns a fresh policy object with fresh state
+    /// (rotation cursor at zero, RNG at the deployment's fixed seed).
+    pub fn policy(self) -> Arc<dyn PlacementPolicy> {
+        match self {
+            AllocationStrategy::RoundRobin => Arc::new(RoundRobinPolicy::default()),
+            AllocationStrategy::Random => Arc::new(RandomPolicy::new()),
+            AllocationStrategy::LeastLoaded => Arc::new(LeastLoadedPolicy),
+            AllocationStrategy::PowerOfTwoChoices => Arc::new(PowerOfTwoPolicy::new()),
+        }
+    }
+}
+
+/// Point-in-time membership census of the deployment; see
+/// [`ProviderManager::membership`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MembershipCounts {
+    /// Providers ever registered, including retired tombstones.
+    pub registered: usize,
+    /// Providers eligible for new page placement (online, not
+    /// draining, not retired).
+    pub active: usize,
+    /// Providers currently draining (read-only, being evacuated).
+    pub draining: usize,
+    /// Providers retired by a completed drain (empty tombstones that
+    /// only anchor replica-chain positions).
+    pub retired: usize,
+}
+
 /// The provider manager: registry of data providers plus the placement
-/// strategy. Providers may join dynamically ([`ProviderManager::register`]),
-/// mirroring the paper's "new data providers may dynamically join and
-/// leave the system".
+/// policy. Providers may join dynamically ([`ProviderManager::register`])
+/// and leave via drain-then-retire, mirroring the paper's "new data
+/// providers may dynamically join and leave the system".
+///
+/// **Retired providers stay in the registry as tombstones.** Every
+/// replica chain and failover sequence is a pure function of registry
+/// *positions*, so removing an entry would silently remap every page's
+/// copies. Instead, retirement flags the provider and every walk skips
+/// it; the position — and with it the determinism of
+/// [`Self::replicas_of`]/[`Self::fallbacks_of`] — survives arbitrarily
+/// many membership changes.
 pub struct ProviderManager {
     providers: RwLock<Vec<Arc<DataProvider>>>,
-    strategy: AllocationStrategy,
-    rr_next: AtomicU64,
-    rng: Mutex<StdRng>,
+    policy: RwLock<Arc<dyn PlacementPolicy>>,
 }
 
 impl ProviderManager {
@@ -56,35 +98,78 @@ impl ProviderManager {
         assert!(!providers.is_empty(), "at least one data provider required");
         ProviderManager {
             providers: RwLock::new(providers),
-            strategy,
-            rr_next: AtomicU64::new(0),
-            rng: Mutex::new(StdRng::seed_from_u64(0x5eed_b10b)),
+            policy: RwLock::new(strategy.policy()),
         }
     }
 
-    /// The configured strategy.
-    pub fn strategy(&self) -> AllocationStrategy {
-        self.strategy
+    /// The active placement policy's name.
+    pub fn placement_name(&self) -> &'static str {
+        self.policy.read().name()
     }
 
-    /// Number of registered providers.
+    /// Hot-swap the placement policy to a built-in strategy. Only new
+    /// allocations are affected; every already-stored page keeps its
+    /// location and its registry-order replica chain.
+    pub fn set_placement(&self, strategy: AllocationStrategy) {
+        self.set_placement_policy(strategy.policy());
+    }
+
+    /// Hot-swap to an arbitrary [`PlacementPolicy`] implementation.
+    pub fn set_placement_policy(&self, policy: Arc<dyn PlacementPolicy>) {
+        *self.policy.write() = policy;
+    }
+
+    /// Number of registered providers (tombstones included).
     pub fn provider_count(&self) -> usize {
         self.providers.read().len()
     }
 
-    /// Register a provider that joined the deployment.
+    /// Census of the membership states; the source of the
+    /// `blobseer_providers_*` gauges.
+    pub fn membership(&self) -> MembershipCounts {
+        let providers = self.providers.read();
+        let mut counts = MembershipCounts { registered: providers.len(), ..Default::default() };
+        for p in providers.iter() {
+            if p.is_retired() {
+                counts.retired += 1;
+            } else if p.is_draining() {
+                counts.draining += 1;
+            } else if p.is_available() {
+                counts.active += 1;
+            }
+        }
+        counts
+    }
+
+    /// Register a provider that joined the deployment. It lands at the
+    /// end of the registry, so every existing replica chain is
+    /// unchanged except where it wraps past the former last position —
+    /// exactly the chains the repairer already reconciles.
     pub fn register(&self, provider: Arc<DataProvider>) {
         self.providers.write().push(provider);
     }
 
-    /// Every registered provider, in registry order — the sweep list of
-    /// the orphan scrubber (which must visit *all* providers, available
-    /// or not, and report the offline ones as skipped).
-    pub fn all_providers(&self) -> Vec<Arc<DataProvider>> {
-        self.providers.read().clone()
+    /// Register a brand-new provider over `store`, assigning the next
+    /// unused id. Returns the new member's id; it is immediately
+    /// eligible for placement and failover.
+    pub fn add_provider(&self, store: Arc<dyn PageStore>) -> ProviderId {
+        let mut providers = self.providers.write();
+        let id = ProviderId(providers.iter().map(|p| p.id().raw() + 1).max().unwrap_or(0));
+        providers.push(Arc::new(DataProvider::new(id, store)));
+        id
     }
 
-    /// Look up a provider by id.
+    /// Every registered provider still in service (retired tombstones
+    /// excluded), in registry order — the sweep list of the orphan
+    /// scrubber and repairer (which must visit *all* serving providers,
+    /// available or not, and report the offline ones as skipped).
+    pub fn all_providers(&self) -> Vec<Arc<DataProvider>> {
+        self.providers.read().iter().filter(|p| !p.is_retired()).cloned().collect()
+    }
+
+    /// Look up a provider by id. Resolves retired tombstones too —
+    /// readers probe a retired primary (and take the miss) rather than
+    /// failing the chain walk.
     pub fn provider(&self, id: ProviderId) -> Result<Arc<DataProvider>> {
         self.providers
             .read()
@@ -96,93 +181,130 @@ impl ProviderManager {
 
     /// Choose `n` providers to receive `n` new pages (paper Algorithm 2
     /// line 2: "PP ← the list of n page providers"). Providers repeat
-    /// when `n` exceeds the deployment size. Failed providers are
-    /// skipped; errors when every provider is offline.
+    /// when `n` exceeds the deployment size. Failed, draining and
+    /// retired providers are skipped; errors when no provider is
+    /// eligible.
     pub fn allocate(&self, n: usize) -> Result<Vec<ProviderId>> {
-        let all = self.providers.read();
-        let providers: Vec<&Arc<DataProvider>> = all.iter().filter(|p| p.is_available()).collect();
-        if providers.is_empty() {
+        let candidates: Vec<PlacementCandidate> = {
+            let all = self.providers.read();
+            all.iter()
+                .filter(|p| p.is_available() && !p.is_draining() && !p.is_retired())
+                .map(|p| PlacementCandidate { id: p.id(), stored_bytes: p.stored_bytes() })
+                .collect()
+        };
+        if candidates.is_empty() {
             return Err(BlobError::NoAvailableProvider);
         }
-        let count = providers.len();
-        Ok(match self.strategy {
-            AllocationStrategy::RoundRobin => {
-                let start = self.rr_next.fetch_add(n as u64, Ordering::Relaxed);
-                (0..n)
-                    .map(|i| providers[((start + i as u64) % count as u64) as usize].id())
-                    .collect()
-            }
-            AllocationStrategy::Random => {
-                let mut rng = self.rng.lock();
-                (0..n).map(|_| providers[rng.gen_range(0..count)].id()).collect()
-            }
-            AllocationStrategy::LeastLoaded => {
-                // Sort once per allocation by current stored bytes, then
-                // deal pages out round-robin over that order so a single
-                // large allocation still spreads.
-                let mut by_load: Vec<(u64, ProviderId)> =
-                    providers.iter().map(|p| (p.stored_bytes(), p.id())).collect();
-                by_load.sort_by_key(|&(load, id)| (load, id.raw()));
-                (0..n).map(|i| by_load[i % count].1).collect()
-            }
-            AllocationStrategy::PowerOfTwoChoices => {
-                let mut rng = self.rng.lock();
-                (0..n)
-                    .map(|_| {
-                        let a = &providers[rng.gen_range(0..count)];
-                        let b = &providers[rng.gen_range(0..count)];
-                        if a.stored_bytes() <= b.stored_bytes() {
-                            a.id()
-                        } else {
-                            b.id()
-                        }
-                    })
-                    .collect()
-            }
-        })
+        let policy = Arc::clone(&self.policy.read());
+        let picks = policy.place(&candidates, n);
+        if picks.len() != n {
+            return Err(BlobError::Internal(format!(
+                "placement policy '{}' returned {} placements for {} pages",
+                policy.name(),
+                picks.len(),
+                n
+            )));
+        }
+        Ok(picks.into_iter().map(|i| candidates[i % candidates.len()].id).collect())
+    }
+
+    /// The live successors of `primary` in registry order (wrapping,
+    /// retired tombstones skipped, `exclude` treated as already
+    /// retired), plus whether the primary itself still serves. The one
+    /// walk every chain derivation shares.
+    fn walk(
+        &self,
+        primary: ProviderId,
+        exclude: Option<ProviderId>,
+    ) -> Result<(bool, Vec<ProviderId>)> {
+        let providers = self.providers.read();
+        let idx = providers
+            .iter()
+            .position(|p| p.id() == primary)
+            .ok_or(BlobError::ProviderNotFound(primary))?;
+        let serving = |p: &Arc<DataProvider>| !p.is_retired() && Some(p.id()) != exclude;
+        let primary_serving = serving(&providers[idx]);
+        let n = providers.len();
+        let succ = (1..n)
+            .map(|i| &providers[(idx + i) % n])
+            .filter(|p| serving(p))
+            .map(|p| p.id())
+            .collect();
+        Ok((primary_serving, succ))
     }
 
     /// The deterministic replica chain of a page whose primary copy is
-    /// on `primary`: the `replicas − 1` providers that follow it in
-    /// registry order. Deriving replica locations from the primary
-    /// keeps the metadata tree unchanged (leaves name one provider) —
-    /// readers recompute the same chain when the primary is down.
+    /// on `primary`: the `replicas − 1` serving providers that follow
+    /// it in registry order. Deriving replica locations from the
+    /// primary keeps the metadata tree unchanged (leaves name one
+    /// provider) — readers recompute the same chain when the primary is
+    /// down.
     ///
-    /// The chain is computed over **all** registered providers, not
-    /// just the currently available ones, so it is stable across
-    /// failures and recoveries.
+    /// The chain is computed over all serving providers, available or
+    /// not, so it is stable across failures and recoveries; only
+    /// **retirement** (a completed drain) re-derives it, identically
+    /// for every reader, writer and repairer.
     pub fn replicas_of(&self, primary: ProviderId, replicas: usize) -> Result<Vec<ProviderId>> {
         assert!(replicas >= 1);
-        let providers = self.providers.read();
-        let idx = providers
-            .iter()
-            .position(|p| p.id() == primary)
-            .ok_or(BlobError::ProviderNotFound(primary))?;
-        Ok((1..replicas).map(|i| providers[(idx + i) % providers.len()].id()).collect())
+        let (_, mut succ) = self.walk(primary, None)?;
+        succ.truncate(replicas - 1);
+        Ok(succ)
     }
 
-    /// The deterministic **failover sequence** of a page: every
-    /// registered provider *beyond* the replica chain, in registry
-    /// order. When a chain member rejects a store (or a read misses on
-    /// the whole chain), the next copy lives on the first of these that
-    /// is alive — writers and readers recompute the identical sequence
-    /// from the leaf's primary alone, so failover placement needs no
-    /// extra metadata, exactly like the chain itself.
+    /// The deterministic **failover sequence** of a page: every serving
+    /// provider *beyond* the replica chain, in registry order. When a
+    /// chain member rejects a store (or a read misses on the whole
+    /// chain), the next copy lives on the first of these that is alive
+    /// — writers and readers recompute the identical sequence from the
+    /// leaf's primary alone, so failover placement needs no extra
+    /// metadata, exactly like the chain itself.
     pub fn fallbacks_of(&self, primary: ProviderId, replicas: usize) -> Result<Vec<ProviderId>> {
         assert!(replicas >= 1);
-        let providers = self.providers.read();
-        let idx = providers
-            .iter()
-            .position(|p| p.id() == primary)
-            .ok_or(BlobError::ProviderNotFound(primary))?;
-        Ok((replicas..providers.len())
-            .map(|i| providers[(idx + i) % providers.len()].id())
-            .collect())
+        let (_, succ) = self.walk(primary, None)?;
+        Ok(succ.into_iter().skip(replicas - 1).collect())
     }
 
-    /// Stats snapshot for every provider.
+    /// Where a page's copies are **expected to live**: the first
+    /// `replicas` serving providers at-or-after `primary` in registry
+    /// order. With the primary still serving this is `primary` plus
+    /// [`Self::replicas_of`]; once the primary retired, its position
+    /// still anchors the walk but the chain starts at the first live
+    /// successor. The repairer's and GC's notion of the full chain.
+    pub fn chain_of(&self, primary: ProviderId, replicas: usize) -> Result<Vec<ProviderId>> {
+        assert!(replicas >= 1);
+        let (primary_serving, succ) = self.walk(primary, None)?;
+        let mut chain = Vec::with_capacity(replicas);
+        if primary_serving {
+            chain.push(primary);
+        }
+        chain.extend(succ.into_iter().take(replicas - chain.len()));
+        Ok(chain)
+    }
+
+    /// [`Self::chain_of`] as it will read **after** `victim` retires:
+    /// the migration targets of a drain. Computing the post-retirement
+    /// chain while the victim still serves is what lets the drain fill
+    /// copies first and only then retire — readers never observe a
+    /// chain whose copies have not been placed yet.
+    pub fn chain_after_retire(
+        &self,
+        primary: ProviderId,
+        replicas: usize,
+        victim: ProviderId,
+    ) -> Result<Vec<ProviderId>> {
+        assert!(replicas >= 1);
+        let (primary_serving, succ) = self.walk(primary, Some(victim))?;
+        let mut chain = Vec::with_capacity(replicas);
+        if primary_serving {
+            chain.push(primary);
+        }
+        chain.extend(succ.into_iter().take(replicas - chain.len()));
+        Ok(chain)
+    }
+
+    /// Stats snapshot for every serving provider.
     pub fn stats(&self) -> Vec<ProviderStats> {
-        self.providers.read().iter().map(|p| p.stats()).collect()
+        self.providers.read().iter().filter(|p| !p.is_retired()).map(|p| p.stats()).collect()
     }
 
     /// Total payload bytes stored across all providers — the physical
@@ -201,7 +323,7 @@ impl std::fmt::Debug for ProviderManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ProviderManager")
             .field("providers", &self.provider_count())
-            .field("strategy", &self.strategy)
+            .field("placement", &self.placement_name())
             .finish()
     }
 }
@@ -301,6 +423,19 @@ mod tests {
     }
 
     #[test]
+    fn add_provider_assigns_next_free_id_and_is_eligible() {
+        let mgr = ProviderManager::with_memory_providers(2, AllocationStrategy::RoundRobin);
+        let id = mgr.add_provider(Arc::new(MemoryPageStore::new()));
+        assert_eq!(id, ProviderId(2));
+        assert_eq!(mgr.membership().active, 3);
+        // Immediately eligible: a full rotation includes the newcomer.
+        assert!(mgr.allocate(3).unwrap().contains(&id));
+        // Ids are never reused, even past a retirement.
+        mgr.provider(ProviderId(2)).unwrap().retire();
+        assert_eq!(mgr.add_provider(Arc::new(MemoryPageStore::new())), ProviderId(3));
+    }
+
+    #[test]
     fn unknown_provider_is_error() {
         let mgr = ProviderManager::with_memory_providers(2, AllocationStrategy::RoundRobin);
         assert!(matches!(
@@ -321,11 +456,39 @@ mod tests {
     }
 
     #[test]
+    fn allocate_skips_draining_and_retired_providers() {
+        let mgr = ProviderManager::with_memory_providers(3, AllocationStrategy::RoundRobin);
+        mgr.provider(ProviderId(0)).unwrap().begin_drain();
+        mgr.provider(ProviderId(2)).unwrap().retire();
+        let ids = mgr.allocate(10).unwrap();
+        assert!(ids.iter().all(|&id| id == ProviderId(1)), "{ids:?}");
+        let counts = mgr.membership();
+        assert_eq!(
+            (counts.registered, counts.active, counts.draining, counts.retired),
+            (3, 1, 1, 1)
+        );
+    }
+
+    #[test]
     fn allocate_fails_when_all_providers_down() {
         let mgr = ProviderManager::with_memory_providers(2, AllocationStrategy::Random);
         mgr.provider(ProviderId(0)).unwrap().fail();
         mgr.provider(ProviderId(1)).unwrap().fail();
         assert!(matches!(mgr.allocate(1), Err(BlobError::NoAvailableProvider)));
+    }
+
+    #[test]
+    fn set_placement_swaps_live() {
+        let mgr = ProviderManager::with_memory_providers(3, AllocationStrategy::RoundRobin);
+        assert_eq!(mgr.placement_name(), "round_robin");
+        // Load provider 0; least-loaded must now avoid it.
+        mgr.provider(ProviderId(0))
+            .unwrap()
+            .store_page(PageId(1), Bytes::from(vec![0u8; 4096]))
+            .unwrap();
+        mgr.set_placement(AllocationStrategy::LeastLoaded);
+        assert_eq!(mgr.placement_name(), "least_loaded");
+        assert!(!mgr.allocate(2).unwrap().contains(&ProviderId(0)));
     }
 
     #[test]
@@ -351,6 +514,31 @@ mod tests {
         // Chain + fallbacks partition the deployment.
         assert!(mgr.fallbacks_of(ProviderId(0), 5).unwrap().is_empty());
         assert!(mgr.fallbacks_of(ProviderId(9), 2).is_err());
+    }
+
+    #[test]
+    fn retirement_rederives_chains_deterministically() {
+        let mgr = ProviderManager::with_memory_providers(5, AllocationStrategy::RoundRobin);
+        // Before: chain of prov#3 at r=2 is [3, 4].
+        assert_eq!(mgr.chain_of(ProviderId(3), 2).unwrap(), vec![ProviderId(3), ProviderId(4)]);
+        // The drain previews the post-retirement chain …
+        assert_eq!(
+            mgr.chain_after_retire(ProviderId(3), 2, ProviderId(4)).unwrap(),
+            vec![ProviderId(3), ProviderId(0)]
+        );
+        // … and after retiring #4, every derivation agrees with it.
+        mgr.provider(ProviderId(4)).unwrap().retire();
+        assert_eq!(mgr.chain_of(ProviderId(3), 2).unwrap(), vec![ProviderId(3), ProviderId(0)]);
+        assert_eq!(mgr.replicas_of(ProviderId(3), 2).unwrap(), vec![ProviderId(0)]);
+        assert_eq!(mgr.fallbacks_of(ProviderId(3), 2).unwrap(), vec![ProviderId(1), ProviderId(2)]);
+        // A retired *primary* still anchors its position: the chain
+        // starts at the first live successor.
+        assert_eq!(mgr.chain_of(ProviderId(4), 2).unwrap(), vec![ProviderId(0), ProviderId(1)]);
+        assert_eq!(mgr.replicas_of(ProviderId(4), 2).unwrap(), vec![ProviderId(0)]);
+        // Tombstones resolve for point lookups but leave the sweep list.
+        assert!(mgr.provider(ProviderId(4)).is_ok());
+        assert_eq!(mgr.all_providers().len(), 4);
+        assert_eq!(mgr.stats().len(), 4);
     }
 
     #[test]

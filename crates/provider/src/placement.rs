@@ -1,0 +1,197 @@
+//! Runtime-swappable page-placement policies.
+//!
+//! PR 9 lifts [`AllocationStrategy`](crate::AllocationStrategy) from a
+//! `match` inside the manager to a trait object the manager holds
+//! behind a lock, so a running deployment can hot-swap how new pages
+//! are placed (`BlobSeer::set_placement`) without touching any stored
+//! data: placement only ever decides where *new* primaries go, while
+//! replica chains and failover sequences stay a pure function of the
+//! registry order (see `ProviderManager::replicas_of`). Swapping the
+//! policy therefore never invalidates a single leaf descriptor.
+//!
+//! A policy sees one immutable snapshot per allocation — the eligible
+//! (online, not draining, not retired) providers with their current
+//! load — and returns indices into it. All built-in policies keep
+//! their mutable state (rotation counter, RNG) inside the policy
+//! object itself, so a fresh policy starts from a fresh state and two
+//! managers never share a cursor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use blobseer_types::ProviderId;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One eligible provider as the placement policy sees it: identity
+/// plus current payload load. A snapshot — the policy must not assume
+/// the load is still exact by the time its pages land.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacementCandidate {
+    /// The provider's id.
+    pub id: ProviderId,
+    /// Payload bytes it currently stores.
+    pub stored_bytes: u64,
+}
+
+/// A page-to-provider placement policy (paper §3.1: "a strategy aiming
+/// at ensuring an even distribution of pages among providers").
+///
+/// `place` chooses, for `n` new pages, the index (into `candidates`)
+/// of each page's **primary** provider. Candidates are the currently
+/// eligible providers in registry order and are never empty. Returned
+/// indices are taken modulo `candidates.len()`, so a sloppy custom
+/// policy degrades to wraparound instead of a panic.
+pub trait PlacementPolicy: Send + Sync {
+    /// Short policy name, surfaced in `Debug` output and reports.
+    fn name(&self) -> &'static str;
+    /// Choose a candidate index for each of `n` pages.
+    fn place(&self, candidates: &[PlacementCandidate], n: usize) -> Vec<usize>;
+}
+
+/// Deterministic rotation — the baseline "even distribution". The
+/// cursor lives in the policy object and survives across allocations.
+#[derive(Debug, Default)]
+pub struct RoundRobinPolicy {
+    next: AtomicU64,
+}
+
+impl PlacementPolicy for RoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn place(&self, candidates: &[PlacementCandidate], n: usize) -> Vec<usize> {
+        let count = candidates.len() as u64;
+        let start = self.next.fetch_add(n as u64, Ordering::Relaxed);
+        (0..n as u64).map(|i| ((start + i) % count) as usize).collect()
+    }
+}
+
+/// Uniform random placement, seeded for reproducibility.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: Mutex<StdRng>,
+}
+
+impl RandomPolicy {
+    /// Policy with the deployment's fixed default seed.
+    pub fn new() -> Self {
+        RandomPolicy { rng: Mutex::new(StdRng::seed_from_u64(0x5eed_b10b)) }
+    }
+}
+
+impl Default for RandomPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlacementPolicy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn place(&self, candidates: &[PlacementCandidate], n: usize) -> Vec<usize> {
+        let mut rng = self.rng.lock();
+        (0..n).map(|_| rng.gen_range(0..candidates.len())).collect()
+    }
+}
+
+/// Always pick the providers currently storing the fewest bytes: sort
+/// once per allocation, then deal pages round-robin over that order so
+/// a single large allocation still spreads.
+#[derive(Debug, Default)]
+pub struct LeastLoadedPolicy;
+
+impl PlacementPolicy for LeastLoadedPolicy {
+    fn name(&self) -> &'static str {
+        "least_loaded"
+    }
+
+    fn place(&self, candidates: &[PlacementCandidate], n: usize) -> Vec<usize> {
+        let mut by_load: Vec<usize> = (0..candidates.len()).collect();
+        by_load.sort_by_key(|&i| (candidates[i].stored_bytes, candidates[i].id.raw()));
+        (0..n).map(|i| by_load[i % by_load.len()]).collect()
+    }
+}
+
+/// Two random candidates, keep the less loaded (the classic
+/// power-of-two-choices balancer).
+#[derive(Debug)]
+pub struct PowerOfTwoPolicy {
+    rng: Mutex<StdRng>,
+}
+
+impl PowerOfTwoPolicy {
+    /// Policy with the deployment's fixed default seed.
+    pub fn new() -> Self {
+        PowerOfTwoPolicy { rng: Mutex::new(StdRng::seed_from_u64(0x5eed_b10b)) }
+    }
+}
+
+impl Default for PowerOfTwoPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlacementPolicy for PowerOfTwoPolicy {
+    fn name(&self) -> &'static str {
+        "power_of_two_choices"
+    }
+
+    fn place(&self, candidates: &[PlacementCandidate], n: usize) -> Vec<usize> {
+        let mut rng = self.rng.lock();
+        (0..n)
+            .map(|_| {
+                let a = rng.gen_range(0..candidates.len());
+                let b = rng.gen_range(0..candidates.len());
+                if candidates[a].stored_bytes <= candidates[b].stored_bytes {
+                    a
+                } else {
+                    b
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates(loads: &[u64]) -> Vec<PlacementCandidate> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, &stored_bytes)| PlacementCandidate { id: ProviderId(i as u32), stored_bytes })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_rotates_across_calls() {
+        let p = RoundRobinPolicy::default();
+        let c = candidates(&[0, 0, 0]);
+        assert_eq!(p.place(&c, 4), vec![0, 1, 2, 0]);
+        assert_eq!(p.place(&c, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_deals_from_the_lightest() {
+        let p = LeastLoadedPolicy;
+        let c = candidates(&[500, 10, 100]);
+        assert_eq!(p.place(&c, 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn power_of_two_never_picks_strictly_heavier_of_the_pair() {
+        let p = PowerOfTwoPolicy::new();
+        // With one hugely loaded candidate among light ones, p2c picks
+        // it only when both random draws land on it: rare.
+        let c = candidates(&[0, 1_000_000, 0, 0]);
+        let picks = p.place(&c, 200);
+        let heavy = picks.iter().filter(|&&i| i == 1).count();
+        assert!(heavy < 40, "heavy candidate picked {heavy}/200 times");
+    }
+}

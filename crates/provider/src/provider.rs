@@ -31,6 +31,8 @@ pub struct DataProvider {
     store: Arc<dyn PageStore>,
     checksums: RwLock<HashMap<PageId, u64>>,
     available: AtomicBool,
+    draining: AtomicBool,
+    retired: AtomicBool,
     reads: AtomicU64,
     writes: AtomicU64,
     bytes_read: AtomicU64,
@@ -51,6 +53,8 @@ impl DataProvider {
             store,
             checksums: RwLock::new(HashMap::new()),
             available: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            retired: AtomicBool::new(false),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
@@ -94,11 +98,53 @@ impl DataProvider {
         }
     }
 
+    /// Put the provider into **draining** (read-only) mode: fetches,
+    /// scans and deletions keep working so its pages can be migrated
+    /// off, but every new [`Self::store_page`] is refused with
+    /// [`BlobError::ProviderUnavailable`] — the same typed error as a
+    /// crash, so the write path's existing failover re-places the copy
+    /// on a healthy provider without learning a new protocol.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Leave draining mode (a drain that aborted); the provider
+    /// accepts stores again.
+    pub fn end_drain(&self) {
+        self.draining.store(false, Ordering::SeqCst);
+    }
+
+    /// `true` while the provider is draining (read-only).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Permanently remove the provider from service after a successful
+    /// drain. Retired providers stay registered as **tombstones** — the
+    /// registry index anchors every replica-chain walk, so positions
+    /// must never shift — but they are skipped by placement, replica
+    /// chains and maintenance sweeps. Irreversible.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::SeqCst);
+        self.draining.store(false, Ordering::SeqCst);
+    }
+
+    /// `true` once the provider was retired by a completed drain.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::SeqCst)
+    }
+
     /// Store a page on this provider. The payload's checksum is
     /// recorded in the sidecar only after the store succeeded, so a
     /// failed store leaves no phantom expectation behind.
     pub fn store_page(&self, pid: PageId, data: Bytes) -> Result<()> {
         self.check_available()?;
+        // Draining and retired providers are write-side unavailable
+        // (reads keep flowing): refusing here is what guarantees the
+        // drain's victim page set only ever shrinks.
+        if self.is_draining() || self.is_retired() {
+            return Err(BlobError::ProviderUnavailable(self.id));
+        }
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
         let sum = page_checksum(&data);
@@ -487,6 +533,38 @@ mod tests {
         // can legitimately re-store).
         p.store_page(PageId(4), Bytes::from_static(b"second")).unwrap();
         assert_eq!(p.fetch_page(PageId(4)).unwrap(), Bytes::from_static(b"second"));
+    }
+
+    #[test]
+    fn draining_provider_is_read_only() {
+        let p = provider();
+        p.store_page(PageId(1), Bytes::from_static(b"kept")).unwrap();
+        p.begin_drain();
+        assert!(p.is_draining() && p.is_available());
+        // Writes refuse with the same typed error as a crash …
+        assert!(matches!(
+            p.store_page(PageId(2), Bytes::from_static(b"no")),
+            Err(BlobError::ProviderUnavailable(ProviderId(7)))
+        ));
+        // … while the read/migrate side keeps working.
+        assert_eq!(p.fetch_page(PageId(1)).unwrap(), Bytes::from_static(b"kept"));
+        assert_eq!(p.scan_pages().unwrap(), vec![(PageId(1), 4)]);
+        assert_eq!(p.delete_page(PageId(1)).unwrap(), Some(4));
+        p.end_drain();
+        assert!(!p.is_draining());
+        p.store_page(PageId(2), Bytes::from_static(b"yes")).unwrap();
+    }
+
+    #[test]
+    fn retired_provider_rejects_stores_for_good() {
+        let p = provider();
+        p.begin_drain();
+        p.retire();
+        assert!(p.is_retired() && !p.is_draining() && p.is_available());
+        assert!(matches!(
+            p.store_page(PageId(1), Bytes::from_static(b"no")),
+            Err(BlobError::ProviderUnavailable(_))
+        ));
     }
 
     #[test]

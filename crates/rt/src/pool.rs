@@ -82,7 +82,17 @@ impl Drop for ThreadPool {
             self.workers.clear();
             return;
         }
+        let me = std::thread::current().id();
         for w in self.workers.drain(..) {
+            // A joining pool can still be dropped *on one of its own
+            // workers* (a queued job releasing the last `Arc` of the
+            // owner). Self-joining would abort with "Resource deadlock
+            // avoided" — detach that one handle instead; the worker is
+            // past `recv()` (the queue is closed) and exits right after
+            // this drop returns.
+            if w.thread().id() == me {
+                continue;
+            }
             // A panicked worker already reported; don't double-panic.
             let _ = w.join();
         }
@@ -139,6 +149,34 @@ mod tests {
     #[test]
     fn threads_reports_size() {
         assert_eq!(ThreadPool::new(5, "t").threads(), 5);
+    }
+
+    #[test]
+    fn joining_pool_can_drop_from_its_own_worker() {
+        // Regression: the engine's io pool is join-on-drop, and the
+        // last `Arc<Engine>` can be released by a job on one of its own
+        // workers. The old Drop self-joined and aborted the process
+        // with "Resource deadlock avoided"; now the self-handle is
+        // detached and everyone else is still joined.
+        struct Owner {
+            pool: ThreadPool,
+        }
+        let owner = Arc::new(Owner { pool: ThreadPool::new(2, "selfjoin") });
+        let done = Arc::new(AtomicUsize::new(0));
+        let (o2, d2) = (Arc::clone(&owner), Arc::clone(&done));
+        owner.pool.execute(move || {
+            // Give main a moment to drop its reference so this worker
+            // plausibly holds the last one.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(o2); // last Arc → ThreadPool::drop runs on this worker
+            d2.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(owner);
+        let t0 = std::time::Instant::now();
+        while done.load(Ordering::SeqCst) == 0 {
+            assert!(t0.elapsed() < std::time::Duration::from_secs(5), "worker wedged in drop");
+            std::thread::yield_now();
+        }
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! An elastic-cluster driver: pipelined ingest while the provider set
+//! changes underneath it.
+//!
+//! [`ElasticIngest`] streams [`crate::AppendStream`] chunks like
+//! [`crate::PipelinedIngest`], but exercises the PR 9 membership
+//! machinery mid-run: after a third of the appends it **joins** fresh
+//! providers (`BlobSeer::add_provider` — immediately eligible for
+//! placement), and at two thirds it starts **draining** a victim
+//! provider on a second thread, so the migration runs concurrently
+//! with live pipelined writers — the exact coexistence the drain's
+//! epoch-cut argument promises. The run self-verifies: the ingested
+//! stream reads back byte-identical, the victim ends retired with zero
+//! pages, and a repair pass after the churn converges (the second pass
+//! is a no-op).
+
+use std::time::{Duration, Instant};
+
+use blobseer::{BlobSeer, Bytes, DrainReport, PendingWrite, ProviderId, Result, Version};
+
+use crate::stream::AppendStream;
+
+/// What one elastic ingest run produced and proved.
+#[derive(Clone, Debug)]
+pub struct ElasticReport {
+    /// Appends performed (all survive; this driver injects membership
+    /// churn, not crashes).
+    pub appends: u64,
+    /// Total payload bytes appended.
+    pub bytes: u64,
+    /// Newest version published.
+    pub last: Version,
+    /// Providers joined mid-ingest, in join order.
+    pub joined: Vec<ProviderId>,
+    /// What the concurrent drain migrated.
+    pub drain: DrainReport,
+    /// Wall time of the whole ingest (including the overlapped churn).
+    pub ingest_elapsed: Duration,
+    /// Wall time of the drain alone, measured on its own thread.
+    pub drain_elapsed: Duration,
+    /// Copies the post-churn rebalance pass moved (the joins re-route
+    /// successor chains; one `repair_replicas` converges placement).
+    pub rebalance_copies: u64,
+    /// Wall time of that rebalance pass.
+    pub rebalance_elapsed: Duration,
+}
+
+/// Pipelined ingest with membership churn; see the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticIngest {
+    depth: usize,
+    joins: usize,
+}
+
+impl ElasticIngest {
+    /// Driver keeping up to `depth` appends in flight and joining
+    /// `joins` fresh providers mid-run (both ≥ 1).
+    pub fn new(depth: usize, joins: usize) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        assert!(joins >= 1, "an elastic run needs at least one join");
+        ElasticIngest { depth, joins }
+    }
+
+    /// Append `appends` chunks of `stream` to a fresh blob on `store`,
+    /// joining providers after `appends / 3` chunks and draining
+    /// `victim` concurrently from `2 * appends / 3` on. Returns after
+    /// ingest, drain, verification and the rebalance pass all
+    /// completed.
+    pub fn run(
+        &self,
+        store: &BlobSeer,
+        stream: &mut AppendStream,
+        appends: u64,
+        victim: ProviderId,
+    ) -> Result<ElasticReport> {
+        let blob = store.create();
+        let seed_check = stream.produced();
+        assert_eq!(seed_check, 0, "driver needs a fresh stream");
+
+        let join_at = appends / 3;
+        let drain_at = 2 * appends / 3;
+        let mut joined = Vec::new();
+        let mut drainer: Option<std::thread::JoinHandle<(Result<DrainReport>, Duration)>> = None;
+
+        let t0 = Instant::now();
+        let mut inflight: std::collections::VecDeque<PendingWrite> =
+            std::collections::VecDeque::with_capacity(self.depth);
+        let mut bytes = 0u64;
+        let mut last = Version(0);
+        for i in 0..appends {
+            if i == join_at {
+                for _ in 0..self.joins {
+                    joined.push(store.add_provider());
+                }
+            }
+            if i == drain_at {
+                let store = store.clone();
+                drainer = Some(std::thread::spawn(move || {
+                    let t = Instant::now();
+                    (store.drain_provider(victim), t.elapsed())
+                }));
+            }
+            let chunk = stream.next_chunk();
+            bytes += chunk.len() as u64;
+            inflight.push_back(blob.append_pipelined(Bytes::from(chunk))?);
+            if inflight.len() == self.depth {
+                last = last.max(inflight.pop_front().expect("non-empty").wait()?);
+            }
+        }
+        for pending in inflight {
+            last = last.max(pending.wait()?);
+        }
+        blob.sync(last)?;
+        let (drain, drain_elapsed) =
+            drainer.expect("appends >= 3 so the drain was started").join().expect("drain thread");
+        let drain = drain?;
+        let ingest_elapsed = t0.elapsed();
+
+        // Self-verify: membership churn was invisible to the data.
+        let snap = blob.snapshot(last)?;
+        assert_eq!(snap.len(), bytes);
+        crate::PipelinedIngest::verify(&snap, stream.seed())?;
+        let members = store.membership();
+        assert_eq!(members.retired, 1, "the victim must have retired");
+
+        // Rebalance: the joins re-routed successor chains, so one
+        // repair pass converges copy placement; the second is a no-op.
+        let t1 = Instant::now();
+        let rebalance = store.repair_replicas()?;
+        let rebalance_elapsed = t1.elapsed();
+        assert_eq!(rebalance.pages_unrepairable, 0, "churn must never lose a page");
+        let second = store.repair_replicas()?;
+        assert_eq!(second.copies_repaired, 0, "rebalance must converge");
+        assert_eq!(second.strays_trimmed, 0, "rebalance must converge");
+
+        Ok(ElasticReport {
+            appends,
+            bytes,
+            last,
+            joined,
+            drain,
+            ingest_elapsed,
+            drain_elapsed,
+            rebalance_copies: rebalance.copies_repaired,
+            rebalance_elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elastic_ingest_runs_and_verifies() {
+        let store = BlobSeer::builder()
+            .page_size(1024)
+            .data_providers(4)
+            .metadata_providers(2)
+            .io_threads(2)
+            .pipeline_threads(2)
+            .replication(2)
+            .build()
+            .unwrap();
+        let mut stream = AppendStream::new(7, 500, 3000);
+        let report = ElasticIngest::new(4, 2).run(&store, &mut stream, 30, ProviderId(0)).unwrap();
+        assert_eq!(report.appends, 30);
+        assert_eq!(report.bytes, stream.produced());
+        assert_eq!(report.joined, vec![ProviderId(4), ProviderId(5)]);
+        assert!(report.drain.pages_evacuated > 0 || report.drain.rounds >= 1);
+        let members = store.membership();
+        assert_eq!((members.registered, members.active, members.retired), (6, 5, 1));
+    }
+}

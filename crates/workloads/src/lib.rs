@@ -35,6 +35,7 @@ pub mod photo;
 mod chunks;
 mod crashy;
 mod driver;
+mod elastic;
 mod flaky;
 mod stream;
 mod tenants;
@@ -42,6 +43,7 @@ mod tenants;
 pub use chunks::DisjointChunks;
 pub use crashy::{ChunkRecord, CrashReport, CrashyIngest, ScrubTrajectory};
 pub use driver::{IngestReport, PipelinedIngest};
+pub use elastic::{ElasticIngest, ElasticReport};
 pub use flaky::{FlakyProviders, FlakyReport};
 pub use stream::AppendStream;
 pub use tenants::{MultiTenantIngest, MultiTenantReport, TenantIngestReport};

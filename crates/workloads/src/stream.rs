@@ -28,6 +28,11 @@ impl AppendStream {
         self.produced
     }
 
+    /// The stream's content seed (for re-deriving expected bytes).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The deterministic content byte at stream offset `i`.
     #[inline]
     pub fn byte_at(seed: u64, i: u64) -> u8 {

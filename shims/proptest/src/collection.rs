@@ -37,12 +37,44 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         let span = (self.size.max_incl - self.size.min) as u64 + 1;
         let len = self.size.min + rng.below(span) as usize;
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = Vec::new();
+        let min = self.size.min;
+        // Length shrinks first, most aggressive first: the minimum
+        // prefix, the half prefix, then each single-element removal —
+        // a failing op schedule minimizes to the ops that matter.
+        if value.len() > min {
+            out.push(value[..min].to_vec());
+            let half = min + (value.len() - min) / 2;
+            if half > min && half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            for i in 0..value.len() {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Then element-wise: every candidate at every position, so
+        // the greedy minimizer can binary-search individual elements.
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

@@ -11,11 +11,16 @@
 //! * [`prop_oneof!`] with optional `weight =>` prefixes,
 //! * panic-based [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`].
 //!
-//! Differences from real proptest, deliberately accepted: no shrinking
-//! (a failing case prints its inputs via the assertion message but is
-//! not minimised), and cases are generated from a fixed per-test seed
-//! so CI runs are reproducible. Set `PROPTEST_SEED=<u64>` to vary the
-//! seed; the default case count is 64 (`Config::default()`).
+//! Failing cases are **minimized** before the test aborts: the runner
+//! greedily applies the strategy's shrink candidates (integers toward
+//! their lower bound, vectors by truncation and element removal,
+//! tuples component-wise — see [`strategy::Strategy::shrink`] and
+//! [`test_runner::minimize`]) and panics with the smallest input that
+//! still fails. `Config::max_shrink_iters` bounds the candidate
+//! evaluations (`0` disables shrinking). Cases are generated from a
+//! fixed per-test seed so CI runs are reproducible; set
+//! `PROPTEST_SEED=<u64>` to vary the seed. The default case count is
+//! 64 (`Config::default()`).
 
 pub mod collection;
 pub mod strategy;
@@ -98,13 +103,22 @@ macro_rules! __proptest_impl {
                 let config: $crate::test_runner::Config = $cfg;
                 let mut rng =
                     $crate::test_runner::TestRng::for_test(stringify!($name));
+                // One combined strategy over all arguments, so a
+                // failing case shrinks across every input at once.
+                let __strategy = ($($strat,)+);
                 for case in 0..config.cases {
                     let _ = case;
-                    $(
-                        let $arg =
-                            $crate::strategy::Strategy::sample(&($strat), &mut rng);
-                    )+
-                    $body
+                    let __vals =
+                        $crate::strategy::Strategy::sample(&__strategy, &mut rng);
+                    $crate::test_runner::run_case(
+                        &__strategy,
+                        __vals,
+                        config.max_shrink_iters,
+                        &|__vals| {
+                            let ($($arg,)+) = __vals;
+                            $body
+                        },
+                    );
                 }
             }
         )*

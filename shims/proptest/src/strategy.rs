@@ -1,4 +1,16 @@
-//! Value-generation strategies (no shrinking).
+//! Value-generation strategies, with minimal shrinking.
+//!
+//! Shrinking is deliberately simple (PR 9): a strategy may propose a
+//! handful of smaller candidates for a failing value, and the runner
+//! ([`crate::test_runner::minimize`]) greedily accepts the first
+//! candidate that still fails, looping until none do. Integer
+//! strategies shrink toward their lower bound (ranges) or zero
+//! (`any`), vectors shrink by truncation, single-element removal and
+//! element-wise shrinking, and tuples shrink component-wise.
+//! [`Map`] and [`Union`] do not shrink (a mapped or branched value
+//! cannot be inverted back into its source strategy) — for `Vec<Op>`
+//! style interleavings the vector-level shrinks still minimize the
+//! failing schedule, which is what the membership property tests need.
 
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
@@ -9,6 +21,13 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose strictly-simpler candidates for a failing `value`, most
+    /// aggressive first. Default: no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Transform generated values with `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -36,6 +55,9 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
     fn sample(&self, rng: &mut TestRng) -> T {
         (**self).sample(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -43,9 +65,13 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn sample(&self, rng: &mut TestRng) -> S::Value {
         (**self).sample(rng)
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
 }
 
-/// Strategy adapter produced by [`Strategy::prop_map`].
+/// Strategy adapter produced by [`Strategy::prop_map`]. Does not
+/// shrink: the mapping is one-way.
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -74,6 +100,7 @@ impl<T: Clone> Strategy for Just<T> {
 }
 
 /// Weighted choice among boxed strategies (backs [`crate::prop_oneof!`]).
+/// Does not shrink: the branch that produced a value is unknown.
 pub struct Union<T> {
     branches: Vec<(u32, BoxedStrategy<T>)>,
     total_weight: u64,
@@ -112,6 +139,9 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as u128) - (self.start as u128);
                 self.start + (rng.below_u128(span) as $t)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value)
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -122,52 +152,163 @@ macro_rules! impl_range_strategy {
                 let span = (hi as u128) - (lo as u128) + 1;
                 lo + (rng.below_u128(span) as $t)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value)
+            }
+        }
+
+        impl ShrinkTowardZero for $t {
+            fn shrink_toward_zero(self) -> Vec<Self> {
+                shrink_toward(0, self)
+            }
         }
     )*};
+}
+
+/// Candidates strictly between `lo` and `value`, biggest jump first:
+/// the bound itself, then a geometric ladder `value - d/2, value -
+/// d/4, …, value - 1`. The greedy minimizer accepting the first
+/// failing candidate then converges like a binary search — O(log²)
+/// evaluations to the failure boundary instead of a linear
+/// predecessor walk.
+fn shrink_toward<T>(lo: T, value: T) -> Vec<T>
+where
+    T: Copy
+        + PartialOrd
+        + PartialEq
+        + std::ops::Sub<Output = T>
+        + std::ops::Div<Output = T>
+        + From<u8>,
+{
+    if value <= lo {
+        return Vec::new();
+    }
+    let (zero, two) = (T::from(0u8), T::from(2u8));
+    let mut out = vec![lo];
+    let mut delta = value - lo;
+    loop {
+        delta = delta / two;
+        if delta == zero {
+            break;
+        }
+        let candidate = value - delta;
+        if *out.last().expect("out starts non-empty") != candidate {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+/// Unsigned integers that shrink toward zero (backs `any::<uN>()`).
+trait ShrinkTowardZero: Sized {
+    fn shrink_toward_zero(self) -> Vec<Self>;
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.sample(rng),)+)
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: each candidate shrinks one position
+                // and clones the rest.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
 /// Types with a canonical full-domain strategy (`any::<T>()`).
 pub trait Arbitrary: Sized {
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Propose simpler candidates for a failing value (see
+    /// [`Strategy::shrink`]); default none.
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
-macro_rules! impl_arbitrary_int {
+macro_rules! impl_arbitrary_uint {
     ($($t:ty),*) => {$(
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
             }
+            fn shrink_value(&self) -> Vec<Self> {
+                (*self).shrink_toward_zero()
+            }
         }
     )*};
 }
 
-impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+macro_rules! impl_arbitrary_iint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+            fn shrink_value(&self) -> Vec<Self> {
+                // Same geometric ladder as `shrink_toward`, but toward
+                // zero from either sign (signed `/` truncates toward
+                // zero, so the ladder works unchanged for negatives).
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0];
+                let mut delta = v;
+                loop {
+                    delta /= 2;
+                    if delta == 0 {
+                        break;
+                    }
+                    let candidate = v - delta;
+                    if *out.last().expect("out starts non-empty") != candidate {
+                        out.push(candidate);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+impl_arbitrary_iint!(i8, i16, i32, i64, isize);
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink_value(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -194,6 +335,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
     }
 }
 

@@ -1,18 +1,76 @@
-//! Test configuration and the deterministic RNG behind case generation.
+//! Test configuration, the deterministic RNG behind case generation,
+//! and the greedy minimizer behind shrinking.
+
+use crate::strategy::Strategy;
 
 /// Subset of proptest's `Config` (aliased `ProptestConfig` in the prelude).
 #[derive(Clone, Debug)]
 pub struct Config {
     /// Number of generated cases per test.
     pub cases: u32,
-    /// Accepted for proptest compatibility; this shim never shrinks.
+    /// Budget of candidate evaluations while minimizing a failing
+    /// case; `0` disables shrinking.
     pub max_shrink_iters: u32,
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Config { cases: 64, max_shrink_iters: 0 }
+        Config { cases: 64, max_shrink_iters: 512 }
     }
+}
+
+/// Greedily minimize a failing value: ask `strategy` for shrink
+/// candidates, accept the first that still satisfies `fails`, and
+/// restart from it; stop when no candidate fails or the `max_iters`
+/// evaluation budget runs out. Returns a value that is guaranteed to
+/// still fail (the input itself in the worst case).
+pub fn minimize<S, F>(strategy: &S, mut current: S::Value, mut fails: F, max_iters: u32) -> S::Value
+where
+    S: Strategy + ?Sized,
+    F: FnMut(&S::Value) -> bool,
+{
+    let mut evals = 0u32;
+    'search: loop {
+        for candidate in strategy.shrink(&current) {
+            if evals >= max_iters {
+                break 'search;
+            }
+            evals += 1;
+            if fails(&candidate) {
+                current = candidate;
+                continue 'search;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// Run one generated case; on failure, minimize it and panic with the
+/// minimized input. Used by the `proptest!` macro expansion.
+pub fn run_case<S, F>(strategy: &S, value: S::Value, max_shrink_iters: u32, run: &F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value),
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    if catch_unwind(AssertUnwindSafe(|| run(value.clone()))).is_ok() {
+        return;
+    }
+    // The original failure already printed via the default hook.
+    // Silence the hook while probing shrink candidates (each failing
+    // probe panics by design), then restore it.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let minimal = minimize(
+        strategy,
+        value,
+        |candidate| catch_unwind(AssertUnwindSafe(|| run(candidate.clone()))).is_err(),
+        max_shrink_iters,
+    );
+    std::panic::set_hook(prev);
+    panic!("proptest case failed; minimized input: {minimal:?}");
 }
 
 /// Deterministic xoshiro256** generator seeded per test.

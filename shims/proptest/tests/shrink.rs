@@ -1,0 +1,104 @@
+//! Shrinking shim tests: known-failing predicates must minimize to the
+//! smallest input that still fails, via the same greedy `minimize` the
+//! `proptest!` macro uses on a failing case.
+
+use proptest::collection::vec;
+use proptest::strategy::any;
+use proptest::test_runner::minimize;
+
+#[test]
+fn range_shrinks_to_the_boundary() {
+    // "fails when >= 500" over 0..1000 must land exactly on 500.
+    let strategy = 0u64..1000;
+    let minimal = minimize(&strategy, 837, |v| *v >= 500, 4096);
+    assert_eq!(minimal, 500);
+}
+
+#[test]
+fn inclusive_range_shrinks_toward_its_lower_bound() {
+    // The predicate always fails, so the minimum of the range wins.
+    let strategy = 10u32..=99;
+    let minimal = minimize(&strategy, 73, |_| true, 4096);
+    assert_eq!(minimal, 10);
+}
+
+#[test]
+fn any_shrinks_toward_zero() {
+    let strategy = any::<u64>();
+    let minimal = minimize(&strategy, u64::MAX, |v| *v >= 12_345, 4096);
+    assert_eq!(minimal, 12_345);
+}
+
+#[test]
+fn signed_any_shrinks_negative_values_toward_zero() {
+    let strategy = any::<i32>();
+    let minimal = minimize(&strategy, -4_000, |v| *v <= -17, 4096);
+    assert_eq!(minimal, -17);
+}
+
+#[test]
+fn vec_shrinks_away_irrelevant_elements() {
+    // "contains a 9": everything but the 9 is noise and must go.
+    let strategy = vec(0u64..100, 0..8usize);
+    let failing = vec![3, 9, 0, 7, 2];
+    let minimal = minimize(&strategy, failing, |v| v.contains(&9), 4096);
+    assert_eq!(minimal, vec![9]);
+}
+
+#[test]
+fn vec_shrinks_length_and_elements() {
+    // "some element >= 5": minimal is a single element of exactly 5 —
+    // length shrinks drop the noise, element shrinks find the boundary.
+    let strategy = vec(0u64..100, 0..8usize);
+    let failing = vec![3, 9, 0, 7, 2];
+    let minimal = minimize(&strategy, failing, |v| v.iter().any(|x| *x >= 5), 4096);
+    assert_eq!(minimal, vec![5]);
+}
+
+#[test]
+fn vec_shrink_respects_the_minimum_length() {
+    let strategy = vec(0u8..10, 3..6usize);
+    let minimal = minimize(&strategy, vec![5, 5, 5, 5, 5], |_| true, 4096);
+    assert_eq!(minimal, vec![0, 0, 0]);
+}
+
+#[test]
+fn tuples_shrink_component_wise() {
+    let strategy = (0u64..100, 0u64..100);
+    let minimal = minimize(&strategy, (60, 42), |(a, b)| a + b >= 30, 4096);
+    // Greedy order still reaches a local minimum: any further shrink of
+    // either component drops the sum below 30.
+    let (a, b) = minimal;
+    assert_eq!(a + b, 30);
+}
+
+#[test]
+fn minimize_returns_the_input_when_nothing_smaller_fails() {
+    let strategy = 0u64..1000;
+    let minimal = minimize(&strategy, 7, |v| *v == 7, 4096);
+    assert_eq!(minimal, 7);
+}
+
+#[test]
+fn zero_budget_disables_shrinking() {
+    let strategy = 0u64..1000;
+    let minimal = minimize(&strategy, 837, |v| *v >= 500, 0);
+    assert_eq!(minimal, 837);
+}
+
+#[test]
+fn failing_proptest_case_reports_the_minimized_input() {
+    // End-to-end through the macro path: a failing body must abort with
+    // the minimized input in the panic payload.
+    use proptest::test_runner::run_case;
+    let strategy = 0u64..1000;
+    let err = std::panic::catch_unwind(|| {
+        run_case(&strategy, 837, 4096, &|v| assert!(v < 500));
+    })
+    .expect_err("the case must fail");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap_or_default());
+    assert!(msg.contains("minimized input: 500"), "unexpected panic message: {msg}");
+}
