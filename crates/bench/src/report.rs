@@ -22,6 +22,15 @@
 //!   resolves the version-manager view — blob lock, size/root lookup,
 //!   lineage clone — on *every* call; optimized = a pinned
 //!   [`blobseer::Snapshot`], which resolved it once at construction.
+//! * **hot_blob_snapshot** — the PR-10 wait-free publication A/B:
+//!   `dht_threads` threads opening `Blob::latest()` on one hot blob.
+//!   Baseline = the store built with `lockfree_publication(false)`, so
+//!   every open takes the blob-registry read lock and the blob-state
+//!   mutex; optimized = the seqlock cell (three atomic words, no lock).
+//!   The optimized side additionally asserts `VmStats::lockfree_reads`
+//!   covered every open — the bench cannot silently fall back to the
+//!   locked path. Single-core hosts understate the win (there is no
+//!   cross-core mutex contention to remove, only the lock's fixed cost).
 //! * **pipelined_append** — blocking `append_bytes` vs depth-4
 //!   `append_pipelined` on the same prebuilt buffer: the caller thread
 //!   overlaps the next append's page stores with the engine pool's
@@ -234,6 +243,66 @@ pub fn snapshot_pinned_read(p: &ReportParams, optimized: bool) -> RunStats {
     RunStats {
         ops: per_thread * p.dht_threads as u64,
         bytes: per_thread * p.dht_threads as u64 * p.pinned_read_bytes,
+        elapsed: best,
+        io_jobs: None,
+        allocs: None,
+    }
+}
+
+/// The PR-10 hot-blob snapshot-open case; see module docs. Both sides
+/// run the identical `Blob::latest()` loop; the knob flips only the
+/// version-manager read path, so the A/B isolates the seqlock against
+/// the registry-lock + blob-mutex resolution it replaces.
+pub fn hot_blob_snapshot(p: &ReportParams, lockfree: bool) -> RunStats {
+    let store = BlobSeer::builder()
+        .page_size(p.page_size)
+        .data_providers(16)
+        .metadata_providers(16)
+        .io_threads(4)
+        .zero_copy_pages(true)
+        .io_chunks_per_thread(1)
+        .lockfree_publication(lockfree)
+        .build()
+        .expect("valid bench config");
+    let blob = store.create();
+    let unit: Bytes = Bytes::from(vec![0x5Au8; p.append_unit]);
+    let mut last = None;
+    for _ in 0..8 {
+        last = Some(blob.append_bytes(unit.clone()).expect("append"));
+    }
+    let v = last.expect("at least one append");
+    blob.sync(v).expect("sync");
+
+    let per_thread = p.pinned_reads / p.dht_threads as u64;
+    let served_before = store.stats().vm.lockfree_reads;
+    let mut best = Duration::MAX;
+    for _ in 0..p.reps {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..p.dht_threads {
+                let blob = &blob;
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        let snap = blob.latest().expect("latest");
+                        debug_assert_eq!(snap.version(), v);
+                        std::hint::black_box(snap.len());
+                    }
+                });
+            }
+        });
+        best = best.min(t0.elapsed());
+    }
+    let total_opens = per_thread * p.dht_threads as u64 * p.reps as u64;
+    if lockfree {
+        let served = store.stats().vm.lockfree_reads - served_before;
+        assert!(
+            served >= total_opens,
+            "hot path fell back to the mutex: {served} lock-free reads for {total_opens} opens"
+        );
+    }
+    RunStats {
+        ops: per_thread * p.dht_threads as u64,
+        bytes: 0,
         elapsed: best,
         io_jobs: None,
         allocs: None,

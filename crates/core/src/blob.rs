@@ -255,7 +255,11 @@ impl Blob {
         Snapshot::open(&self.engine, self.id, v)
     }
 
-    /// A snapshot of the most recently published version.
+    /// A snapshot of the most recently published version. One fused,
+    /// wait-free version-manager read: the version and its view come
+    /// from the blob's seqlock-published hot triple — no blob mutex,
+    /// and no race window between resolving "latest" and resolving its
+    /// view.
     ///
     /// # Examples
     ///
@@ -269,8 +273,7 @@ impl Blob {
     /// # Ok::<(), blobseer::BlobError>(())
     /// ```
     pub fn latest(&self) -> Result<Snapshot> {
-        let v = self.engine.vm.get_recent(self.id)?;
-        self.snapshot(v)
+        Snapshot::open_latest(&self.engine, self.id)
     }
 
     /// `GET_RECENT`: a recently published version — guaranteed ≥ every

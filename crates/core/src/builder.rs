@@ -187,6 +187,34 @@ impl Builder {
         self
     }
 
+    /// Serve hot version-manager reads (open-latest, `recent_version`,
+    /// latest-version snapshot views) wait-free from each blob's
+    /// seqlock cell (see [`StoreConfig::lockfree_publication`]).
+    /// Default `true`; `false` restores the all-locked read path as an
+    /// A/B baseline. The `vm.lockfree_reads` counter in
+    /// [`crate::BlobSeer::stats`] moves only on the seqlock path.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let store = blobseer::BlobSeer::builder()
+    ///     .data_providers(2)
+    ///     .metadata_providers(2)
+    ///     .io_threads(1)
+    ///     .pipeline_threads(1)
+    ///     .lockfree_publication(false)
+    ///     .build()?;
+    /// let blob = store.create();
+    /// blob.append(&[0u8; 64])?;
+    /// let _ = blob.latest()?;
+    /// assert_eq!(store.stats().vm.lockfree_reads, 0); // locked baseline
+    /// # Ok::<(), blobseer::BlobError>(())
+    /// ```
+    pub fn lockfree_publication(mut self, enabled: bool) -> Self {
+        self.config.lockfree_publication = enabled;
+        self
+    }
+
     /// Carve page payloads as refcounted slices of the update buffer
     /// (`true`, default) or as per-page copies (`false`, the ablation
     /// baseline measured by the bench trajectory harness).
@@ -333,7 +361,8 @@ impl Builder {
         };
         let engine = Engine {
             vm: VersionManager::new(config.page_size, mode, wait)
-                .with_lease_ttl(config.lease_ttl_ticks),
+                .with_lease_ttl(config.lease_ttl_ticks)
+                .with_lockfree_reads(config.lockfree_publication),
             meta,
             metrics,
             providers,

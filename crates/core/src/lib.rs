@@ -679,6 +679,18 @@ impl BlobSeer {
             "data providers retired by completed drains",
             members.retired as i64,
         );
+        blobseer_metrics::write_gauge(
+            &mut out,
+            "blobseer_vm_read_views_total",
+            "read-view resolutions served by the version manager",
+            stats.vm.read_views as i64,
+        );
+        blobseer_metrics::write_gauge(
+            &mut out,
+            "blobseer_vm_lockfree_reads_total",
+            "hot VM reads served wait-free from a blob's seqlock cell (no blob mutex)",
+            stats.vm.lockfree_reads as i64,
+        );
         self.engine.metrics.render_provider_latency(&mut out);
         if let Some(qos) = &self.engine.qos {
             qos.render_into(&mut out);

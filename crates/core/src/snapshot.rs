@@ -59,6 +59,23 @@ impl Snapshot {
         })
     }
 
+    /// Resolve (and pin) the blob's most recently published version in
+    /// one fused VM call — version and view come from a single
+    /// wait-free seqlock read, so there is no race window between a
+    /// `GET_RECENT` and a separate view lookup, and no blob mutex on
+    /// this path.
+    pub(crate) fn open_latest(engine: &Arc<Engine>, blob: BlobId) -> Result<Snapshot> {
+        let (v, view) = engine.vm.latest_view(blob)?;
+        Ok(Snapshot {
+            engine: Arc::clone(engine),
+            blob,
+            version: v,
+            size: view.size,
+            root: view.root,
+            lineage: view.lineage,
+        })
+    }
+
     /// The blob this snapshot belongs to.
     ///
     /// # Examples

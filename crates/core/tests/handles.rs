@@ -445,3 +445,177 @@ fn readv_dedups_only_identical_windows() {
     // Identical requests 0 and 2 alias one fetch.
     assert_eq!(reads[0].segments()[0].data.as_ptr(), reads[2].segments()[0].data.as_ptr());
 }
+
+// ------------------------------------------- Lock-free hot read path
+
+#[test]
+fn hot_reads_are_served_lock_free() {
+    // The acceptance check for wait-free snapshot publication: the hot
+    // read paths must be *asserted* lock-free via the VmStats counter,
+    // not just claimed by a bench. Every latest()/recent_version()/
+    // snapshot(latest) must be served from the seqlock cell.
+    let s = store();
+    let blob = s.create();
+    let v = blob.append(&patterned(PSIZE as usize)).unwrap();
+    blob.sync(v).unwrap();
+
+    let before = s.stats().vm;
+    const OPS: u64 = 32;
+    for _ in 0..OPS {
+        let snap = blob.latest().unwrap();
+        assert_eq!(snap.version(), v);
+        assert_eq!(snap.len(), PSIZE);
+    }
+    let after = s.stats().vm;
+    assert_eq!(
+        after.lockfree_reads - before.lockfree_reads,
+        OPS,
+        "every latest() must be served from the seqlock cell, not the blob mutex"
+    );
+    assert_eq!(after.read_views - before.read_views, OPS, "latest() is one view resolution");
+
+    // recent_version is a hot read too (and not a view resolution).
+    let before = s.stats().vm;
+    blob.recent_version().unwrap();
+    let after = s.stats().vm;
+    assert_eq!(after.lockfree_reads - before.lockfree_reads, 1);
+    assert_eq!(after.read_views, before.read_views);
+
+    // A version-pinned snapshot of the *latest* version rides the cell;
+    // a pinned older version takes the (still correct) locked path.
+    let v2 = blob.append(&patterned(PSIZE as usize)).unwrap();
+    blob.sync(v2).unwrap();
+    let before = s.stats().vm;
+    blob.snapshot(v2).unwrap();
+    let mid = s.stats().vm;
+    assert_eq!(mid.lockfree_reads - before.lockfree_reads, 1);
+    let old = blob.snapshot(v).unwrap();
+    let after = s.stats().vm;
+    assert_eq!(after.lockfree_reads, mid.lockfree_reads, "old versions resolve under the lock");
+    assert_eq!(old.len(), PSIZE);
+}
+
+#[test]
+fn disabled_lockfree_publication_keeps_the_locked_baseline() {
+    // The A/B knob: with lockfree_publication(false) every read takes
+    // the blob mutex and the counter stays at zero — this is the
+    // baseline side of the hot_blob_snapshot bench.
+    let s = BlobSeer::builder()
+        .page_size(PSIZE)
+        .data_providers(4)
+        .metadata_providers(2)
+        .io_threads(2)
+        .lockfree_publication(false)
+        .build()
+        .unwrap();
+    let blob = s.create();
+    let v = blob.append(&patterned(PSIZE as usize)).unwrap();
+    blob.sync(v).unwrap();
+    for _ in 0..8 {
+        let snap = blob.latest().unwrap();
+        assert_eq!(snap.version(), v);
+        blob.recent_version().unwrap();
+        blob.snapshot(v).unwrap();
+    }
+    assert_eq!(s.stats().vm.lockfree_reads, 0, "locked baseline must never touch the cell");
+}
+
+#[test]
+fn facade_wrappers_survive_concurrent_abort_retire_churn() {
+    // ISSUE 10 satellite: latest()/snapshot()/branch under concurrent
+    // abort + retire churn return a published version or a typed error
+    // — never a panic, and never a stale root (size must always match
+    // the returned version: appends are PSIZE each, and aborted holes
+    // record the same size via their zero-extending repair).
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let s = store();
+    let blob = s.create();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Mutator: appends, with periodic crash-abort holes and
+        // retire attempts.
+        scope.spawn(|| {
+            for i in 0..30u32 {
+                if i % 5 == 3 {
+                    let dead = blob
+                        .crash_append(
+                            Bytes::from(vec![0u8; PSIZE as usize]),
+                            blobseer::CrashPoint::AfterPrepare,
+                        )
+                        .unwrap();
+                    blob.abort(dead).unwrap();
+                } else {
+                    let v = blob.append(&patterned(PSIZE as usize)).unwrap();
+                    blob.sync(v).unwrap();
+                }
+                if i % 7 == 6 {
+                    match blob.retire_versions(blob.recent_version().unwrap()) {
+                        Ok(_) => {}
+                        // Branch pins and in-flight updates conflict,
+                        // typed; a hole at the head can make the
+                        // readable frontier unpublishable to retire to.
+                        Err(BlobError::GcConflict(_))
+                        | Err(BlobError::VersionNotPublished { .. }) => {}
+                        Err(e) => panic!("retire: unexpected {e:?}"),
+                    }
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // Brancher: forks at whatever is recent; races with abort and
+        // retire must stay typed.
+        scope.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                let v = blob.recent_version().unwrap();
+                match blob.branch(v) {
+                    Ok(fork) => {
+                        let snap = fork.latest().unwrap();
+                        assert_eq!(snap.len(), snap.version().raw() * PSIZE);
+                    }
+                    Err(BlobError::VersionRetired { .. })
+                    | Err(BlobError::VersionAborted { .. })
+                    | Err(BlobError::VersionNotPublished { .. }) => {}
+                    Err(e) => panic!("branch: unexpected {e:?}"),
+                }
+                std::thread::yield_now();
+            }
+        });
+
+        // Readers: open-latest storm against the churn.
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = blob.latest().unwrap();
+                    let v = snap.version();
+                    // Size always matches the returned version — a
+                    // torn (version, size) pair would break this.
+                    assert_eq!(
+                        snap.len(),
+                        v.raw() * PSIZE,
+                        "stale or torn (version, size) from latest()"
+                    );
+                    if !snap.is_empty() {
+                        match snap.read(ByteRange::new(snap.len() - 1, 1)) {
+                            Ok(_) => {}
+                            // GC may sweep the version under a live
+                            // handle; must surface typed, not panic.
+                            Err(BlobError::VersionRetired { .. }) => {}
+                            Err(e) => panic!("read: unexpected {e:?}"),
+                        }
+                    }
+                    match blob.snapshot(v) {
+                        Ok(again) => assert_eq!(again.len(), snap.len()),
+                        Err(BlobError::VersionRetired { .. }) => {}
+                        Err(e) => panic!("snapshot: unexpected {e:?}"),
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    // The storm above must actually have exercised the seqlock path.
+    assert!(s.stats().vm.lockfree_reads > 0, "churn readers never hit the hot path");
+}

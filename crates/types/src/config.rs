@@ -110,6 +110,15 @@ pub struct StoreConfig {
     /// metadata wait is already orders of magnitude slower than its
     /// own timestamping. See `docs/OBSERVABILITY.md`.
     pub latency_metrics: bool,
+    /// Serve hot version-manager reads (`GET_RECENT`, open-latest,
+    /// latest-version snapshot views) wait-free from each blob's
+    /// seqlock-published hot triple instead of under the blob mutex.
+    /// **Default true**; `false` restores the all-locked read path as
+    /// an A/B baseline for the `hot_blob_snapshot` bench. Correctness
+    /// is identical either way — the seqlock path is proven
+    /// torn-read-free by the `prop_seqlock` stress suite. See the
+    /// seqlock section of `docs/ARCHITECTURE.md`.
+    pub lockfree_publication: bool,
 }
 
 impl StoreConfig {
@@ -165,6 +174,7 @@ impl Default for StoreConfig {
             store_retry_backoff_ms: 0,
             metadata_wait_slice_ms: 250,
             latency_metrics: true,
+            lockfree_publication: true,
         }
     }
 }

@@ -39,11 +39,30 @@
 //! publishes. Aborted versions are never readable; racing readers get
 //! the typed `BlobError::VersionAborted`. See `docs/ARCHITECTURE.md`
 //! for the full failure model and the lease state machine.
+//!
+//! ## Wait-free snapshot publication (beyond the paper)
+//!
+//! Each blob's hot triple `(latest readable version, size, root span)`
+//! is additionally published through a [`SeqLock`] cell, republished
+//! under the blob mutex by every frontier-moving operation. The hot
+//! read paths — [`VersionManager::get_recent`],
+//! [`VersionManager::latest_view`] and the latest-version case of
+//! [`VersionManager::snapshot_view`] — resolve entirely from that cell:
+//! no blob mutex, [`VmStats::lockfree_reads`] counts the proof. The
+//! mutex survives only on the write/assign/abort/retire side. The blob
+//! registry itself is sharded by blob id so unrelated blobs do not
+//! serialize on one registry lock either. See the seqlock section of
+//! `docs/ARCHITECTURE.md` for the protocol and why it is safe against
+//! the abort path.
 
 mod manager;
+mod seqlock;
 mod state;
 
+#[doc(hidden)]
+pub use manager::PublishProbe;
 pub use manager::{
     AbortTicket, AssignedUpdate, BlobScrubCut, ConcurrencyMode, ReadView, UpdateKind,
     VersionManager, VmStats, DEFAULT_LEASE_TTL_TICKS,
 };
+pub use seqlock::SeqLock;

@@ -8,9 +8,62 @@ use std::time::{Duration, Instant};
 use blobseer_meta::plan::{border_positions, creates_position};
 use blobseer_meta::{Lineage, RootRef};
 use blobseer_types::{div_ceil, BlobError, BlobId, ByteRange, NodePos, PageRange, Result, Version};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::state::{BlobInner, BlobState, Inflight, UpdateState};
+
+/// Shards in the blob registry. Power of two; blob ids are sequential,
+/// so `id & (SHARDS - 1)` spreads unrelated blobs round-robin and
+/// registry operations on different blobs stop serializing on one lock.
+const BLOB_SHARDS: usize = 16;
+
+/// The blob registry, sharded by blob id. Each shard is an independent
+/// `RwLock<HashMap>`; lookups take one shard's read lock (shared, never
+/// exclusive on the hot path), inserts one shard's write lock.
+struct BlobShards {
+    shards: Vec<RwLock<HashMap<BlobId, Arc<BlobState>>>>,
+}
+
+impl BlobShards {
+    fn new() -> Self {
+        BlobShards { shards: (0..BLOB_SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, id: BlobId) -> &RwLock<HashMap<BlobId, Arc<BlobState>>> {
+        &self.shards[id.raw() as usize & (BLOB_SHARDS - 1)]
+    }
+
+    fn get(&self, id: BlobId) -> Option<Arc<BlobState>> {
+        self.shard(id).read().get(&id).cloned()
+    }
+
+    fn insert(&self, id: BlobId, state: Arc<BlobState>) {
+        self.shard(id).write().insert(id, state);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Snapshot of every registered blob. Not atomic across shards,
+    /// which every caller (expiry scan, scrub cut) already tolerates —
+    /// neither was atomic across blobs before sharding either.
+    fn all(&self) -> Vec<(BlobId, Arc<BlobState>)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.read().iter().map(|(id, state)| (*id, Arc::clone(state))).collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+/// Test-only observer of seqlock publications:
+/// `(blob, new sequence, published words)`, called under the blob's
+/// mutex so the stress suite can build an exact oracle of every state
+/// the cell ever held.
+#[doc(hidden)]
+pub type PublishProbe = Box<dyn Fn(BlobId, u64, [u64; 3]) + Send + Sync>;
 
 /// Default writer-lease TTL in logical ticks, matching
 /// `StoreConfig::default().lease_ttl_ticks` (the engine always passes
@@ -188,6 +241,11 @@ pub struct VmStats {
     pub aborted: u64,
     /// Lease renewals served to live writers.
     pub lease_renewals: u64,
+    /// Hot-path reads served entirely from a blob's seqlock cell —
+    /// no blob mutex taken. The engine's tests assert this counter
+    /// moves in lockstep with hot reads, which is what *proves* (not
+    /// just claims) the read path is lock-free.
+    pub lockfree_reads: u64,
 }
 
 /// The centralized version manager.
@@ -213,7 +271,7 @@ pub struct VersionManager {
     /// abort): sweep work that must stay visible regardless of the
     /// watermark.
     aborting: AtomicU64,
-    blobs: RwLock<HashMap<BlobId, Arc<BlobState>>>,
+    blobs: BlobShards,
     next_blob: AtomicU64,
     assigned: AtomicU64,
     published: AtomicU64,
@@ -221,6 +279,12 @@ pub struct VersionManager {
     read_views: AtomicU64,
     aborted: AtomicU64,
     renewals: AtomicU64,
+    /// `false` routes every hot read through the blob mutex — the
+    /// benchmarkable baseline behind `hot_blob_snapshot`'s A/B.
+    lockfree: bool,
+    lockfree_reads: AtomicU64,
+    probe_armed: std::sync::atomic::AtomicBool,
+    publish_probe: Mutex<Option<PublishProbe>>,
 }
 
 impl VersionManager {
@@ -235,7 +299,7 @@ impl VersionManager {
             clock: AtomicU64::new(0),
             lease_watermark: AtomicU64::new(u64::MAX),
             aborting: AtomicU64::new(0),
-            blobs: RwLock::new(HashMap::new()),
+            blobs: BlobShards::new(),
             next_blob: AtomicU64::new(1),
             assigned: AtomicU64::new(0),
             published: AtomicU64::new(0),
@@ -243,7 +307,19 @@ impl VersionManager {
             read_views: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
             renewals: AtomicU64::new(0),
+            lockfree: true,
+            lockfree_reads: AtomicU64::new(0),
+            probe_armed: std::sync::atomic::AtomicBool::new(false),
+            publish_probe: Mutex::new(None),
         }
+    }
+
+    /// Enable or disable the seqlock hot read path (builder style; on
+    /// by default). Disabled, every read resolves under the blob mutex
+    /// — the baseline the `hot_blob_snapshot` bench compares against.
+    pub fn with_lockfree_reads(mut self, enabled: bool) -> Self {
+        self.lockfree = enabled;
+        self
     }
 
     /// Set the writer-lease TTL in logical ticks (builder style; must
@@ -285,14 +361,28 @@ impl VersionManager {
     }
 
     fn blob_state(&self, blob: BlobId) -> Result<Arc<BlobState>> {
-        self.blobs.read().get(&blob).cloned().ok_or(BlobError::BlobNotFound(blob))
+        self.blobs.get(blob).ok_or(BlobError::BlobNotFound(blob))
+    }
+
+    /// Republish `blob`'s hot triple after an operation (made under the
+    /// blob's mutex — `inner` is the held guard's target) that may have
+    /// moved the readable frontier. Writer serialization for the
+    /// seqlock comes from that mutex.
+    fn republish(&self, blob: BlobId, state: &BlobState, inner: &BlobInner) {
+        let words = inner.hot_words(self.psize);
+        let seq = state.hot.publish(words);
+        if self.probe_armed.load(Ordering::Relaxed) {
+            if let Some(probe) = self.publish_probe.lock().as_ref() {
+                probe(blob, seq, words);
+            }
+        }
     }
 
     /// `CREATE`: register a new blob with the empty snapshot 0.
     pub fn create(&self) -> BlobId {
         let id = BlobId(self.next_blob.fetch_add(1, Ordering::Relaxed));
-        let state = Arc::new(BlobState::new(BlobInner::new(Lineage::root(id))));
-        self.blobs.write().insert(id, state);
+        let state = Arc::new(BlobState::new(BlobInner::new(Lineage::root(id)), self.psize));
+        self.blobs.insert(id, state);
         id
     }
 
@@ -315,7 +405,7 @@ impl VersionManager {
         let child = BlobInner::branched(&parent, at, lineage);
         parent.child_branch_points.push(at);
         drop(parent);
-        self.blobs.write().insert(child_id, Arc::new(BlobState::new(child)));
+        self.blobs.insert(child_id, Arc::new(BlobState::new(child, self.psize)));
         self.branches.fetch_add(1, Ordering::Relaxed);
         Ok(child_id)
     }
@@ -442,6 +532,7 @@ impl VersionManager {
             self.published.fetch_add(published as u64, Ordering::Relaxed);
         }
         if published + skipped > 0 {
+            self.republish(blob, &state, &inner);
             state.publish_cv.notify_all();
         }
         Ok(())
@@ -539,8 +630,7 @@ impl VersionManager {
     fn scan_expired(&self) -> Vec<(BlobId, Version)> {
         let wm_before = self.lease_watermark.load(Ordering::Relaxed);
         let now = self.now_ticks();
-        let blobs: Vec<(BlobId, Arc<BlobState>)> =
-            self.blobs.read().iter().map(|(id, state)| (*id, Arc::clone(state))).collect();
+        let blobs = self.blobs.all();
         let mut out = Vec::new();
         let mut earliest = u64::MAX;
         for (id, state) in blobs {
@@ -669,16 +759,28 @@ impl VersionManager {
             self.published.fetch_add(published as u64, Ordering::Relaxed);
         }
         if published + skipped > 0 {
+            self.republish(blob, &state, &inner);
             state.publish_cv.notify_all();
         }
         Ok(())
     }
 
-    /// `GET_RECENT`: a recently published version (monotonic, hence ≥
-    /// every version published before the call). Aborted holes at the
-    /// head of the order are skipped — the result is always readable.
+    /// `GET_RECENT`: a recently published version (monotonic with
+    /// respect to publications — garbage collection that retires up to
+    /// a trailing aborted hole may regress it, see
+    /// `get_recent_stays_readable_when_gc_meets_a_trailing_hole`).
+    /// Aborted holes at the head of the order are skipped — the result
+    /// is always readable. Served wait-free from the blob's seqlock
+    /// cell: no blob mutex on this path.
     pub fn get_recent(&self, blob: BlobId) -> Result<Version> {
-        Ok(self.blob_state(blob)?.inner.lock().recent_readable())
+        let state = self.blob_state(blob)?;
+        if self.lockfree {
+            let (words, _) = state.hot.read();
+            self.lockfree_reads.fetch_add(1, Ordering::Relaxed);
+            return Ok(Version(words[0]));
+        }
+        let recent = state.inner.lock().recent_readable();
+        Ok(recent)
     }
 
     /// `true` when `v` is published for `blob` (aborted versions are
@@ -717,13 +819,29 @@ impl VersionManager {
         Ok((view.size, view.root))
     }
 
-    /// [`VersionManager::read_view`] plus the blob's lineage, resolved
-    /// under a *single* acquisition of the blob's lock. This is the
-    /// one-time lookup a version-pinned `Snapshot` caches; all
+    /// [`VersionManager::read_view`] plus the blob's lineage. This is
+    /// the one-time lookup a version-pinned `Snapshot` caches; all
     /// subsequent reads of that snapshot are VM-free.
+    ///
+    /// When `v` is the blob's current readable frontier — the hot case:
+    /// open-latest traffic hammering one blob — the view is served
+    /// wait-free from the seqlock cell without touching the blob mutex
+    /// ([`VmStats::lockfree_reads`] counts exactly these). Other
+    /// versions resolve under a single acquisition of the blob's lock,
+    /// as before.
     pub fn snapshot_view(&self, blob: BlobId, v: Version) -> Result<ReadView> {
         self.read_views.fetch_add(1, Ordering::Relaxed);
         let state = self.blob_state(blob)?;
+        if self.lockfree {
+            let (words, _) = state.hot.read();
+            if words[0] == v.raw() {
+                // The triple was the readable frontier at publication
+                // time and snapshots are immutable, so it is valid for
+                // `v` forever; the read linearizes at the seqlock load.
+                self.lockfree_reads.fetch_add(1, Ordering::Relaxed);
+                return Ok(Self::view_from_words(&state, words));
+            }
+        }
         let inner = state.inner.lock();
         if inner.is_aborted(v) {
             return Err(BlobError::VersionAborted { blob, version: v });
@@ -739,6 +857,42 @@ impl VersionManager {
             root: inner.root_of(v, self.psize),
             lineage: inner.lineage.clone(),
         })
+    }
+
+    /// A [`ReadView`] reconstructed from a consistently-read hot
+    /// triple: the root has offset 0 (every root does), the published
+    /// span, and the published version; lineage comes from the blob's
+    /// immutable copy.
+    fn view_from_words(state: &BlobState, words: [u64; 3]) -> ReadView {
+        let root = (words[1] > 0)
+            .then(|| RootRef { version: Version(words[0]), pos: NodePos::new(0, words[2]) });
+        ReadView { size: words[1], root, lineage: state.lineage.clone() }
+    }
+
+    /// The open-latest operation, fused: the blob's current readable
+    /// version and its [`ReadView`], resolved from one wait-free
+    /// seqlock read — the `(GET_RECENT, snapshot_view)` pair without
+    /// the race window between the two calls and without the blob
+    /// mutex. Counts one read-view resolution and (when the seqlock
+    /// path is enabled) one [`VmStats::lockfree_reads`].
+    pub fn latest_view(&self, blob: BlobId) -> Result<(Version, ReadView)> {
+        self.read_views.fetch_add(1, Ordering::Relaxed);
+        let state = self.blob_state(blob)?;
+        if self.lockfree {
+            let (words, _) = state.hot.read();
+            self.lockfree_reads.fetch_add(1, Ordering::Relaxed);
+            return Ok((Version(words[0]), Self::view_from_words(&state, words)));
+        }
+        let inner = state.inner.lock();
+        let v = inner.recent_readable();
+        Ok((
+            v,
+            ReadView {
+                size: inner.size_of(v),
+                root: inner.root_of(v, self.psize),
+                lineage: inner.lineage.clone(),
+            },
+        ))
     }
 
     /// `SYNC`: block until `v` is published or `timeout` elapses. A
@@ -803,6 +957,11 @@ impl VersionManager {
         // retires: no-op retires cannot have swept anything, so they
         // must not make a concurrent scrub restart its mark.
         inner.retire_gen += 1;
+        // Retiring up to a trailing aborted hole can *regress* the
+        // readable frontier (down to v0 in the degenerate case) — the
+        // hot triple must follow it, so racing readers get the typed
+        // retired/readable split, never a stale root.
+        self.republish(blob, &state, &inner);
         let roots = (keep_from.raw()..=inner.published.raw())
             .filter_map(|v| inner.root_of(Version(v), self.psize))
             .collect();
@@ -818,10 +977,8 @@ impl VersionManager {
     /// page-id epoch and is exempt from the sweep (the engine takes
     /// the epoch **before** calling this).
     pub fn scrub_cut(&self) -> Vec<BlobScrubCut> {
-        let blobs: Vec<(BlobId, Arc<BlobState>)> =
-            self.blobs.read().iter().map(|(id, state)| (*id, Arc::clone(state))).collect();
         let mut cuts: Vec<BlobScrubCut> =
-            blobs.into_iter().map(|(id, state)| self.cut_of(id, &state)).collect();
+            self.blobs.all().into_iter().map(|(id, state)| self.cut_of(id, &state)).collect();
         cuts.sort_by_key(|c| c.blob.raw());
         cuts
     }
@@ -876,14 +1033,56 @@ impl VersionManager {
     /// Counter snapshot.
     pub fn stats(&self) -> VmStats {
         VmStats {
-            blobs: self.blobs.read().len() as u64,
+            blobs: self.blobs.len() as u64,
             assigned: self.assigned.load(Ordering::Relaxed),
             published: self.published.load(Ordering::Relaxed),
             branches: self.branches.load(Ordering::Relaxed),
             read_views: self.read_views.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
             lease_renewals: self.renewals.load(Ordering::Relaxed),
+            lockfree_reads: self.lockfree_reads.load(Ordering::Relaxed),
         }
+    }
+
+    /// Arm (or disarm, with `None`) a blob's test-only mid-publication
+    /// pause hook: the next publication calls `hook` after its first
+    /// payload store — the torn intermediate — so deterministic
+    /// interleaving tests can hold a writer there. Test infrastructure,
+    /// not API.
+    #[doc(hidden)]
+    pub fn set_publish_pause(
+        &self,
+        blob: BlobId,
+        hook: Option<Box<dyn Fn() + Send + Sync>>,
+    ) -> Result<()> {
+        self.blob_state(blob)?.hot.set_pause(hook);
+        Ok(())
+    }
+
+    /// Arm (or disarm, with `None`) the test-only publication probe,
+    /// called under the publishing blob's mutex with
+    /// `(blob, new sequence, words)` for every republication — the
+    /// stress suite's oracle feed. Test infrastructure, not API.
+    #[doc(hidden)]
+    pub fn set_publish_probe(&self, probe: Option<PublishProbe>) {
+        self.probe_armed.store(probe.is_some(), Ordering::Relaxed);
+        *self.publish_probe.lock() = probe;
+    }
+
+    /// One protocol-validated read of a blob's hot seqlock cell:
+    /// `(words, sequence, retries)`. Test observable (the stress
+    /// suite's reader primitive), not API.
+    #[doc(hidden)]
+    pub fn debug_hot_read(&self, blob: BlobId) -> Result<([u64; 3], u64, u64)> {
+        Ok(self.blob_state(blob)?.hot.read_counted())
+    }
+
+    /// Raw, unvalidated `(words, sequence)` peek at a blob's hot cell —
+    /// bypasses the seqlock protocol so tests can prove a paused
+    /// publication really is torn. Never a correctness primitive.
+    #[doc(hidden)]
+    pub fn debug_peek_hot(&self, blob: BlobId) -> Result<([u64; 3], u64)> {
+        Ok(self.blob_state(blob)?.hot.debug_peek())
     }
 }
 

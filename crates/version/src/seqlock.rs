@@ -1,0 +1,201 @@
+//! A writer-serialized seqlock over a small array of `u64` words — the
+//! wait-free publication cell behind the VM's hot read path.
+//!
+//! The version manager publishes each blob's hot triple
+//! `(latest_readable_version, size, root_span)` through one of these
+//! cells so `GET_RECENT` and snapshot-view construction never take the
+//! blob mutex. Writers (already serialized by that mutex) bump an
+//! even/odd sequence word around the payload stores; readers retry
+//! until they observe the same even sequence on both sides of their
+//! loads, which proves no writer overlapped the read.
+//!
+//! The payload is an array of `AtomicU64` accessed with `Relaxed`
+//! loads/stores, so a torn *observation* (reader overlapping a writer)
+//! is defined behavior — the protocol detects it via the sequence word
+//! and discards it; there is no `unsafe` and no UB-prone `UnsafeCell`
+//! payload. Cross-thread ordering comes from the classic fence pairing
+//! (Boehm, "Can seqlocks get along with programming language memory
+//! models?"): the writer's `Release` fence before its payload stores
+//! pairs with the reader's `Acquire` fence after its payload loads, and
+//! the final `Release` store of the even sequence pairs with the
+//! reader's initial `Acquire` load.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Seqlock-published cell of `N` words. Writers must be externally
+/// serialized (the VM calls [`SeqLock::publish`] only while holding the
+/// owning blob's mutex); readers are wait-free in the absence of
+/// writers and lock-free under contention (they retry, but never
+/// block).
+pub struct SeqLock<const N: usize> {
+    /// Even = stable, odd = publication in progress. Starts at 0.
+    seq: AtomicU64,
+    words: [AtomicU64; N],
+    /// Test-only spin-injection: when armed, [`SeqLock::publish`] calls
+    /// the hook after storing word 0 — exactly the torn intermediate a
+    /// reader must never return. One `Relaxed` load when disarmed.
+    pause_armed: AtomicBool,
+    pause: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl<const N: usize> SeqLock<N> {
+    /// Cell pre-published with `initial` (sequence 0): constructors run
+    /// before the cell is shared, so the first state needs no protocol.
+    pub fn new(initial: [u64; N]) -> Self {
+        SeqLock {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|i| AtomicU64::new(initial[i])),
+            pause_armed: AtomicBool::new(false),
+            pause: Mutex::new(None),
+        }
+    }
+
+    /// Publish a new payload; returns the new (even) sequence value.
+    ///
+    /// Callers must be serialized: the sequence is asserted even at
+    /// entry, which a concurrent publisher would violate.
+    pub fn publish(&self, words: [u64; N]) -> u64 {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert_eq!(s % 2, 0, "concurrent publishers — writer serialization broken");
+        // Odd sequence: readers that start now will retry.
+        self.seq.store(s + 1, Ordering::Relaxed);
+        // Pairs with the reader's Acquire fence: a reader whose payload
+        // loads overlap these stores cannot miss the odd sequence.
+        fence(Ordering::Release);
+        for (i, slot) in self.words.iter().enumerate() {
+            slot.store(words[i], Ordering::Relaxed);
+            if i == 0 && self.pause_armed.load(Ordering::Relaxed) {
+                if let Some(hook) = self.pause.lock().as_ref() {
+                    hook();
+                }
+            }
+        }
+        // Even again: Release so a reader whose first Acquire load sees
+        // s + 2 also sees every payload store above.
+        self.seq.store(s + 2, Ordering::Release);
+        s + 2
+    }
+
+    /// Read a consistent payload (retrying past concurrent writers);
+    /// returns `(words, sequence)`. The sequence is even and strictly
+    /// monotone across publications, so callers can order observations.
+    pub fn read(&self) -> ([u64; N], u64) {
+        let (words, seq, _) = self.read_counted();
+        (words, seq)
+    }
+
+    /// [`SeqLock::read`] plus the number of retries the loop needed —
+    /// the observable the interleaving tests assert on.
+    pub fn read_counted(&self) -> ([u64; N], u64, u64) {
+        let mut retries = 0u64;
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1.is_multiple_of(2) {
+                let mut out = [0u64; N];
+                for (i, slot) in self.words.iter().enumerate() {
+                    out[i] = slot.load(Ordering::Relaxed);
+                }
+                // Pairs with the writer's Release fence; only then is
+                // re-checking the sequence meaningful.
+                fence(Ordering::Acquire);
+                if self.seq.load(Ordering::Relaxed) == s1 {
+                    return (out, s1, retries);
+                }
+            }
+            retries += 1;
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Raw unvalidated snapshot of `(words, sequence)` — deliberately
+    /// bypasses the retry protocol so tests can prove the paused
+    /// intermediate really is torn. Never a correctness primitive.
+    #[doc(hidden)]
+    pub fn debug_peek(&self) -> ([u64; N], u64) {
+        let mut out = [0u64; N];
+        for (i, slot) in self.words.iter().enumerate() {
+            out[i] = slot.load(Ordering::Relaxed);
+        }
+        (out, self.seq.load(Ordering::Relaxed))
+    }
+
+    /// Arm (or disarm, with `None`) the test-only mid-publication pause
+    /// hook. See [`SeqLock::publish`].
+    #[doc(hidden)]
+    pub fn set_pause(&self, hook: Option<Box<dyn Fn() + Send + Sync>>) {
+        self.pause_armed.store(hook.is_some(), Ordering::Relaxed);
+        *self.pause.lock() = hook;
+    }
+}
+
+impl<const N: usize> std::fmt::Debug for SeqLock<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (words, seq) = self.debug_peek();
+        f.debug_struct("SeqLock").field("seq", &seq).field("words", &&words[..]).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn initial_state_is_published_at_seq_zero() {
+        let cell = SeqLock::new([7, 8, 9]);
+        let (words, seq, retries) = cell.read_counted();
+        assert_eq!(words, [7, 8, 9]);
+        assert_eq!(seq, 0);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn publish_bumps_by_two_and_stays_even() {
+        let cell = SeqLock::new([0; 2]);
+        assert_eq!(cell.publish([1, 2]), 2);
+        assert_eq!(cell.publish([3, 4]), 4);
+        let (words, seq) = cell.read();
+        assert_eq!(words, [3, 4]);
+        assert_eq!(seq, 4);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_a_torn_pair() {
+        // Writer publishes [k, 2k]; any torn observation breaks the
+        // w[1] == 2 * w[0] invariant.
+        let cell = Arc::new(SeqLock::new([0u64, 0]));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last_seq = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (w, seq) = cell.read();
+                        assert_eq!(w[1], 2 * w[0], "torn read at seq {seq}");
+                        assert!(seq >= last_seq, "sequence went backwards");
+                        last_seq = seq;
+                    }
+                })
+            })
+            .collect();
+        for k in 1..=10_000u64 {
+            cell.publish([k, 2 * k]);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.read(), ([10_000, 20_000], 20_000));
+    }
+
+    #[test]
+    fn debug_peek_bypasses_the_protocol() {
+        let cell = SeqLock::new([5]);
+        let (words, seq) = cell.debug_peek();
+        assert_eq!((words, seq), ([5], 0));
+    }
+}

@@ -6,6 +6,8 @@ use blobseer_meta::{Lineage, RootRef};
 use blobseer_types::{div_ceil, NodePos, PageRange, Version};
 use parking_lot::{Condvar, Mutex};
 
+use crate::seqlock::SeqLock;
+
 /// Lifecycle of an assigned-but-unpublished update.
 ///
 /// ```text
@@ -204,6 +206,20 @@ impl BlobInner {
             .unwrap_or(u64::MAX)
     }
 
+    /// The blob's hot triple as seqlock words:
+    /// `[latest readable version, its byte size, its root span in
+    /// pages]` (span 0 for the empty snapshot, which has no tree).
+    /// All three are derivable from the newest readable version, but
+    /// they are published as independent words precisely so a torn
+    /// observation is *detectable* — the stress suite's oracle matches
+    /// whole triples, not reconstructible fields.
+    pub fn hot_words(&self, psize: u64) -> [u64; 3] {
+        let r = self.recent_readable();
+        let size = self.size_of(r);
+        let span = if size > 0 { self.root_pos_of(r, psize).size } else { 0 };
+        [r.raw(), size, span]
+    }
+
     /// Advance publication past every completed *or aborted* in-order
     /// update. Aborted versions are skipped: the frontier moves over
     /// them, they are dropped from the in-flight table, and they stay
@@ -233,15 +249,29 @@ impl BlobInner {
 
 /// A blob's state cell: the inner data plus the condition variable on
 /// which `SYNC` callers (and serialized-mode writers) wait for
-/// publications.
+/// publications, plus the lock-free read-path state — the seqlock-
+/// published hot triple and an immutable lineage copy — that hot reads
+/// touch without ever taking `inner`.
 pub(crate) struct BlobState {
     pub inner: Mutex<BlobInner>,
     pub publish_cv: Condvar,
+    /// Seqlock cell holding [`BlobInner::hot_words`]; republished under
+    /// `inner`'s lock by every operation that can move the readable
+    /// frontier (complete / commit_abort / begin_retire).
+    pub hot: SeqLock<3>,
+    /// A blob's lineage is fixed at creation (`Lineage::branch` reads
+    /// the parent's, never mutates it), so hot readers may clone this
+    /// copy without locking `inner`.
+    pub lineage: Lineage,
 }
 
 impl BlobState {
-    pub fn new(inner: BlobInner) -> Self {
-        BlobState { inner: Mutex::new(inner), publish_cv: Condvar::new() }
+    pub fn new(inner: BlobInner, psize: u64) -> Self {
+        // Construction precedes sharing (the blob-map insert publishes
+        // the Arc), so seeding the cell needs no protocol round.
+        let hot = SeqLock::new(inner.hot_words(psize));
+        let lineage = inner.lineage.clone();
+        BlobState { inner: Mutex::new(inner), publish_cv: Condvar::new(), hot, lineage }
     }
 }
 
